@@ -1,0 +1,174 @@
+//! Criterion benches: one group per paper artifact (wrapping the experiment
+//! at reduced scale, so `cargo bench` exercises every figure's code path
+//! and tracks simulator performance), plus micro-benchmarks of the
+//! substrate hot paths (checksum, encapsulation, parsing, event loop).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::experiments::*;
+use mip_core::{InMode, OutMode};
+use netsim::wire::encap::{decapsulate, encapsulate, EncapFormat};
+use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
+use netsim::wire::{internet_checksum, tcpseg::TcpSegment};
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+// ---- figure/experiment benches (each regenerates a paper artifact) ----
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig01_basic_mobile_ip", |b| {
+        b.iter(|| black_box(fig01_basic::run()))
+    });
+    g.bench_function("fig02_filter_probe_out_dh", |b| {
+        b.iter(|| {
+            black_box(fig02_filtering::probe(
+                OutMode::DH,
+                fig02_filtering::FilterConfig {
+                    home_ingress: true,
+                    visited_egress: false,
+                },
+                1,
+            ))
+        })
+    });
+    g.bench_function("fig03_bitunnel", |b| {
+        b.iter(|| black_box(fig03_bitunnel::run()))
+    });
+    g.bench_function("fig04_triangle_point", |b| {
+        b.iter(|| black_box(fig04_triangle::measure(50)))
+    });
+    g.bench_function("fig05_redirect_series", |b| {
+        b.iter(|| black_box(fig05_smart_ch::redirect_series(3)))
+    });
+    g.bench_function("fig06_formats", |b| {
+        b.iter(|| black_box(fig06_formats::run()))
+    });
+    g.bench_function("fig10_grid_cell_useful", |b| {
+        b.iter(|| black_box(fig10_grid::run_cell(InMode::IE, OutMode::IE)))
+    });
+    g.bench_function("exp_probing_optimistic_open", |b| {
+        b.iter(|| {
+            black_box(exp_probing::probe(
+                "opt",
+                mip_core::PolicyConfig::optimistic().without_dt_ports(),
+                exp_probing::Env::Open,
+            ))
+        })
+    });
+    g.bench_function("exp_http_dt", |b| {
+        b.iter(|| black_box(exp_http::browse(mip_core::PolicyConfig::default(), 2, false)))
+    });
+    g.bench_function("exp_handoff_mobile_ip", |b| {
+        b.iter(|| black_box(exp_handoff::session(true)))
+    });
+    g.bench_function("exp_multicast_local", |b| {
+        b.iter(|| {
+            black_box(exp_multicast::receive_session(
+                exp_multicast::JoinMethod::LocalInterface,
+            ))
+        })
+    });
+    g.bench_function("exp_feedback_enabled", |b| {
+        b.iter(|| black_box(exp_feedback::session(true)))
+    });
+    g.bench_function("exp_foreign_agent", |b| {
+        b.iter(|| black_box(exp_foreign_agent::deployment(true)))
+    });
+    g.finish();
+}
+
+// ---- substrate micro-benches -------------------------------------------
+
+fn bench_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+
+    let payload = vec![0xa5u8; 1460];
+    g.bench_function("internet_checksum_1460B", |b| {
+        b.iter(|| black_box(internet_checksum(black_box(&payload), 0)))
+    });
+
+    let inner = Ipv4Packet::new(
+        ip("171.64.15.9"),
+        ip("18.26.0.5"),
+        IpProtocol::Udp,
+        Bytes::from(vec![0u8; 512]),
+    );
+    for f in [EncapFormat::IpInIp, EncapFormat::Minimal, EncapFormat::Gre] {
+        g.bench_function(format!("encapsulate_{f:?}_512B"), |b| {
+            b.iter(|| {
+                black_box(
+                    encapsulate(f, ip("36.186.0.99"), ip("171.64.15.1"), black_box(&inner), 1)
+                        .unwrap(),
+                )
+            })
+        });
+        let outer = encapsulate(f, ip("36.186.0.99"), ip("171.64.15.1"), &inner, 1).unwrap();
+        g.bench_function(format!("decapsulate_{f:?}_512B"), |b| {
+            b.iter(|| black_box(decapsulate(black_box(&outer)).unwrap()))
+        });
+    }
+
+    let wire = inner.emit();
+    g.bench_function("ipv4_parse_512B", |b| {
+        b.iter(|| black_box(Ipv4Packet::parse(black_box(&wire)).unwrap()))
+    });
+    g.bench_function("ipv4_emit_512B", |b| {
+        b.iter(|| black_box(black_box(&inner).emit()))
+    });
+
+    let seg = TcpSegment {
+        src_port: 1000,
+        dst_port: 23,
+        seq: 1,
+        ack: 2,
+        flags: netsim::wire::tcpseg::TcpFlags::ack(),
+        window: 0xffff,
+        mss: None,
+        payload: Bytes::from(vec![0u8; 512]),
+    };
+    let seg_wire = seg.emit(ip("1.1.1.1"), ip("2.2.2.2"));
+    g.bench_function("tcp_segment_parse_512B", |b| {
+        b.iter(|| {
+            black_box(
+                TcpSegment::parse(black_box(&seg_wire), ip("1.1.1.1"), ip("2.2.2.2")).unwrap(),
+            )
+        })
+    });
+
+    // Event-loop throughput: a ping across two routers, end to end.
+    g.bench_function("world_ping_across_two_routers", |b| {
+        b.iter(|| {
+            let mut w = netsim::World::new(1);
+            let lan_a = w.add_segment(netsim::LinkConfig::lan());
+            let mid = w.add_segment(netsim::LinkConfig::wan(10));
+            let lan_b = w.add_segment(netsim::LinkConfig::lan());
+            let a = w.add_host(netsim::HostConfig::conventional("a"));
+            let bb = w.add_host(netsim::HostConfig::conventional("b"));
+            let r1 = w.add_router(netsim::RouterConfig::named("r1"));
+            let r2 = w.add_router(netsim::RouterConfig::named("r2"));
+            w.attach(a, lan_a, Some("10.0.1.10/24"));
+            w.attach(r1, lan_a, Some("10.0.1.1/24"));
+            w.attach(r1, mid, Some("192.168.0.1/30"));
+            w.attach(r2, mid, Some("192.168.0.2/30"));
+            w.attach(r2, lan_b, Some("10.0.2.1/24"));
+            w.attach(bb, lan_b, Some("10.0.2.10/24"));
+            w.compute_routes();
+            w.host_do(a, |h, ctx| {
+                h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1)
+            });
+            w.run_until_idle(100_000);
+            black_box(w.trace.events().len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Runs every experiment in DESIGN.md §5 (in parallel — they are
+//! independent deterministic simulations) and prints all result tables —
+//! the source of the "measured" columns in EXPERIMENTS.md.
+//!
+//! With `--json <path>`, additionally writes the tables as structured JSON
+//! for downstream tooling.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tables = bench::experiments::run_all();
+    for t in &tables {
+        println!("{t}");
+    }
+    if let Some(ix) = args.iter().position(|a| a == "--json") {
+        let path = args.get(ix + 1).map(String::as_str).unwrap_or("experiments.json");
+        let json = serde_json::to_string_pretty(&tables).expect("serializable");
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

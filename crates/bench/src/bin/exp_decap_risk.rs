@@ -1,0 +1,4 @@
+//! Extension: the §6.1 automatic-decapsulation spoofing risk, measured.
+fn main() {
+    println!("{}", bench::experiments::exp_decap_risk::run());
+}

@@ -1,0 +1,4 @@
+//! Ablation: encapsulation format on a live tunnelled workload (§3.3).
+fn main() {
+    println!("{}", bench::experiments::exp_encap::run());
+}

@@ -1,0 +1,4 @@
+//! E13: transmission-feedback ablation (§7.1.2).
+fn main() {
+    println!("{}", bench::experiments::exp_feedback::run());
+}

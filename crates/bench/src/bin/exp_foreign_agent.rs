@@ -1,0 +1,4 @@
+//! Ablation: foreign agent vs collocated care-of address (§2).
+fn main() {
+    println!("{}", bench::experiments::exp_foreign_agent::run());
+}

@@ -1,0 +1,4 @@
+//! E11: connection durability across handoffs (§2).
+fn main() {
+    println!("{}", bench::experiments::exp_handoff::run());
+}

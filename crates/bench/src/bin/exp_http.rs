@@ -1,0 +1,4 @@
+//! E10: Web workload, Out-DT vs always-Mobile-IP (§4/§6.4).
+fn main() {
+    println!("{}", bench::experiments::exp_http::run());
+}

@@ -1,0 +1,4 @@
+//! E17: loose source routing vs encapsulation (§4), measured.
+fn main() {
+    println!("{}", bench::experiments::exp_lsr::run());
+}

@@ -1,0 +1,4 @@
+//! E12: multicast, home tunnel vs local join (§6.4).
+fn main() {
+    println!("{}", bench::experiments::exp_multicast::run());
+}

@@ -1,0 +1,4 @@
+//! E9: probing-strategy comparison (§7.1).
+fn main() {
+    println!("{}", bench::experiments::exp_probing::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 1 (basic Mobile IP path asymmetry). See DESIGN.md E1.
+fn main() {
+    println!("{}", bench::experiments::fig01_basic::run());
+}

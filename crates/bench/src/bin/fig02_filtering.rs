@@ -1,0 +1,6 @@
+//! Regenerates Figure 2 (source-address-filtering deliverability matrix). See DESIGN.md E2.
+fn main() {
+    for t in bench::experiments::fig02_filtering::run() {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (bi-directional tunneling). See DESIGN.md E3.
+fn main() {
+    println!("{}", bench::experiments::fig03_bitunnel::run());
+}

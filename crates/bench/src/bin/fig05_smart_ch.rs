@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (smart correspondent learning). See DESIGN.md E5.
+fn main() {
+    for t in bench::experiments::fig05_smart_ch::run() {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figures 6-9 (packet formats and sizes). See DESIGN.md E6/E7.
+fn main() {
+    for t in bench::experiments::fig06_formats::run() {
+        println!("{t}");
+    }
+}

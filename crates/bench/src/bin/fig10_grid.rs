@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (the empirical 4x4 grid). See DESIGN.md E8.
+fn main() {
+    println!("{}", bench::experiments::fig10_grid::run().table);
+    println!("{}", bench::experiments::fig10_grid::run_filtered().table);
+}

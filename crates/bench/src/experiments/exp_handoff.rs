@@ -1,0 +1,145 @@
+//! E11 / §2 — connection durability across movement.
+//!
+//! The paper's core promise: "maintain communication associations (such as
+//! TCP connections) even if the point of attachment changes during their
+//! lifetime". A long-lived keystroke session runs while the mobile host
+//! hops visited-A → visited-B → home. Measured: survival, keystrokes
+//! echoed, the retransmission cost of each handoff, and registration
+//! signalling — against the §4 Out-DT baseline, whose connection dies at
+//! the first move.
+
+use mip_core::scenario::{addrs, build, ip, ChKind, ScenarioConfig};
+use mip_core::{MobileHost, OutMode, PolicyConfig};
+use netsim::SimDuration;
+use transport::apps::{KeystrokeSession, TcpEchoServer};
+use transport::tcp;
+
+use crate::util::Table;
+
+/// One durability run across the handoff itinerary.
+pub struct HandoffOutcome {
+    /// The connection outlived every move.
+    pub survived: bool,
+    /// Keystrokes echoed back by the correspondent.
+    pub echoed: u64,
+    /// Keystrokes the session managed to type.
+    pub typed: u32,
+    /// TCP segments retransmitted (the probing waste).
+    pub retransmitted: u64,
+    /// Location changes recorded.
+    pub handoffs: u64,
+    /// Registration messages the mobile sent.
+    pub registrations: u64,
+}
+
+/// Run a 40-keystroke session with two mid-session moves and a return
+/// home. `use_home_address` selects Mobile IP (home endpoint) vs plain
+/// Out-DT (care-of endpoint).
+pub fn session(use_home_address: bool) -> HandoffOutcome {
+    let mut s = build(ScenarioConfig {
+        ch_kind: ChKind::Conventional,
+        mh_policy: PolicyConfig::fixed(OutMode::IE).without_dt_ports(),
+        ..ScenarioConfig::default()
+    });
+    s.roam_to_a();
+    let ch = s.ch;
+    let ch_addr = s.ch_addr();
+    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world.poll_soon(ch);
+
+    let mh = s.mh;
+    let mut sess = KeystrokeSession::new((ch_addr, 23), SimDuration::from_millis(250), 40);
+    if !use_home_address {
+        sess.bind_addr = Some(ip(addrs::COA_A));
+    }
+    let app = s.world.host_mut(mh).add_app(Box::new(sess));
+    s.world.poll_soon(mh);
+
+    s.world.run_for(SimDuration::from_secs(4));
+    s.roam_to_b(); // second handoff (includes 2 s settle)
+    s.world.run_for(SimDuration::from_secs(4));
+    s.go_home(); // final move, mid-session
+    // Long tail: a dead care-of-bound connection takes TCP's full
+    // exponential backoff (~2 min) to report its own demise.
+    s.world.run_for(SimDuration::from_secs(200));
+
+    let (survived, echoed, typed, conn) = {
+        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+        (
+            sess.broken.is_none() && sess.all_echoed(),
+            sess.echoed,
+            sess.typed(),
+            sess.conn(),
+        )
+    };
+    let retransmitted = conn
+        .map(|c| tcp::stats(s.world.host_mut(mh), c).segs_retransmitted)
+        .unwrap_or(0);
+    let hook = s.world.host_mut(mh).hook_as::<MobileHost>().unwrap();
+    HandoffOutcome {
+        survived,
+        echoed,
+        typed,
+        retransmitted,
+        handoffs: hook.stats.handoffs,
+        registrations: hook.stats.registrations_sent,
+    }
+}
+
+/// Run the experiment at full scale and render the paper-style table.
+pub fn run() -> Table {
+    let mobile_ip = session(true);
+    let plain = session(false);
+    let mut t = Table::new(
+        "E11 §2 — connection durability: 40-keystroke session across home -> A -> B -> home",
+        &[
+            "endpoint",
+            "survived",
+            "echoed/typed",
+            "retransmits",
+            "handoffs",
+            "registration msgs",
+        ],
+    );
+    t.row(&[
+        "home address (Mobile IP)".to_string(),
+        mobile_ip.survived.to_string(),
+        format!("{}/{}", mobile_ip.echoed, mobile_ip.typed),
+        mobile_ip.retransmitted.to_string(),
+        mobile_ip.handoffs.to_string(),
+        mobile_ip.registrations.to_string(),
+    ]);
+    t.row(&[
+        "care-of address (Out-DT)".to_string(),
+        plain.survived.to_string(),
+        format!("{}/{}", plain.echoed, plain.typed),
+        plain.retransmitted.to_string(),
+        plain.handoffs.to_string(),
+        plain.registrations.to_string(),
+    ]);
+    t.note("losses during a handoff are recovered by TCP retransmission ('higher-level Internet protocols are already responsible for mechanisms to ensure reliable packet delivery', §2); the care-of-bound session dies at the first move");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_address_session_survives_three_moves() {
+        let o = session(true);
+        assert!(o.survived, "echoed {}/{}", o.echoed, o.typed);
+        assert_eq!(o.handoffs, 3); // home->A, A->B, B->home
+        assert!(o.registrations >= 2, "re-registered at each visited net");
+    }
+
+    #[test]
+    fn care_of_session_dies_at_first_move() {
+        let o = session(false);
+        assert!(!o.survived);
+        assert!(
+            o.echoed < u64::from(o.typed) || o.typed < 40,
+            "progress stopped after the move"
+        );
+    }
+}

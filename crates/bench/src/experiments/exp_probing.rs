@@ -1,0 +1,216 @@
+//! E9 / §7.1.2 — choosing the home-address delivery method.
+//!
+//! The paper describes two probing orders and finds both wasteful in the
+//! wrong environment: starting conservative (Out-IE first) "can be
+//! wasteful, because in many cases either one or both of Out-DH and Out-DE
+//! will work fine", and starting aggressive (Out-DH first) "can also be
+//! wasteful because in some easily identifiable circumstances … Out-DH is
+//! known to fail every time". User rules (§7.1.2) encode the known cases.
+//!
+//! This experiment runs a keystroke conversation under each strategy in a
+//! permissive and in an egress-filtered visited network and reports the
+//! cost: completion time, retransmitted segments (the probing waste), and
+//! where the method cache ends up.
+
+use mip_core::scenario::{addrs, build, cidr, ChKind, ScenarioConfig};
+use mip_core::{MobileHost, OutMode, PolicyConfig, Strategy};
+use netsim::SimDuration;
+use transport::apps::{KeystrokeSession, TcpEchoServer};
+use transport::tcp;
+
+use crate::util::Table;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Network permissiveness the probe runs under.
+pub enum Env {
+    /// No filters anywhere.
+    Open,
+    /// Visited networks egress-filter foreign sources (§3.1).
+    EgressFiltered,
+}
+
+/// One strategy/environment measurement.
+pub struct ProbeOutcome {
+    /// The session delivered every keystroke.
+    pub completed: bool,
+    /// Time until the session finished (or died), ms.
+    pub completion_ms: u64,
+    /// TCP segments retransmitted (the probing waste).
+    pub retransmitted: u64,
+    /// Where the method cache ended up for the correspondent.
+    pub final_mode: Option<OutMode>,
+    /// Method-cache demotions driven by §7.1.2 feedback.
+    pub demotions: u64,
+    /// Method-cache upgrade probes that took effect.
+    pub promotions: u64,
+}
+
+/// Run a 20-keystroke session under `policy` in `env` and measure the cost.
+pub fn probe(strategy_name: &str, policy: PolicyConfig, env: Env) -> ProbeOutcome {
+    let _ = strategy_name;
+    let mut s = build(ScenarioConfig {
+        ch_kind: ChKind::DecapCapable,
+        visited_egress_filter: env == Env::EgressFiltered,
+        mh_policy: policy,
+        ..ScenarioConfig::default()
+    });
+    s.roam_to_a();
+    let ch = s.ch;
+    let ch_addr = s.ch_addr();
+    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world.poll_soon(ch);
+
+    let keystrokes = 20;
+    let mh = s.mh;
+    let start = s.world.now();
+    let app = s.world.host_mut(mh).add_app(Box::new(KeystrokeSession::new(
+        (ch_addr, 23),
+        SimDuration::from_millis(200),
+        keystrokes,
+    )));
+    s.world.poll_soon(mh);
+
+    // Run in slices until the session finishes (or a deadline passes).
+    let mut completion_ms = 0;
+    let deadline = 300; // seconds
+    for _ in 0..deadline {
+        s.world.run_for(SimDuration::from_secs(1));
+        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+        if sess.all_echoed() || sess.broken.is_some() {
+            completion_ms = s.world.now().since(start).as_millis();
+            break;
+        }
+    }
+    let (completed, conn) = {
+        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+        (sess.all_echoed() && sess.broken.is_none(), sess.conn())
+    };
+    let retransmitted = conn
+        .map(|c| tcp::stats(s.world.host_mut(mh), c).segs_retransmitted)
+        .unwrap_or(0);
+    let hook = s.world.host_mut(mh).hook_as::<MobileHost>().unwrap();
+    ProbeOutcome {
+        completed,
+        completion_ms,
+        retransmitted,
+        final_mode: Some(hook.mode_for(ch_addr)),
+        demotions: hook.stats.demotions,
+        promotions: hook.stats.promotions,
+    }
+}
+
+fn policies() -> Vec<(&'static str, PolicyConfig)> {
+    vec![
+        ("optimistic (DH first)", PolicyConfig::optimistic().without_dt_ports()),
+        ("pessimistic (IE first)", PolicyConfig::pessimistic().without_dt_ports()),
+        (
+            "rule: CH region -> Out-DE (operator knows)",
+            PolicyConfig::optimistic()
+                .without_dt_ports()
+                // §7.1.2: an address/mask rule encoding what the operator
+                // already knows — this region sits behind filters but its
+                // hosts decapsulate, so start (and stay) at Out-DE.
+                .with_rule(cidr(addrs::CH_PREFIX), Strategy::Fixed(OutMode::DE)),
+        ),
+        ("fixed Out-IE (no probing)", PolicyConfig::fixed(OutMode::IE).without_dt_ports()),
+    ]
+}
+
+/// Run the experiment at full scale and render the paper-style table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E9 §7.1 — probing strategies: cost of finding a working delivery method (20-keystroke session)",
+        &[
+            "strategy",
+            "network",
+            "completed",
+            "time ms",
+            "retransmits",
+            "final mode",
+            "demote/promote",
+        ],
+    );
+    for env in [Env::Open, Env::EgressFiltered] {
+        for (name, policy) in policies() {
+            let o = probe(name, policy, env);
+            t.row(&[
+                name.to_string(),
+                format!("{env:?}"),
+                o.completed.to_string(),
+                o.completion_ms.to_string(),
+                o.retransmitted.to_string(),
+                o.final_mode.map(|m| m.to_string()).unwrap_or_default(),
+                format!("{}/{}", o.demotions, o.promotions),
+            ]);
+        }
+    }
+    t.note("optimistic wins on permissive paths and pays retransmissions behind filters; pessimistic never fails but starts slow and probes upward; rules skip the probing where the answer is known (§7.1.2)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimistic_is_clean_on_open_network() {
+        let o = probe("opt", PolicyConfig::optimistic().without_dt_ports(), Env::Open);
+        assert!(o.completed);
+        assert_eq!(o.retransmitted, 0, "nothing to discover");
+        assert_eq!(o.final_mode, Some(OutMode::DH));
+        assert_eq!(o.demotions, 0);
+    }
+
+    #[test]
+    fn optimistic_pays_then_recovers_behind_filters() {
+        let o = probe(
+            "opt",
+            PolicyConfig::optimistic().without_dt_ports(),
+            Env::EgressFiltered,
+        );
+        assert!(o.completed, "feedback demotion rescues the conversation");
+        assert!(o.retransmitted > 0, "the probing cost is visible");
+        assert!(o.demotions >= 1);
+        assert_eq!(o.final_mode, Some(OutMode::DE), "settles on Out-DE (CH can decap)");
+    }
+
+    #[test]
+    fn pessimistic_always_completes_and_upgrades_when_safe() {
+        let open = probe("pess", PolicyConfig::pessimistic().without_dt_ports(), Env::Open);
+        assert!(open.completed);
+        assert!(open.promotions >= 1, "upgrade probing happened");
+        let filtered = probe(
+            "pess",
+            PolicyConfig::pessimistic().without_dt_ports(),
+            Env::EgressFiltered,
+        );
+        assert!(filtered.completed);
+    }
+
+    #[test]
+    fn operator_rule_skips_the_probing_entirely() {
+        // §7.1.2: the rule encodes the known answer, so even behind the
+        // filter there is nothing to discover — no waste at all.
+        let policy = PolicyConfig::optimistic()
+            .without_dt_ports()
+            .with_rule(cidr(addrs::CH_PREFIX), Strategy::Fixed(OutMode::DE));
+        let o = probe("rule", policy, Env::EgressFiltered);
+        assert!(o.completed);
+        assert_eq!(o.retransmitted, 0, "no probing waste");
+        assert_eq!(o.demotions, 0);
+        assert_eq!(o.final_mode, Some(OutMode::DE));
+    }
+
+    #[test]
+    fn fixed_ie_never_probes() {
+        let o = probe(
+            "fixed",
+            PolicyConfig::fixed(OutMode::IE).without_dt_ports(),
+            Env::EgressFiltered,
+        );
+        assert!(o.completed);
+        assert_eq!(o.retransmitted, 0);
+        assert_eq!(o.demotions, 0);
+        assert_eq!(o.final_mode, Some(OutMode::IE));
+    }
+}

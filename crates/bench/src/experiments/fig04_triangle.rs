@@ -1,0 +1,116 @@
+//! E4 / Figure 4 — behaviour when the correspondent is close to the mobile.
+//!
+//! The correspondent sits on the *visited* segment. Its packets to the
+//! mobile's home address still cross the backbone twice (to the home agent
+//! and back inside a tunnel), while replies travel one LAN hop. Sweeping
+//! the backbone latency reproduces the figure's point: the triangle penalty
+//! grows without bound with home-agent distance ("especially if the visited
+//! institution is in Japan and the home agent is at MIT", §5).
+
+use mip_core::scenario::{addrs, build, ip, ChKind, ScenarioConfig};
+use mip_core::{OutMode, PolicyConfig};
+use netsim::SimDuration;
+
+use crate::util::{ms, Table};
+
+/// One point of the Figure 4 sweep.
+pub struct TrianglePoint {
+    /// One-way backbone latency of this run, ms.
+    pub backbone_ms: u64,
+    /// One-way CH→MH latency via the home agent, µs.
+    pub indirect_us: u64,
+    /// One-way MH→CH latency on the shared segment, µs.
+    pub direct_us: u64,
+}
+
+impl TrianglePoint {
+    /// Indirect-to-direct latency stretch factor.
+    pub fn ratio(&self) -> f64 {
+        self.indirect_us as f64 / self.direct_us.max(1) as f64
+    }
+}
+
+/// Measure one backbone-latency point of the Figure 4 sweep.
+pub fn measure(backbone_ms: u64) -> TrianglePoint {
+    let mut s = build(ScenarioConfig {
+        ch_kind: ChKind::Conventional,
+        ch_on_visited: true,
+        backbone_ms,
+        mh_policy: PolicyConfig::fixed(OutMode::DH).without_dt_ports(),
+        ..ScenarioConfig::default()
+    });
+    s.roam_to_a();
+    let mh_home = ip(addrs::MH_HOME);
+    let ch_addr = s.ch_addr();
+    s.world.trace.clear();
+    let ch = s.ch;
+    s.world
+        .host_do(ch, |h, ctx| h.send_ping(ctx, ch_addr, mh_home, 1));
+    s.world.run_for(SimDuration::from_secs(5));
+
+    let indirect = s
+        .world
+        .trace
+        .first_delivery_latency(|p| {
+            let (lsrc, ldst) = p.logical_endpoints();
+            lsrc == ch_addr && ldst == mh_home
+        })
+        .expect("request delivered");
+    let direct = s
+        .world
+        .trace
+        .first_delivery_latency(|p| {
+            let (lsrc, ldst) = p.logical_endpoints();
+            lsrc == mh_home && ldst == ch_addr
+        })
+        .expect("reply delivered");
+    TrianglePoint {
+        backbone_ms,
+        indirect_us: indirect.as_micros(),
+        direct_us: direct.as_micros(),
+    }
+}
+
+/// Run the sweep over the given backbone latencies and render it.
+pub fn run(backbone_sweep_ms: &[u64]) -> Table {
+    let mut t = Table::new(
+        "Figure 4 — triangle-routing penalty vs home-agent distance (CH on the visited segment)",
+        &[
+            "backbone one-way ms",
+            "CH->MH via HA (ms)",
+            "MH->CH direct (ms)",
+            "stretch factor",
+        ],
+    );
+    for &b in backbone_sweep_ms {
+        let p = measure(b);
+        t.row(&[
+            b.to_string(),
+            ms(p.indirect_us),
+            ms(p.direct_us),
+            format!("{:.0}x", p.ratio()),
+        ]);
+    }
+    t.note("the direct leg never touches the backbone, so the stretch grows linearly with distance to the home agent (§3.2/§5)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_grows_with_home_agent_distance() {
+        let near = measure(5);
+        let far = measure(100);
+        // Direct leg is independent of the backbone.
+        assert_eq!(near.direct_us, far.direct_us);
+        // Indirect leg crosses the backbone twice.
+        assert!(far.indirect_us >= near.indirect_us + 2 * 90_000);
+        assert!(far.ratio() > 10.0 * near.ratio() / 2.0);
+        assert!(
+            near.indirect_us > near.direct_us,
+            "even a near HA is a detour"
+        );
+    }
+}

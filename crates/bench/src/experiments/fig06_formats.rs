@@ -1,0 +1,227 @@
+//! E6/E7 / Figures 6–9 — packet formats on the wire.
+//!
+//! Byte-exact accounting for the four outgoing (Figures 6–7) and four
+//! incoming (Figures 8–9) packet layouts, for each encapsulation format
+//! (§3.3), plus the MTU-crossing effect: "If the addition of the extra 20
+//! bytes makes the packet exceed the IP maximum transmission unit for a
+//! particular link, then the packet will be fragmented, doubling the packet
+//! count."
+
+use bytes::Bytes;
+use mip_core::{InMode, OutMode};
+use netsim::wire::encap::{decapsulate, encapsulate, EncapFormat};
+use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet, IPV4_HEADER_LEN};
+
+use crate::util::Table;
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+const HOME: &str = "171.64.15.9";
+const COA: &str = "36.186.0.99";
+const HA: &str = "171.64.15.1";
+const CH: &str = "18.26.0.5";
+
+/// Build the on-the-wire packet for one outgoing mode (Figures 6 and 7) and
+/// return (headline addresses, wire length).
+pub fn outgoing_packet(mode: OutMode, format: EncapFormat, payload_len: usize) -> (String, usize) {
+    let payload = Bytes::from(vec![0u8; payload_len]);
+    match mode {
+        OutMode::DH => {
+            let p = Ipv4Packet::new(ip(HOME), ip(CH), IpProtocol::Udp, payload);
+            (format!("S={HOME} D={CH}"), p.wire_len())
+        }
+        OutMode::DT => {
+            let p = Ipv4Packet::new(ip(COA), ip(CH), IpProtocol::Udp, payload);
+            (format!("S={COA} D={CH}"), p.wire_len())
+        }
+        OutMode::IE => {
+            let inner = Ipv4Packet::new(ip(HOME), ip(CH), IpProtocol::Udp, payload);
+            let outer = encapsulate(format, ip(COA), ip(HA), &inner, 1).unwrap();
+            (
+                format!("s={COA} d={HA} | S={HOME} D={CH}"),
+                outer.wire_len(),
+            )
+        }
+        OutMode::DE => {
+            let inner = Ipv4Packet::new(ip(HOME), ip(CH), IpProtocol::Udp, payload);
+            let outer = encapsulate(format, ip(COA), ip(CH), &inner, 1).unwrap();
+            (
+                format!("s={COA} d={CH} | S={HOME} D={CH}"),
+                outer.wire_len(),
+            )
+        }
+    }
+}
+
+/// Build the packet as it arrives at the mobile host for one incoming mode
+/// (Figures 8 and 9).
+pub fn incoming_packet(mode: InMode, format: EncapFormat, payload_len: usize) -> (String, usize) {
+    let payload = Bytes::from(vec![0u8; payload_len]);
+    match mode {
+        InMode::DH => {
+            let p = Ipv4Packet::new(ip(CH), ip(HOME), IpProtocol::Udp, payload);
+            (format!("S={CH} D={HOME}"), p.wire_len())
+        }
+        InMode::DT => {
+            let p = Ipv4Packet::new(ip(CH), ip(COA), IpProtocol::Udp, payload);
+            (format!("S={CH} D={COA}"), p.wire_len())
+        }
+        InMode::IE => {
+            let inner = Ipv4Packet::new(ip(CH), ip(HOME), IpProtocol::Udp, payload);
+            let outer = encapsulate(format, ip(HA), ip(COA), &inner, 1).unwrap();
+            (
+                format!("s={HA} d={COA} | S={CH} D={HOME}"),
+                outer.wire_len(),
+            )
+        }
+        InMode::DE => {
+            let inner = Ipv4Packet::new(ip(CH), ip(HOME), IpProtocol::Udp, payload);
+            let outer = encapsulate(format, ip(CH), ip(COA), &inner, 1).unwrap();
+            (
+                format!("s={CH} d={COA} | S={CH} D={HOME}"),
+                outer.wire_len(),
+            )
+        }
+    }
+}
+
+/// Fragments needed to carry `payload_len` transport bytes across an
+/// `mtu`-limited link, with and without encapsulation.
+pub fn fragment_count(payload_len: usize, mtu: usize, format: Option<EncapFormat>) -> usize {
+    let inner = Ipv4Packet::new(
+        ip(HOME),
+        ip(CH),
+        IpProtocol::Udp,
+        Bytes::from(vec![0u8; payload_len]),
+    );
+    let pkt = match format {
+        None => inner,
+        Some(f) => encapsulate(f, ip(COA), ip(HA), &inner, 1).unwrap(),
+    };
+    pkt.fragment(mtu).map(|v| v.len()).unwrap_or(0)
+}
+
+/// Run the experiment at full scale and render its result tables.
+pub fn run() -> Vec<Table> {
+    let payload = 512;
+    let base = IPV4_HEADER_LEN + payload;
+
+    let mut t1 = Table::new(
+        "Figures 6-9 — wire layouts and sizes of all eight packet kinds (512-byte transport payload)",
+        &["packet", "addressing (outer | inner)", "wire bytes", "overhead vs plain"],
+    );
+    for mode in OutMode::ALL {
+        let (addrs, len) = outgoing_packet(mode, EncapFormat::IpInIp, payload);
+        t1.row(&[
+            mode.to_string(),
+            addrs,
+            len.to_string(),
+            format!("+{}", len - base),
+        ]);
+    }
+    for mode in InMode::ALL {
+        let (addrs, len) = incoming_packet(mode, EncapFormat::IpInIp, payload);
+        t1.row(&[
+            mode.to_string(),
+            addrs,
+            len.to_string(),
+            format!("+{}", len - base),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "§3.3 — encapsulation overhead by format",
+        &["format", "overhead bytes", "survives fragment-in-fragment"],
+    );
+    for f in [EncapFormat::IpInIp, EncapFormat::Minimal, EncapFormat::Gre] {
+        // Verify the overhead empirically, not just from the constant.
+        let inner = Ipv4Packet::new(
+            ip(HOME),
+            ip(CH),
+            IpProtocol::Udp,
+            Bytes::from(vec![0u8; payload]),
+        );
+        let outer = encapsulate(f, ip(COA), ip(HA), &inner, 1).unwrap();
+        assert_eq!(outer.wire_len() - inner.wire_len(), f.overhead());
+        assert_eq!(decapsulate(&outer).unwrap().payload, inner.payload);
+        let mut frag = inner.clone();
+        frag.more_fragments = true;
+        let handles_frags = encapsulate(f, ip(COA), ip(HA), &frag, 1).is_some();
+        t2.row(&[
+            format!("{f:?}"),
+            f.overhead().to_string(),
+            handles_frags.to_string(),
+        ]);
+    }
+    t2.note("Minimal Encapsulation cannot carry already-fragmented packets (RFC 2004); the stack falls back to IP-in-IP for those");
+
+    let mut t3 = Table::new(
+        "§3.3 — packet count vs payload size at MTU 1500 (plain vs IP-in-IP encapsulated)",
+        &["transport payload B", "plain packets", "encapsulated packets"],
+    );
+    for payload in [1000, 1460, 1472, 1480, 2000, 2960] {
+        t3.row(&[
+            payload.to_string(),
+            fragment_count(payload, 1500, None).to_string(),
+            fragment_count(payload, 1500, Some(EncapFormat::IpInIp)).to_string(),
+        ]);
+    }
+    t3.note("a full-MTU packet doubles its packet count the moment 20 bytes of encapsulation are added (§3.3)");
+
+    vec![t1, t2, t3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unencapsulated_modes_add_nothing() {
+        for (mode, _) in [(OutMode::DH, ()), (OutMode::DT, ())] {
+            let (_, len) = outgoing_packet(mode, EncapFormat::IpInIp, 100);
+            assert_eq!(len, IPV4_HEADER_LEN + 100);
+        }
+        for mode in [InMode::DH, InMode::DT] {
+            let (_, len) = incoming_packet(mode, EncapFormat::IpInIp, 100);
+            assert_eq!(len, IPV4_HEADER_LEN + 100);
+        }
+    }
+
+    #[test]
+    fn encapsulated_modes_add_exactly_the_format_overhead() {
+        for f in [EncapFormat::IpInIp, EncapFormat::Minimal, EncapFormat::Gre] {
+            for mode in [OutMode::IE, OutMode::DE] {
+                let (_, len) = outgoing_packet(mode, f, 100);
+                assert_eq!(len, IPV4_HEADER_LEN + 100 + f.overhead(), "{mode} {f:?}");
+            }
+            for mode in [InMode::IE, InMode::DE] {
+                let (_, len) = incoming_packet(mode, f, 100);
+                assert_eq!(len, IPV4_HEADER_LEN + 100 + f.overhead(), "{mode} {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mtu_crossing_doubles_packet_count() {
+        // 1480 transport bytes = exactly one full 1500-byte packet.
+        assert_eq!(fragment_count(1480, 1500, None), 1);
+        assert_eq!(fragment_count(1480, 1500, Some(EncapFormat::IpInIp)), 2);
+        // Well under the MTU: encapsulation costs bytes but not packets.
+        assert_eq!(fragment_count(1000, 1500, Some(EncapFormat::IpInIp)), 1);
+        // 2960 B of transport payload = exactly two maximal fragments
+        // plain, three once the tunnel header is added.
+        assert_eq!(fragment_count(2960, 1500, None), 2);
+        assert_eq!(fragment_count(2960, 1500, Some(EncapFormat::IpInIp)), 3);
+    }
+
+    #[test]
+    fn minimal_encap_is_smallest_useful_format() {
+        let (_, ipip) = outgoing_packet(OutMode::IE, EncapFormat::IpInIp, 100);
+        let (_, minenc) = outgoing_packet(OutMode::IE, EncapFormat::Minimal, 100);
+        let (_, gre) = outgoing_packet(OutMode::IE, EncapFormat::Gre, 100);
+        assert!(minenc < ipip, "minimal encapsulation saves bytes (§2)");
+        assert!(gre > ipip, "GRE's generality costs bytes");
+    }
+}

@@ -1,0 +1,237 @@
+//! E8 / Figure 10 — the 4x4 grid, derived empirically.
+//!
+//! For each of the sixteen (incoming × outgoing) combinations, run a real
+//! TCP conversation (keystroke echo) between the away mobile and a
+//! correspondent whose delivery behaviour is *forced* to the row's In-mode
+//! (see [`crate::forced`]), with the mobile's policy fixed to the column's
+//! Out-mode. A cell "works" iff the conversation completes.
+//!
+//! The paper's claim (§6.5): the fourth row and fourth column break except
+//! for their shared corner, because "the use of the temporary care-of
+//! address for communication in one direction effectively mandates the use
+//! of the same address for the corresponding return communication" — and
+//! TCP's 4-tuple demultiplexing is exactly why. The other ten cells
+//! complete.
+
+use mip_core::scenario::{addrs, build, ip, ChKind, ScenarioConfig};
+use mip_core::{classify, CellClass, Combination, InMode, OutMode, PolicyConfig};
+use netsim::SimDuration;
+use transport::apps::{KeystrokeSession, TcpEchoServer};
+
+use crate::forced::ForcedChDelivery;
+use crate::util::Table;
+
+/// Outcome of one cell's conversation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellResult {
+    /// The (incoming, outgoing) cell this result belongs to.
+    pub combo: Combination,
+    /// All keystrokes echoed, no transport error.
+    pub works: bool,
+    /// Keystrokes that made the round trip.
+    pub keystrokes_echoed: u64,
+    /// What the paper's figure says about this cell.
+    pub paper_class: CellClass,
+}
+
+/// Run one cell in a permissive network.
+pub fn run_cell(incoming: InMode, outgoing: OutMode) -> CellResult {
+    run_cell_in_env(incoming, outgoing, false)
+}
+
+/// Run one cell, optionally behind §3.1 egress source-address filters at
+/// every visited-network boundary.
+pub fn run_cell_in_env(incoming: InMode, outgoing: OutMode, filtered: bool) -> CellResult {
+    let combo = Combination::new(incoming, outgoing);
+    let mut s = build(ScenarioConfig {
+        // Decap-capable so Out-DE is receivable; the forced hook replaces
+        // any awareness logic.
+        ch_kind: ChKind::DecapCapable,
+        // Row C requires the correspondent on the mobile's segment.
+        ch_on_visited: incoming == InMode::DH,
+        visited_egress_filter: filtered,
+        mh_policy: PolicyConfig::fixed(outgoing).without_dt_ports(),
+        ..ScenarioConfig::default()
+    });
+    s.roam_to_a();
+    assert!(s.mh_registered());
+
+    // Force the correspondent's In-mode.
+    ForcedChDelivery::install(
+        &mut s.world,
+        s.ch,
+        ip(addrs::MH_HOME),
+        ip(addrs::COA_A),
+        ip(addrs::HA),
+        incoming,
+    );
+
+    let ch = s.ch;
+    let ch_addr = s.ch_addr();
+    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world.poll_soon(ch);
+
+    // The column's Out-DT means the application binds to the care-of
+    // address (§7.1.1); the other columns use the home address and the
+    // fixed policy decides the delivery method.
+    let bind = (outgoing == OutMode::DT).then(|| ip(addrs::COA_A));
+    let mut sess = KeystrokeSession::new((ch_addr, 23), SimDuration::from_millis(200), 5);
+    sess.bind_addr = bind;
+    let mh = s.mh;
+    let app = s.world.host_mut(mh).add_app(Box::new(sess));
+    s.world.poll_soon(mh);
+
+    // Long enough for broken cells to exhaust TCP's retries.
+    s.world.run_for(SimDuration::from_secs(240));
+
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
+    CellResult {
+        combo,
+        works: sess.broken.is_none() && sess.all_echoed(),
+        keystrokes_echoed: sess.echoed,
+        paper_class: classify(combo),
+    }
+}
+
+/// All sixteen measured cells plus the rendered grid.
+pub struct GridResult {
+    /// Row-major cell results, as in the figure.
+    pub cells: Vec<CellResult>,
+    /// The rendered grid.
+    pub table: Table,
+}
+
+/// Run all sixteen cells and lay them out as in the figure.
+pub fn run() -> GridResult {
+    let mut cells = Vec::new();
+    for incoming in InMode::ALL {
+        for outgoing in OutMode::ALL {
+            cells.push(run_cell(incoming, outgoing));
+        }
+    }
+    let mut table = Table::new(
+        "Figure 10 — the 4x4 grid, measured (cell = empirical outcome / paper classification)",
+        &["incoming \\ outgoing", "Out-IE", "Out-DE", "Out-DH", "Out-DT"],
+    );
+    for (r, incoming) in InMode::ALL.iter().enumerate() {
+        let mut row = vec![incoming.to_string()];
+        for c in 0..4 {
+            let cell = &cells[r * 4 + c];
+            let emp = if cell.works { "works" } else { "BREAKS" };
+            let paper = match cell.paper_class {
+                CellClass::Useful => "useful",
+                CellClass::ValidButUnused => "valid-unused",
+                CellClass::Broken => "broken",
+            };
+            row.push(format!("{emp}/{paper}"));
+        }
+        table.row(&row);
+    }
+    let agree = cells
+        .iter()
+        .all(|c| c.works == c.paper_class.works());
+    table.note(format!(
+        "empirical outcome matches the paper's shading in {}/16 cells{}",
+        cells
+            .iter()
+            .filter(|c| c.works == c.paper_class.works())
+            .count(),
+        if agree { " — full agreement" } else { "" }
+    ));
+    GridResult { cells, table }
+}
+
+/// The grid re-measured behind egress source-address filters — the
+/// environment-dependence the abstract leads with: "the permissiveness of
+/// the networks over which the packets travel" changes which cells are
+/// usable. The Out-DH column's cells carry the annotation "requires there
+/// to be no security-conscious routers on the path" in the paper; this
+/// table shows exactly those cells (and only those) dying, except the
+/// same-segment row, whose path contains no routers at all.
+pub fn run_filtered() -> GridResult {
+    let mut cells = Vec::new();
+    for incoming in InMode::ALL {
+        for outgoing in OutMode::ALL {
+            cells.push(run_cell_in_env(incoming, outgoing, true));
+        }
+    }
+    let mut table = Table::new(
+        "Figure 10 under §3.1 egress filters — the Out-DH column needs a permissive path",
+        &["incoming \\ outgoing", "Out-IE", "Out-DE", "Out-DH", "Out-DT"],
+    );
+    for (r, incoming) in InMode::ALL.iter().enumerate() {
+        let mut row = vec![incoming.to_string()];
+        for c in 0..4 {
+            let cell = &cells[r * 4 + c];
+            row.push(if cell.works { "works" } else { "BREAKS" }.to_string());
+        }
+        table.row(&row);
+    }
+    table.note(
+        "vs the permissive grid: only In-IE/Out-DH and In-DE/Out-DH changed to BREAKS — \
+         the same-segment In-DH/Out-DH cell still works because its path crosses no routers (§6.3)",
+    );
+    GridResult { cells, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_cells_behave_as_the_paper_says() {
+        // Most conservative cell: In-IE/Out-IE works.
+        let c = run_cell(InMode::IE, OutMode::IE);
+        assert!(c.works, "{:?}", c);
+        // No-Mobile-IP corner: In-DT/Out-DT works.
+        let c = run_cell(InMode::DT, OutMode::DT);
+        assert!(c.works, "{:?}", c);
+        // Mixing temporary and permanent endpoints breaks (§6.5).
+        let c = run_cell(InMode::DT, OutMode::IE);
+        assert!(!c.works, "{:?}", c);
+        let c = run_cell(InMode::IE, OutMode::DT);
+        assert!(!c.works, "{:?}", c);
+    }
+
+    #[test]
+    fn same_segment_row_works_for_home_address_columns() {
+        let c = run_cell(InMode::DH, OutMode::DH);
+        assert!(c.works, "{:?}", c);
+        let c = run_cell(InMode::DH, OutMode::IE);
+        assert!(c.works, "valid-but-unused still WORKS: {:?}", c);
+    }
+
+    #[test]
+    fn row_b_direct_encapsulation_works() {
+        let c = run_cell(InMode::DE, OutMode::DE);
+        assert!(c.works, "{:?}", c);
+        let c = run_cell(InMode::DE, OutMode::DH);
+        assert!(c.works, "{:?}", c);
+        let c = run_cell(InMode::DE, OutMode::DT);
+        assert!(!c.works, "{:?}", c);
+    }
+
+    #[test]
+    fn filters_kill_out_dh_cells_except_on_link() {
+        // "Requires there to be no security-conscious routers on the path"
+        // (Figure 10's annotation on the Out-DH column, rows A and B).
+        let c = run_cell_in_env(InMode::IE, OutMode::DH, true);
+        assert!(!c.works, "{:?}", c);
+        let c = run_cell_in_env(InMode::DE, OutMode::DH, true);
+        assert!(!c.works, "{:?}", c);
+        // Same segment: no routers on the path, so no filters either.
+        let c = run_cell_in_env(InMode::DH, OutMode::DH, true);
+        assert!(c.works, "{:?}", c);
+        // Encapsulated and care-of-sourced columns are unaffected.
+        let c = run_cell_in_env(InMode::IE, OutMode::IE, true);
+        assert!(c.works, "{:?}", c);
+        let c = run_cell_in_env(InMode::DE, OutMode::DE, true);
+        assert!(c.works, "{:?}", c);
+        let c = run_cell_in_env(InMode::DT, OutMode::DT, true);
+        assert!(c.works, "{:?}", c);
+    }
+}

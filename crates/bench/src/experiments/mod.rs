@@ -1,0 +1,67 @@
+//! One module per paper artifact (DESIGN.md §5).
+
+pub mod exp_decap_risk;
+pub mod exp_encap;
+pub mod exp_feedback;
+pub mod exp_foreign_agent;
+pub mod exp_handoff;
+pub mod exp_lsr;
+pub mod exp_http;
+pub mod exp_multicast;
+pub mod exp_probing;
+pub mod fig01_basic;
+pub mod fig02_filtering;
+pub mod fig03_bitunnel;
+pub mod fig04_triangle;
+pub mod fig05_smart_ch;
+pub mod fig06_formats;
+pub mod fig10_grid;
+
+use crate::Table;
+
+/// Run every experiment at full scale and collect the output tables, in
+/// paper order. Used by `src/bin/all_experiments.rs` to regenerate
+/// `EXPERIMENTS.md`'s measured columns.
+///
+/// Experiments are independent, deterministic simulations, so they run in
+/// parallel (one crossbeam scope thread each) and are re-assembled in
+/// paper order afterwards.
+pub fn run_all() -> Vec<Table> {
+    /// One experiment: produces its table(s) when called.
+    type Job = fn() -> Vec<Table>;
+    let slots: parking_lot::Mutex<Vec<Option<Vec<Table>>>> =
+        parking_lot::Mutex::new(vec![None; 16]);
+    let jobs: Vec<(usize, Job)> = vec![
+        (0, || vec![fig01_basic::run()]),
+        (1, fig02_filtering::run as Job),
+        (2, || vec![fig03_bitunnel::run()]),
+        (3, || vec![fig04_triangle::run(&[5, 10, 25, 50, 100, 200])]),
+        (4, fig05_smart_ch::run as Job),
+        (5, fig06_formats::run as Job),
+        (6, || vec![fig10_grid::run().table, fig10_grid::run_filtered().table]),
+        (7, || vec![exp_probing::run()]),
+        (8, || vec![exp_http::run()]),
+        (9, || vec![exp_handoff::run()]),
+        (10, || vec![exp_multicast::run()]),
+        (11, || vec![exp_feedback::run()]),
+        (12, || vec![exp_foreign_agent::run()]),
+        (13, || vec![exp_encap::run()]),
+        (14, || vec![exp_decap_risk::run()]),
+        (15, || vec![exp_lsr::run()]),
+    ];
+    crossbeam::scope(|scope| {
+        for (ix, job) in jobs {
+            let slots = &slots;
+            scope.spawn(move |_| {
+                let tables = job();
+                slots.lock()[ix] = Some(tables);
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .flat_map(|t| t.expect("every slot filled"))
+        .collect()
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! # bench — experiment drivers for Internet Mobility 4x4
+//!
+//! One module per paper artifact (see `DESIGN.md` §5 for the experiment
+//! index). Each experiment is an ordinary function returning a typed result
+//! whose `Display` prints the table/series the paper's figure illustrates;
+//! the `src/bin/*` wrappers run them from the command line, and
+//! `benches/figures.rs` wraps them (at reduced scale) in criterion.
+//!
+//! All experiments are deterministic: fixed seeds, simulated time.
+
+pub mod experiments;
+pub mod forced;
+pub mod util;
+
+pub use util::Table;

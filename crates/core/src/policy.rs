@@ -1,0 +1,468 @@
+//! The mobility policy: which outgoing mode to use for each correspondent.
+//!
+//! Implements the §7.1 machinery:
+//!
+//! * a **per-correspondent method cache** — "the mobile host keeps a cache
+//!   of the currently selected delivery method associated with each target
+//!   IP address … and allows it to build up a history, for each
+//!   correspondent host, of which communication methods have proven to be
+//!   successful and which have not";
+//! * **probing strategies** — optimistic (start at Out-DH, fall back) and
+//!   pessimistic (start at Out-IE, tentatively upgrade), both of which the
+//!   paper describes and finds individually wasteful;
+//! * **user rules** — "specify rules stating which addresses Mobile IP
+//!   should begin using in an optimistic mode and which … in a pessimistic
+//!   mode … specified similarly to the way routing table entries are
+//!   currently specified, as an address and a mask value" (§7.1.2);
+//! * **port heuristics** — "connections to port 80 are likely to be HTTP
+//!   requests and can safely use Out-DT. Similarly, UDP packets addressed
+//!   to UDP port 53 are likely to be DNS requests" (§7.1.1);
+//! * **privacy mode** — "mobile users may not wish to reveal their current
+//!   location to the correspondent host … sending all outgoing packets
+//!   indirectly via the home agent may be the method the user wants" (§4);
+//! * **failure detection via transmission feedback** — the §7.1.2 proposal
+//!   ("we have not yet implemented this"), implemented here: repeated
+//!   retransmission signals demote the method one step toward Out-IE.
+
+use std::collections::HashMap;
+
+use netsim::{Ipv4Addr, Ipv4Cidr};
+
+use crate::modes::OutMode;
+
+/// How to pick the first home-address delivery method for a correspondent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Start with Out-DH; demote on failure signals.
+    Optimistic,
+    /// Start with Out-IE; tentatively promote after sustained success.
+    Pessimistic,
+    /// Always use exactly this mode (no probing).
+    Fixed(OutMode),
+}
+
+impl Strategy {
+    fn initial(self) -> OutMode {
+        match self {
+            Strategy::Optimistic => OutMode::DH,
+            Strategy::Pessimistic => OutMode::IE,
+            Strategy::Fixed(m) => m,
+        }
+    }
+
+    fn probes(self) -> bool {
+        !matches!(self, Strategy::Fixed(_))
+    }
+}
+
+/// Static policy configuration.
+#[derive(Debug, Clone)]
+pub struct PolicyConfig {
+    /// Strategy for correspondents no rule covers.
+    pub default_strategy: Strategy,
+    /// Address/mask rules, first match wins (§7.1.2). E.g. "the entire home
+    /// network is a region where Out-IE should always be used" (resources
+    /// behind the home firewall).
+    pub rules: Vec<(Ipv4Cidr, Strategy)>,
+    /// Destination ports for which plain Out-DT is safe (§7.1.1).
+    pub dt_ports: Vec<u16>,
+    /// Force Out-IE for everything, hiding the mobile's location (§4).
+    pub privacy: bool,
+    /// Act on the §7.1.2 transmission-feedback signal.
+    pub feedback_demotion: bool,
+    /// Failure signals (retransmissions, either direction) before demoting.
+    pub demote_threshold: u32,
+    /// Success signals before a pessimistic upgrade probe.
+    pub promote_after: u32,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            default_strategy: Strategy::Pessimistic,
+            rules: Vec::new(),
+            dt_ports: vec![80, 53],
+            privacy: false,
+            feedback_demotion: true,
+            demote_threshold: 2,
+            promote_after: 8,
+        }
+    }
+}
+
+impl PolicyConfig {
+    /// Start every correspondent at Out-DH (aggressive).
+    pub fn optimistic() -> Self {
+        PolicyConfig {
+            default_strategy: Strategy::Optimistic,
+            ..PolicyConfig::default()
+        }
+    }
+
+    /// Start every correspondent at Out-IE (conservative; the default).
+    pub fn pessimistic() -> Self {
+        PolicyConfig::default()
+    }
+
+    /// Pin every correspondent to one mode; no probing, no DT ports.
+    pub fn fixed(mode: OutMode) -> Self {
+        PolicyConfig {
+            default_strategy: Strategy::Fixed(mode),
+            feedback_demotion: false,
+            dt_ports: Vec::new(),
+            ..PolicyConfig::default()
+        }
+    }
+
+    /// Append a §7.1.2 address/mask rule (first match wins).
+    pub fn with_rule(mut self, prefix: Ipv4Cidr, strategy: Strategy) -> Self {
+        self.rules.push((prefix, strategy));
+        self
+    }
+
+    /// Force Out-IE everywhere, concealing the care-of address (§4).
+    pub fn with_privacy(mut self) -> Self {
+        self.privacy = true;
+        self
+    }
+
+    /// Disable the §7.1.1 port heuristics.
+    pub fn without_dt_ports(mut self) -> Self {
+        self.dt_ports.clear();
+        self
+    }
+
+    fn strategy_for(&self, correspondent: Ipv4Addr) -> Strategy {
+        if self.privacy {
+            return Strategy::Fixed(OutMode::IE);
+        }
+        self.rules
+            .iter()
+            .find(|(p, _)| p.contains(correspondent))
+            .map(|&(_, s)| s)
+            .unwrap_or(self.default_strategy)
+    }
+}
+
+/// One correspondent's state in the method cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodEntry {
+    /// The method currently selected for this correspondent.
+    pub mode: OutMode,
+    strategy: Strategy,
+    fail_signals: u32,
+    success_signals: u32,
+    /// Modes that were demoted away from; never re-probed for this
+    /// correspondent (the "history of which communication methods have
+    /// proven … not" successful).
+    failed_modes: Vec<OutMode>,
+    /// Times the method was demoted for this correspondent.
+    pub demotions: u32,
+    /// Times the method was promoted for this correspondent.
+    pub promotions: u32,
+}
+
+/// A method change, reported for stats/experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Failure signals pushed the method toward the conservative end.
+    /// Failure signals pushed the method toward the conservative end.
+    Demoted {
+        /// The method that was failing.
+        from: OutMode,
+        /// The more conservative replacement.
+        to: OutMode,
+    },
+    /// Sustained success probed a more aggressive method.
+    /// Sustained success probed a more aggressive method.
+    Promoted {
+        /// The method that kept succeeding.
+        from: OutMode,
+        /// The more aggressive probe now in effect.
+        to: OutMode,
+    },
+}
+
+/// The per-correspondent method cache plus the decision logic.
+#[derive(Debug)]
+pub struct Policy {
+    /// The static policy configuration (rules, ports, thresholds).
+    pub config: PolicyConfig,
+    cache: HashMap<Ipv4Addr, MethodEntry>,
+}
+
+impl Policy {
+    /// A policy with an empty method cache.
+    pub fn new(config: PolicyConfig) -> Policy {
+        Policy {
+            config,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Should a conversation to this destination port skip Mobile IP
+    /// entirely (Out-DT/In-DT)?
+    pub fn use_dt_for_port(&self, port: u16) -> bool {
+        !self.config.privacy && self.config.dt_ports.contains(&port)
+    }
+
+    /// The mode to use right now for `correspondent`, creating a cache
+    /// entry on first contact.
+    pub fn mode_for(&mut self, correspondent: Ipv4Addr) -> OutMode {
+        let strategy = self.config.strategy_for(correspondent);
+        self.cache
+            .entry(correspondent)
+            .or_insert_with(|| MethodEntry {
+                mode: strategy.initial(),
+                strategy,
+                fail_signals: 0,
+                success_signals: 0,
+                failed_modes: Vec::new(),
+                demotions: 0,
+                promotions: 0,
+            })
+            .mode
+    }
+
+    /// Peek at a cache entry.
+    pub fn entry(&self, correspondent: Ipv4Addr) -> Option<&MethodEntry> {
+        self.cache.get(&correspondent)
+    }
+
+    /// Forget everything (e.g. after moving to a different network, where
+    /// the filtering situation may be different).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Feed in one §7.1.2 transmission-feedback event for `correspondent`.
+    /// `retransmission` covers both directions: our retransmissions suggest
+    /// our packets are lost; the peer's suggest our acknowledgements are.
+    pub fn record_feedback(
+        &mut self,
+        correspondent: Ipv4Addr,
+        retransmission: bool,
+    ) -> Option<Transition> {
+        if !self.config.feedback_demotion {
+            return None;
+        }
+        let demote_threshold = self.config.demote_threshold;
+        let promote_after = self.config.promote_after;
+        let e = self.cache.get_mut(&correspondent)?;
+        if retransmission {
+            e.fail_signals += 1;
+            e.success_signals = 0;
+            if e.fail_signals >= demote_threshold && e.strategy.probes() {
+                let from = e.mode;
+                let to = from.demote();
+                if to != from {
+                    e.failed_modes.push(from);
+                    e.mode = to;
+                    e.fail_signals = 0;
+                    e.demotions += 1;
+                    return Some(Transition::Demoted { from, to });
+                }
+            }
+        } else {
+            e.success_signals += 1;
+            e.fail_signals = 0;
+            // Pessimistic upgrade probing: after sustained success,
+            // tentatively try the next more aggressive mode, unless it
+            // already failed for this correspondent.
+            if e.strategy == Strategy::Pessimistic && e.success_signals >= promote_after {
+                let from = e.mode;
+                let to = from.promote();
+                if to != from && !e.failed_modes.contains(&to) {
+                    e.mode = to;
+                    e.success_signals = 0;
+                    e.promotions += 1;
+                    return Some(Transition::Promoted { from, to });
+                }
+                e.success_signals = 0; // ceiling reached; keep counting fresh
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn optimistic_starts_aggressive_pessimistic_starts_safe() {
+        let mut p = Policy::new(PolicyConfig::optimistic());
+        assert_eq!(p.mode_for(ip("18.26.0.5")), OutMode::DH);
+        let mut p = Policy::new(PolicyConfig::pessimistic());
+        assert_eq!(p.mode_for(ip("18.26.0.5")), OutMode::IE);
+        let mut p = Policy::new(PolicyConfig::fixed(OutMode::DE));
+        assert_eq!(p.mode_for(ip("18.26.0.5")), OutMode::DE);
+    }
+
+    #[test]
+    fn rules_override_default_strategy() {
+        // §7.1.2's example: the home network region always starts Out-IE
+        // (it sits behind the protective gateway).
+        let cfg = PolicyConfig::optimistic()
+            .with_rule(cidr("171.64.0.0/16"), Strategy::Pessimistic)
+            .with_rule(cidr("18.0.0.0/8"), Strategy::Fixed(OutMode::DE));
+        let mut p = Policy::new(cfg);
+        assert_eq!(p.mode_for(ip("171.64.7.7")), OutMode::IE);
+        assert_eq!(p.mode_for(ip("18.26.0.5")), OutMode::DE);
+        assert_eq!(p.mode_for(ip("128.2.0.1")), OutMode::DH); // default
+    }
+
+    #[test]
+    fn privacy_forces_indirect_everywhere() {
+        let mut p = Policy::new(PolicyConfig::optimistic().with_privacy());
+        assert_eq!(p.mode_for(ip("18.26.0.5")), OutMode::IE);
+        assert!(!p.use_dt_for_port(80), "privacy disables DT heuristics too");
+        // And no amount of success promotes away from IE.
+        for _ in 0..100 {
+            assert!(p.record_feedback(ip("18.26.0.5"), false).is_none());
+        }
+        assert_eq!(p.mode_for(ip("18.26.0.5")), OutMode::IE);
+    }
+
+    #[test]
+    fn port_heuristics_default_to_http_and_dns() {
+        let p = Policy::new(PolicyConfig::default());
+        assert!(p.use_dt_for_port(80));
+        assert!(p.use_dt_for_port(53));
+        assert!(!p.use_dt_for_port(23));
+        let p = Policy::new(PolicyConfig::default().without_dt_ports());
+        assert!(!p.use_dt_for_port(80));
+    }
+
+    #[test]
+    fn repeated_retransmissions_demote_step_by_step() {
+        let mut p = Policy::new(PolicyConfig::optimistic());
+        let ch = ip("18.26.0.5");
+        assert_eq!(p.mode_for(ch), OutMode::DH);
+        assert_eq!(p.record_feedback(ch, true), None); // 1 of 2
+        assert_eq!(
+            p.record_feedback(ch, true),
+            Some(Transition::Demoted {
+                from: OutMode::DH,
+                to: OutMode::DE
+            })
+        );
+        assert_eq!(p.mode_for(ch), OutMode::DE);
+        p.record_feedback(ch, true);
+        assert_eq!(
+            p.record_feedback(ch, true),
+            Some(Transition::Demoted {
+                from: OutMode::DE,
+                to: OutMode::IE
+            })
+        );
+        assert_eq!(p.mode_for(ch), OutMode::IE);
+        // IE is the floor.
+        p.record_feedback(ch, true);
+        assert_eq!(p.record_feedback(ch, true), None);
+        assert_eq!(p.mode_for(ch), OutMode::IE);
+        assert_eq!(p.entry(ch).unwrap().demotions, 2);
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let mut p = Policy::new(PolicyConfig::optimistic());
+        let ch = ip("18.26.0.5");
+        p.mode_for(ch);
+        p.record_feedback(ch, true); // 1 failure
+        p.record_feedback(ch, false); // success resets
+        p.record_feedback(ch, true); // 1 failure again
+        assert_eq!(p.mode_for(ch), OutMode::DH, "no demotion below threshold");
+    }
+
+    #[test]
+    fn pessimistic_promotes_after_sustained_success() {
+        let mut p = Policy::new(PolicyConfig::pessimistic());
+        let ch = ip("18.26.0.5");
+        assert_eq!(p.mode_for(ch), OutMode::IE);
+        let mut transitions = Vec::new();
+        for _ in 0..16 {
+            if let Some(t) = p.record_feedback(ch, false) {
+                transitions.push(t);
+            }
+        }
+        assert_eq!(
+            transitions,
+            vec![
+                Transition::Promoted {
+                    from: OutMode::IE,
+                    to: OutMode::DE
+                },
+                Transition::Promoted {
+                    from: OutMode::DE,
+                    to: OutMode::DH
+                },
+            ]
+        );
+        assert_eq!(p.mode_for(ch), OutMode::DH);
+    }
+
+    #[test]
+    fn failed_mode_is_never_reprobed() {
+        let mut p = Policy::new(PolicyConfig::pessimistic());
+        let ch = ip("18.26.0.5");
+        assert_eq!(p.mode_for(ch), OutMode::IE); // create the cache entry
+        // Climb to DH, fail there, drop to DE.
+        for _ in 0..16 {
+            p.record_feedback(ch, false);
+        }
+        assert_eq!(p.mode_for(ch), OutMode::DH);
+        p.record_feedback(ch, true);
+        p.record_feedback(ch, true);
+        assert_eq!(p.mode_for(ch), OutMode::DE);
+        // Sustained success at DE must NOT climb back into DH.
+        for _ in 0..100 {
+            p.record_feedback(ch, false);
+        }
+        assert_eq!(p.mode_for(ch), OutMode::DE);
+        assert_eq!(p.entry(ch).unwrap().promotions, 2); // only the original climb
+    }
+
+    #[test]
+    fn fixed_strategy_never_moves() {
+        let mut p = Policy::new(PolicyConfig {
+            feedback_demotion: true,
+            ..PolicyConfig::fixed(OutMode::DH)
+        });
+        let ch = ip("18.26.0.5");
+        p.mode_for(ch);
+        for _ in 0..10 {
+            assert!(p.record_feedback(ch, true).is_none());
+        }
+        assert_eq!(p.mode_for(ch), OutMode::DH);
+    }
+
+    #[test]
+    fn cache_is_per_correspondent() {
+        let mut p = Policy::new(PolicyConfig::optimistic());
+        let ch1 = ip("18.26.0.5");
+        let ch2 = ip("128.2.0.1");
+        p.mode_for(ch1);
+        p.mode_for(ch2);
+        p.record_feedback(ch1, true);
+        p.record_feedback(ch1, true);
+        assert_eq!(p.mode_for(ch1), OutMode::DE);
+        assert_eq!(p.mode_for(ch2), OutMode::DH, "ch2 unaffected");
+        p.clear_cache();
+        assert_eq!(p.mode_for(ch1), OutMode::DH, "cleared after move");
+    }
+
+    #[test]
+    fn feedback_for_unknown_correspondent_is_ignored() {
+        let mut p = Policy::new(PolicyConfig::optimistic());
+        assert_eq!(p.record_feedback(ip("9.9.9.9"), true), None);
+        assert!(p.entry(ip("9.9.9.9")).is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! The mobile-host ↔ home-agent registration protocol.
+//!
+//! A simplified rendering of the IETF draft the paper builds on (\[Per96a\],
+//! which became RFC 2002): UDP port 434, a Registration Request carrying
+//! (home address, home agent, care-of address, lifetime, identification)
+//! and a Registration Reply with a result code. A lifetime of zero is a
+//! deregistration, sent when the mobile host returns home.
+//!
+//! Omitted from the draft: authentication extensions (the simulator has no
+//! adversary) and foreign-agent relay flags (handled by the foreign agent
+//! module rewriting the care-of address).
+
+use netsim::wire::ParseError;
+use netsim::Ipv4Addr;
+
+/// UDP port for registration traffic (IANA, as in the draft).
+pub const REGISTRATION_PORT: u16 = 434;
+
+/// Wire length of a request.
+pub const REQUEST_LEN: usize = 24;
+/// Wire length of a reply.
+pub const REPLY_LEN: usize = 20;
+
+/// Registration Request (type 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistrationRequest {
+    /// Seconds the binding should remain valid; 0 deregisters.
+    pub lifetime: u16,
+    /// The mobile's permanent home address.
+    pub home_address: Ipv4Addr,
+    /// The agent being asked to serve (echoed in replies).
+    pub home_agent: Ipv4Addr,
+    /// Where tunnelled packets should be sent.
+    pub care_of: Ipv4Addr,
+    /// Matches replies to requests (and, in the real protocol, provides
+    /// replay protection).
+    pub ident: u64,
+}
+
+/// Result code in a reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyCode {
+    /// Binding installed (or deregistration honoured).
+    Accepted,
+    /// The agent refuses service (unknown home address, etc.).
+    Denied,
+}
+
+/// Registration Reply (type 3, as in the draft).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistrationReply {
+    /// Whether the request was accepted.
+    pub code: ReplyCode,
+    /// Lifetime actually granted (may be shorter than requested).
+    pub lifetime: u16,
+    /// The mobile's permanent home address.
+    pub home_address: Ipv4Addr,
+    /// The agent being asked to serve (echoed in replies).
+    pub home_agent: Ipv4Addr,
+    /// Echo of the request identification.
+    pub ident: u64,
+}
+
+impl RegistrationRequest {
+    /// Is this a deregistration (mobile host back home)?
+    pub fn is_deregistration(&self) -> bool {
+        self.lifetime == 0
+    }
+
+    /// Serialize to wire bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(REQUEST_LEN);
+        b.push(1); // type
+        b.push(0); // flags (no FA relay, no minimal-encap request)
+        b.extend_from_slice(&self.lifetime.to_be_bytes());
+        b.extend_from_slice(&self.home_address.octets());
+        b.extend_from_slice(&self.home_agent.octets());
+        b.extend_from_slice(&self.care_of.octets());
+        b.extend_from_slice(&self.ident.to_be_bytes());
+        b
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(data: &[u8]) -> Result<RegistrationRequest, ParseError> {
+        if data.len() < REQUEST_LEN {
+            return Err(ParseError::Truncated {
+                needed: REQUEST_LEN,
+                got: data.len(),
+            });
+        }
+        if data[0] != 1 {
+            return Err(ParseError::BadField {
+                what: "registration type",
+                value: u64::from(data[0]),
+            });
+        }
+        Ok(RegistrationRequest {
+            lifetime: u16::from_be_bytes([data[2], data[3]]),
+            home_address: Ipv4Addr::from_octets([data[4], data[5], data[6], data[7]]),
+            home_agent: Ipv4Addr::from_octets([data[8], data[9], data[10], data[11]]),
+            care_of: Ipv4Addr::from_octets([data[12], data[13], data[14], data[15]]),
+            ident: u64::from_be_bytes(data[16..24].try_into().unwrap()),
+        })
+    }
+}
+
+impl RegistrationReply {
+    /// Serialize to wire bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(REPLY_LEN);
+        b.push(3); // type
+        b.push(match self.code {
+            ReplyCode::Accepted => 0,
+            ReplyCode::Denied => 128,
+        });
+        b.extend_from_slice(&self.lifetime.to_be_bytes());
+        b.extend_from_slice(&self.home_address.octets());
+        b.extend_from_slice(&self.home_agent.octets());
+        b.extend_from_slice(&self.ident.to_be_bytes());
+        b
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(data: &[u8]) -> Result<RegistrationReply, ParseError> {
+        if data.len() < REPLY_LEN {
+            return Err(ParseError::Truncated {
+                needed: REPLY_LEN,
+                got: data.len(),
+            });
+        }
+        if data[0] != 3 {
+            return Err(ParseError::BadField {
+                what: "registration type",
+                value: u64::from(data[0]),
+            });
+        }
+        let code = match data[1] {
+            0 => ReplyCode::Accepted,
+            128 => ReplyCode::Denied,
+            other => {
+                return Err(ParseError::BadField {
+                    what: "registration reply code",
+                    value: u64::from(other),
+                })
+            }
+        };
+        Ok(RegistrationReply {
+            code,
+            lifetime: u16::from_be_bytes([data[2], data[3]]),
+            home_address: Ipv4Addr::from_octets([data[4], data[5], data[6], data[7]]),
+            home_agent: Ipv4Addr::from_octets([data[8], data[9], data[10], data[11]]),
+            ident: u64::from_be_bytes(data[12..20].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn request() -> RegistrationRequest {
+        RegistrationRequest {
+            lifetime: 300,
+            home_address: ip("171.64.15.9"),
+            home_agent: ip("171.64.15.1"),
+            care_of: ip("36.186.0.99"),
+            ident: 0xdead_beef_0000_0001,
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = request();
+        let wire = r.emit();
+        assert_eq!(wire.len(), REQUEST_LEN);
+        assert_eq!(RegistrationRequest::parse(&wire).unwrap(), r);
+        assert!(!r.is_deregistration());
+    }
+
+    #[test]
+    fn deregistration_is_lifetime_zero() {
+        let r = RegistrationRequest {
+            lifetime: 0,
+            ..request()
+        };
+        assert!(r.is_deregistration());
+        assert!(RegistrationRequest::parse(&r.emit()).unwrap().is_deregistration());
+    }
+
+    #[test]
+    fn reply_roundtrip_both_codes() {
+        for code in [ReplyCode::Accepted, ReplyCode::Denied] {
+            let r = RegistrationReply {
+                code,
+                lifetime: 120,
+                home_address: ip("171.64.15.9"),
+                home_agent: ip("171.64.15.1"),
+                ident: 42,
+            };
+            let wire = r.emit();
+            assert_eq!(wire.len(), REPLY_LEN);
+            assert_eq!(RegistrationReply::parse(&wire).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parsers_reject_wrong_type_and_truncation() {
+        let req = request().emit();
+        assert!(RegistrationRequest::parse(&req[..20]).is_err());
+        assert!(RegistrationReply::parse(&req).is_err(), "type 1 is not a reply");
+        let mut bad = req.clone();
+        bad[0] = 9;
+        assert!(RegistrationRequest::parse(&bad).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Network devices: the shared NIC layer, IP routers, and host stacks.
+
+pub mod host;
+pub mod nic;
+pub mod router;
+
+use crate::event::{IfaceNo, TimerToken};
+
+/// Timer-token namespaces. The high byte of a token says who owns it.
+///
+/// * `0x01..=0xFC` — the protocol handler registered for that IP protocol
+///   number (e.g. TCP timers use `0x06`).
+/// * [`NS_APPS`] — application wake-ups.
+/// * [`NS_MOBILITY`] — the mobility hook.
+/// * [`NS_HOST`] — host-internal housekeeping.
+pub const NS_APPS: u8 = 0xFD;
+/// Timer namespace: the mobility hook.
+pub const NS_MOBILITY: u8 = 0xFE;
+/// Timer namespace: host-internal housekeeping.
+pub const NS_HOST: u8 = 0xFF;
+
+/// Build a token in namespace `ns` with a 56-bit payload.
+pub fn token(ns: u8, payload: u64) -> TimerToken {
+    TimerToken((u64::from(ns) << 56) | (payload & 0x00ff_ffff_ffff_ffff))
+}
+
+/// Split a token into its namespace and payload.
+pub fn split_token(t: TimerToken) -> (u8, u64) {
+    ((t.0 >> 56) as u8, t.0 & 0x00ff_ffff_ffff_ffff)
+}
+
+/// Metadata accompanying a packet handed to the IP send path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxMeta {
+    /// §7.1.2's proposed IP-interface extension: transports mark whether the
+    /// packet is an original transmission or a retransmission, so the
+    /// mobility layer can detect silently-failing delivery methods.
+    pub retransmission: bool,
+    /// Bypass the mobility hook (used by the hook itself when re-submitting
+    /// an encapsulated packet, like the paper's virtual interface).
+    pub skip_override: bool,
+    /// Interface for multicast/broadcast transmissions that cannot be routed.
+    pub iface: Option<IfaceNo>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip() {
+        let t = token(NS_MOBILITY, 0x1234_5678);
+        assert_eq!(split_token(t), (NS_MOBILITY, 0x1234_5678));
+        let t = token(6, u64::MAX);
+        assert_eq!(split_token(t), (6, 0x00ff_ffff_ffff_ffff));
+    }
+}

@@ -1,0 +1,415 @@
+//! The NIC layer shared by hosts and routers: interfaces, ARP resolution
+//! (RFC 826) with proxy-ARP support (RFC 1027), fragmentation to the link
+//! MTU, and frame transmission.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use crate::event::IfaceNo;
+use crate::link::{FaultOutcome, SegmentId};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{DropReason, TraceEventKind};
+use crate::wire::arp::{ArpOp, ArpPacket};
+use crate::wire::ethernet::{EtherType, EthernetFrame, MacAddr};
+use crate::wire::ipv4::{Ipv4Addr, Ipv4Cidr, Ipv4Packet};
+use crate::world::NetCtx;
+
+/// How long a learned ARP entry stays valid (one minute, as in smoltcp).
+const ARP_TTL: SimDuration = SimDuration::from_secs(60);
+/// Maximum packets queued awaiting one ARP resolution.
+const ARP_PENDING_CAP: usize = 8;
+
+/// Interface configuration kept unmasked: `addr` is the host address and
+/// `prefix` the on-link subnet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IfaceAddr {
+    /// The leased address.
+    pub addr: Ipv4Addr,
+    /// Destination prefix this entry matches.
+    pub prefix: Ipv4Cidr,
+}
+
+impl IfaceAddr {
+    /// e.g. `IfaceAddr::parse("171.64.15.9/24")`
+    pub fn parse(s: &str) -> IfaceAddr {
+        let (a, l) = s.split_once('/').expect("addr/len");
+        let addr: Ipv4Addr = a.parse().expect("ipv4 addr");
+        let len: u8 = l.parse().expect("prefix len");
+        IfaceAddr {
+            addr,
+            prefix: Ipv4Cidr::new(addr, len),
+        }
+    }
+}
+
+/// Who a NIC should answer ARP requests for: its own addresses plus any
+/// proxied ones (the home agent answers for absent mobile hosts).
+pub struct ArpIdentity<'a> {
+    /// Addresses this node owns.
+    pub own: &'a [Ipv4Addr],
+    /// Addresses answered on behalf of others (proxy ARP).
+    pub proxy: &'a [Ipv4Addr],
+}
+
+impl ArpIdentity<'_> {
+    fn covers(&self, a: Ipv4Addr) -> bool {
+        self.own.contains(&a) || self.proxy.contains(&a)
+    }
+}
+
+/// Link-layer destination for an outgoing IP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextHop {
+    /// Resolve this IP (the final destination or a gateway) via ARP.
+    Unicast(Ipv4Addr),
+    /// Link broadcast.
+    Broadcast,
+    /// IPv4 multicast group (mapped straight to a multicast MAC).
+    Multicast(Ipv4Addr),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArpEntry {
+    mac: MacAddr,
+    learned_at: SimTime,
+}
+
+#[derive(Debug)]
+struct Pending {
+    iface: IfaceNo,
+    next_hop: Ipv4Addr,
+    pkt: Ipv4Packet,
+    kind: TraceEventKind,
+}
+
+/// Interfaces + ARP machinery shared by [`super::host::Host`] and
+/// [`super::router::Router`].
+#[derive(Debug)]
+pub struct Nic {
+    ifaces: Vec<InterfaceState>,
+    arp: HashMap<(IfaceNo, Ipv4Addr), ArpEntry>,
+    pending: Vec<Pending>,
+}
+
+#[derive(Debug, Clone)]
+struct InterfaceState {
+    mac: MacAddr,
+    addr: Option<IfaceAddr>,
+    segment: Option<SegmentId>,
+    mtu: usize,
+}
+
+/// What the NIC made of a received frame.
+#[derive(Debug)]
+pub enum NicRx {
+    /// Consumed (ARP traffic, or a frame not addressed to this NIC).
+    Consumed,
+    /// An IPv4 packet addressed (at the link layer) to this NIC.
+    Ip(Ipv4Packet),
+    /// An IPv4 packet that arrived but failed to parse (e.g. corrupted).
+    Malformed,
+}
+
+impl Default for Nic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Nic {
+    /// An empty NIC with no interfaces.
+    pub fn new() -> Nic {
+        Nic {
+            ifaces: Vec::new(),
+            arp: HashMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Add an interface with the given MAC. Returns its index.
+    pub fn add_iface(&mut self, mac: MacAddr) -> IfaceNo {
+        self.ifaces.push(InterfaceState {
+            mac,
+            addr: None,
+            segment: None,
+            mtu: 1500,
+        });
+        self.ifaces.len() - 1
+    }
+
+    /// Number of interfaces.
+    pub fn iface_count(&self) -> usize {
+        self.ifaces.len()
+    }
+
+    /// The interface's MAC address.
+    pub fn mac(&self, iface: IfaceNo) -> MacAddr {
+        self.ifaces[iface].mac
+    }
+
+    /// The interface's configured address.
+    pub fn addr(&self, iface: IfaceNo) -> Option<IfaceAddr> {
+        self.ifaces[iface].addr
+    }
+
+    /// (Re)configure an interface's address.
+    pub fn set_addr(&mut self, iface: IfaceNo, addr: Option<IfaceAddr>) {
+        self.ifaces[iface].addr = addr;
+    }
+
+    /// The segment the interface is plugged into, if any.
+    pub fn segment(&self, iface: IfaceNo) -> Option<SegmentId> {
+        self.ifaces[iface].segment
+    }
+
+    /// Record attachment (the [`crate::world::World`] updates the segment's
+    /// side of the relationship).
+    pub fn set_segment(&mut self, iface: IfaceNo, seg: Option<SegmentId>, mtu: usize) {
+        self.ifaces[iface].segment = seg;
+        self.ifaces[iface].mtu = mtu;
+        // Stale neighbours and queued packets are meaningless on a new wire.
+        self.arp.retain(|(i, _), _| *i != iface);
+        self.pending.retain(|p| p.iface != iface);
+    }
+
+    /// The attached segment's MTU (IP bytes per frame).
+    pub fn mtu(&self, iface: IfaceNo) -> usize {
+        self.ifaces[iface].mtu
+    }
+
+    /// All configured interface addresses.
+    pub fn addrs(&self) -> Vec<Ipv4Addr> {
+        self.ifaces.iter().filter_map(|i| i.addr.map(|a| a.addr)).collect()
+    }
+
+    /// The interface whose on-link prefix contains `dst`, if any.
+    pub fn iface_on_link(&self, dst: Ipv4Addr) -> Option<IfaceNo> {
+        self.ifaces
+            .iter()
+            .position(|i| i.addr.is_some_and(|a| a.prefix.contains(dst)))
+    }
+
+    /// Send `pkt` out of `iface` toward the link-layer `next_hop`,
+    /// fragmenting to the interface MTU. Each fragment is traced with
+    /// `kind` (Sent for origination, Forwarded for transit).
+    pub fn send_ip(
+        &mut self,
+        ctx: &mut NetCtx,
+        iface: IfaceNo,
+        next_hop: NextHop,
+        pkt: Ipv4Packet,
+        kind: TraceEventKind,
+    ) {
+        let mtu = self.ifaces[iface].mtu;
+        let Some(frags) = pkt.fragment(mtu) else {
+            ctx.trace_packet(TraceEventKind::Dropped(DropReason::MtuExceeded), &pkt);
+            return;
+        };
+        for frag in frags {
+            match next_hop {
+                NextHop::Broadcast => {
+                    self.emit(ctx, iface, MacAddr::BROADCAST, &frag, kind);
+                }
+                NextHop::Multicast(group) => {
+                    self.emit(ctx, iface, MacAddr::for_ipv4_multicast(group), &frag, kind);
+                }
+                NextHop::Unicast(nh) => match self.lookup_arp(iface, nh, ctx.now) {
+                    Some(mac) => self.emit(ctx, iface, mac, &frag, kind),
+                    None => self.queue_pending(ctx, iface, nh, frag, kind),
+                },
+            }
+        }
+    }
+
+    fn emit(
+        &mut self,
+        ctx: &mut NetCtx,
+        iface: IfaceNo,
+        dst_mac: MacAddr,
+        pkt: &Ipv4Packet,
+        kind: TraceEventKind,
+    ) {
+        let st = &self.ifaces[iface];
+        let Some(seg) = st.segment else {
+            ctx.trace_packet(TraceEventKind::Dropped(DropReason::NoRoute), pkt);
+            return;
+        };
+        let frame = EthernetFrame::new(dst_mac, st.mac, EtherType::Ipv4, Bytes::from(pkt.emit()));
+        let outcome = ctx.transmit(seg, iface, &frame);
+        if outcome == FaultOutcome::Drop {
+            ctx.trace_packet(TraceEventKind::Dropped(DropReason::LinkFault), pkt);
+        } else {
+            ctx.trace_packet(kind, pkt);
+        }
+    }
+
+    fn lookup_arp(&self, iface: IfaceNo, ip: Ipv4Addr, now: SimTime) -> Option<MacAddr> {
+        self.arp
+            .get(&(iface, ip))
+            .filter(|e| now.since(e.learned_at) <= ARP_TTL)
+            .map(|e| e.mac)
+    }
+
+    fn queue_pending(
+        &mut self,
+        ctx: &mut NetCtx,
+        iface: IfaceNo,
+        next_hop: Ipv4Addr,
+        pkt: Ipv4Packet,
+        kind: TraceEventKind,
+    ) {
+        // Evict the oldest waiter if this neighbour's queue is full.
+        let waiting = self
+            .pending
+            .iter()
+            .filter(|p| p.iface == iface && p.next_hop == next_hop)
+            .count();
+        if waiting >= ARP_PENDING_CAP {
+            let ix = self
+                .pending
+                .iter()
+                .position(|p| p.iface == iface && p.next_hop == next_hop)
+                .unwrap();
+            let old = self.pending.remove(ix);
+            ctx.trace_packet(TraceEventKind::Dropped(DropReason::ArpFailure), &old.pkt);
+        }
+        self.send_arp_request(ctx, iface, next_hop);
+        self.pending.push(Pending {
+            iface,
+            next_hop,
+            pkt,
+            kind,
+        });
+    }
+
+    fn send_arp_request(&mut self, ctx: &mut NetCtx, iface: IfaceNo, target: Ipv4Addr) {
+        let st = &self.ifaces[iface];
+        let Some(seg) = st.segment else {
+            return;
+        };
+        // An unnumbered interface (mobile host using a foreign agent, DHCP
+        // client) probes with the unspecified sender address; receivers
+        // answer but learn no binding from it.
+        let spa = st.addr.map_or(Ipv4Addr::UNSPECIFIED, |a| a.addr);
+        let arp = ArpPacket::request(st.mac, spa, target);
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            st.mac,
+            EtherType::Arp,
+            Bytes::from(arp.emit()),
+        );
+        ctx.transmit(seg, iface, &frame);
+    }
+
+    /// Broadcast a gratuitous ARP binding `ip` to this interface's MAC —
+    /// used by the home agent for proxy ARP capture and by a returning
+    /// mobile host to reclaim its address (RFC 1027; paper §2).
+    pub fn send_gratuitous_arp(&mut self, ctx: &mut NetCtx, iface: IfaceNo, ip: Ipv4Addr) {
+        let st = &self.ifaces[iface];
+        let Some(seg) = st.segment else { return };
+        let arp = ArpPacket::gratuitous(st.mac, ip);
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            st.mac,
+            EtherType::Arp,
+            Bytes::from(arp.emit()),
+        );
+        ctx.transmit(seg, iface, &frame);
+    }
+
+    /// Process a received frame. ARP is consumed internally (answering for
+    /// every address in `identity`); IPv4 frames addressed to this NIC (or
+    /// broadcast/multicast) come back as [`NicRx::Ip`].
+    pub fn on_frame(
+        &mut self,
+        ctx: &mut NetCtx,
+        iface: IfaceNo,
+        frame: &[u8],
+        identity: &ArpIdentity<'_>,
+    ) -> NicRx {
+        let Ok(eth) = EthernetFrame::parse(frame) else {
+            return NicRx::Malformed;
+        };
+        let my_mac = self.ifaces[iface].mac;
+        if eth.dst != my_mac && !eth.dst.is_broadcast() && !eth.dst.is_multicast() {
+            return NicRx::Consumed; // not for us; NICs are not promiscuous
+        }
+        match eth.ethertype {
+            EtherType::Arp => {
+                match ArpPacket::parse(&eth.payload) {
+                    Ok(arp) => self.on_arp(ctx, iface, arp, identity),
+                    Err(_) => return NicRx::Malformed,
+                }
+                NicRx::Consumed
+            }
+            EtherType::Ipv4 => match Ipv4Packet::parse(&eth.payload) {
+                Ok(p) => NicRx::Ip(p),
+                Err(_) => NicRx::Malformed,
+            },
+            EtherType::Other(_) => NicRx::Consumed,
+        }
+    }
+
+    fn on_arp(
+        &mut self,
+        ctx: &mut NetCtx,
+        iface: IfaceNo,
+        arp: ArpPacket,
+        identity: &ArpIdentity<'_>,
+    ) {
+        // Learn / refresh the sender's binding. Gratuitous replies overwrite
+        // stale entries, which is exactly how proxy-ARP capture usurps the
+        // mobile host's address on the home segment.
+        if !arp.spa.is_unspecified() {
+            self.arp.insert(
+                (iface, arp.spa),
+                ArpEntry {
+                    mac: arp.sha,
+                    learned_at: ctx.now,
+                },
+            );
+            self.flush_pending(ctx, iface, arp.spa, arp.sha);
+        }
+        if arp.op == ArpOp::Request && identity.covers(arp.tpa) {
+            let st = &self.ifaces[iface];
+            let Some(seg) = st.segment else { return };
+            let reply = ArpPacket::reply(st.mac, arp.tpa, arp.sha, arp.spa);
+            let frame = EthernetFrame::new(
+                arp.sha,
+                st.mac,
+                EtherType::Arp,
+                Bytes::from(reply.emit()),
+            );
+            ctx.transmit(seg, iface, &frame);
+        }
+    }
+
+    fn flush_pending(&mut self, ctx: &mut NetCtx, iface: IfaceNo, ip: Ipv4Addr, mac: MacAddr) {
+        let ready: Vec<Pending> = {
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < self.pending.len() {
+                if self.pending[i].iface == iface && self.pending[i].next_hop == ip {
+                    ready.push(self.pending.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            ready
+        };
+        for p in ready {
+            self.emit(ctx, iface, mac, &p.pkt, p.kind);
+        }
+    }
+
+    /// Forget a neighbour (tests and handoff logic).
+    pub fn evict_arp(&mut self, iface: IfaceNo, ip: Ipv4Addr) {
+        self.arp.remove(&(iface, ip));
+    }
+
+    /// Peek at the ARP cache (tests).
+    pub fn arp_lookup(&self, iface: IfaceNo, ip: Ipv4Addr, now: SimTime) -> Option<MacAddr> {
+        self.lookup_arp(iface, ip, now)
+    }
+}

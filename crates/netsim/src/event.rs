@@ -1,0 +1,183 @@
+//! The discrete-event scheduler.
+//!
+//! Every interesting occurrence in the simulated network — a frame arriving
+//! at an interface, a protocol timer firing — is an [`Event`] in a priority
+//! queue ordered by simulated time. Ties are broken by insertion sequence
+//! number, which makes runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use bytes::Bytes;
+
+use crate::time::SimTime;
+
+/// Identifies a node (host or router) in the [`crate::world::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Index of a network interface within a node.
+pub type IfaceNo = usize;
+
+/// Opaque timer identifier. Protocols encode what the timer means in the
+/// token value; the scheduler never interprets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// A scheduled timer, delivered back to the node that set it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timer {
+    /// The node concerned.
+    pub node: NodeId,
+    /// The opaque token the setter chose.
+    pub token: TimerToken,
+}
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A link finished propagating a frame to `iface` of `node`.
+    /// `frame` is the raw Ethernet frame bytes as they appear on the wire.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Interface to deliver on.
+        iface: IfaceNo,
+        /// Raw Ethernet frame bytes as they appear on the wire.
+        frame: Bytes,
+    },
+    /// A timer set by `timer.node` fires.
+    Timer(Timer),
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// When it happened, in simulated time.
+    pub at: SimTime,
+    /// Insertion sequence number (deterministic tie-break).
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest
+        // sequence number) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` to fire at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn timer_event(node: usize, token: u64) -> EventKind {
+        EventKind::Timer(Timer {
+            node: NodeId(node),
+            token: TimerToken(token),
+        })
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), timer_event(0, 3));
+        q.push(SimTime(10), timer_event(0, 1));
+        q.push(SimTime(20), timer_event(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer(t) => t.token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO + SimDuration::from_millis(1);
+        for token in 0..100 {
+            q.push(t, timer_event(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer(t) => t.token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), timer_event(1, 0));
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,416 @@
+//! Links: shared Ethernet segments and point-to-point wires.
+//!
+//! Both are modelled as a *segment* — a broadcast domain with N attachments.
+//! A frame transmitted by one attachment is delivered to every other
+//! attachment after the serialization and propagation delay; receivers
+//! filter by destination MAC. This physical-broadcast model is what makes
+//! the paper's In-DH mode (§5) work exactly as described: a correspondent on
+//! the same segment can address a frame to the mobile host's MAC even though
+//! the IP destination "does not belong" on that network.
+
+use bytes::Bytes;
+use rand::Rng;
+
+use crate::event::{EventKind, EventQueue, IfaceNo, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a segment in the [`crate::world::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub usize);
+
+/// Alias kept for the common two-attachment case.
+pub type LinkId = SegmentId;
+
+/// Random fault injection applied to every frame on a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    /// Probability a frame is silently dropped.
+    pub drop_prob: f64,
+    /// Probability one octet of the frame is flipped.
+    pub corrupt_prob: f64,
+    /// Probability the frame is delivered twice.
+    pub duplicate_prob: f64,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            duplicate_prob: 0.0,
+        }
+    }
+}
+
+/// What the fault injector decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard.
+    Drop,
+    /// Deliver two copies.
+    Duplicate,
+}
+
+impl FaultInjector {
+    /// Decide this frame's fate, possibly corrupting it in place.
+    pub fn apply<R: Rng>(&self, frame: &mut [u8], rng: &mut R) -> FaultOutcome {
+        if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob) {
+            return FaultOutcome::Drop;
+        }
+        if self.corrupt_prob > 0.0 && rng.gen_bool(self.corrupt_prob) && !frame.is_empty() {
+            let i = rng.gen_range(0..frame.len());
+            let bit = 1u8 << rng.gen_range(0..8);
+            frame[i] ^= bit;
+        }
+        if self.duplicate_prob > 0.0 && rng.gen_bool(self.duplicate_prob) {
+            return FaultOutcome::Duplicate;
+        }
+        FaultOutcome::Deliver
+    }
+}
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Bits per second; `None` = infinitely fast serialization.
+    pub bandwidth_bps: Option<u64>,
+    /// Maximum IP packet size carried in one frame (i.e. Ethernet payload).
+    pub mtu: usize,
+    /// Random fault injection applied to every frame.
+    pub fault: FaultInjector,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bps: Some(10_000_000), // classic 10 Mb/s Ethernet
+            mtu: 1500,
+            fault: FaultInjector::default(),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// An Ethernet-like LAN segment.
+    pub fn lan() -> LinkConfig {
+        LinkConfig::default()
+    }
+
+    /// A WAN link with the given one-way latency in milliseconds.
+    pub fn wan(latency_ms: u64) -> LinkConfig {
+        LinkConfig {
+            latency: SimDuration::from_millis(latency_ms),
+            bandwidth_bps: Some(45_000_000), // T3-era backbone
+            mtu: 1500,
+            fault: FaultInjector::default(),
+        }
+    }
+
+    /// Time to clock `bytes` onto this link.
+    pub fn serialize_time(&self, bytes: usize) -> SimDuration {
+        match self.bandwidth_bps {
+            Some(bps) => SimDuration::from_micros((bytes as u64 * 8 * 1_000_000) / bps),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+/// Per-segment traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames carried.
+    pub frames: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// Frames eaten by fault injection.
+    pub fault_drops: u64,
+    /// Frames dropped for exceeding the MTU (an upstream bug).
+    pub oversize_drops: u64,
+}
+
+/// A broadcast domain. Two attachments = point-to-point wire.
+#[derive(Debug)]
+pub struct Segment {
+    /// Static link parameters.
+    pub config: LinkConfig,
+    attachments: Vec<(NodeId, IfaceNo)>,
+    /// When the shared medium next becomes free (serialization queueing).
+    next_free: SimTime,
+    /// Traffic counters.
+    pub stats: LinkStats,
+}
+
+impl Segment {
+    /// A segment with no attachments.
+    pub fn new(config: LinkConfig) -> Segment {
+        Segment {
+            config,
+            attachments: Vec::new(),
+            next_free: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Attach a node interface to this segment.
+    pub fn attach(&mut self, node: NodeId, iface: IfaceNo) {
+        self.attachments.push((node, iface));
+    }
+
+    /// Detach a node interface (the mobile host leaving a network).
+    pub fn detach(&mut self, node: NodeId, iface: IfaceNo) {
+        self.attachments.retain(|&a| a != (node, iface));
+    }
+
+    /// Everything plugged into this segment.
+    pub fn attachments(&self) -> &[(NodeId, IfaceNo)] {
+        &self.attachments
+    }
+
+    /// Is this (node, interface) plugged in here?
+    pub fn is_attached(&self, node: NodeId, iface: IfaceNo) -> bool {
+        self.attachments.contains(&(node, iface))
+    }
+
+    /// Transmit `frame` from `from`, scheduling delivery events to every
+    /// other attachment. Applies serialization delay, propagation latency
+    /// and fault injection. Returns the fault outcome (for link stats and
+    /// drop tracing by the caller).
+    pub fn transmit<R: Rng>(
+        &mut self,
+        from: (NodeId, IfaceNo),
+        frame: Bytes,
+        now: SimTime,
+        queue: &mut EventQueue,
+        rng: &mut R,
+    ) -> FaultOutcome {
+        // Frames larger than MTU + Ethernet header indicate an IP-layer bug
+        // upstream (fragmentation should have happened); drop and count.
+        let max_frame = self.config.mtu + crate::wire::ethernet::ETHERNET_HEADER_LEN;
+        if frame.len() > max_frame {
+            self.stats.oversize_drops += 1;
+            return FaultOutcome::Drop;
+        }
+
+        let mut bytes = frame.to_vec();
+        let outcome = self.config.fault.apply(&mut bytes, rng);
+        if outcome == FaultOutcome::Drop {
+            self.stats.fault_drops += 1;
+            return outcome;
+        }
+
+        self.stats.frames += 1;
+        self.stats.bytes += bytes.len() as u64;
+
+        let tx_start = now.max(self.next_free);
+        let tx_end = tx_start + self.config.serialize_time(bytes.len());
+        self.next_free = tx_end;
+        let arrival = tx_end + self.config.latency;
+
+        let frame = Bytes::from(bytes);
+        let copies = if outcome == FaultOutcome::Duplicate { 2 } else { 1 };
+        for _ in 0..copies {
+            for &(node, iface) in &self.attachments {
+                if (node, iface) == from {
+                    continue;
+                }
+                queue.push(
+                    arrival,
+                    EventKind::Deliver {
+                        node,
+                        iface,
+                        frame: frame.clone(),
+                    },
+                );
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn frame(n: usize) -> Bytes {
+        Bytes::from(vec![0xabu8; n])
+    }
+
+    #[test]
+    fn p2p_delivery_after_latency_and_serialization() {
+        let mut seg = Segment::new(LinkConfig {
+            latency: SimDuration::from_millis(10),
+            bandwidth_bps: Some(8_000_000), // 1 byte/µs
+            mtu: 1500,
+            fault: FaultInjector::default(),
+        });
+        seg.attach(NodeId(0), 0);
+        seg.attach(NodeId(1), 0);
+        let mut q = EventQueue::new();
+        seg.transmit((NodeId(0), 0), frame(1000), SimTime::ZERO, &mut q, &mut rng());
+        let ev = q.pop().unwrap();
+        // 1000 bytes at 1 byte/µs = 1000 µs + 10 ms latency.
+        assert_eq!(ev.at, SimTime(11_000));
+        assert!(q.pop().is_none(), "sender must not hear its own frame");
+        assert_eq!(seg.stats.frames, 1);
+        assert_eq!(seg.stats.bytes, 1000);
+    }
+
+    #[test]
+    fn broadcast_segment_reaches_all_other_attachments() {
+        let mut seg = Segment::new(LinkConfig::lan());
+        for i in 0..4 {
+            seg.attach(NodeId(i), 0);
+        }
+        let mut q = EventQueue::new();
+        seg.transmit((NodeId(2), 0), frame(64), SimTime::ZERO, &mut q, &mut rng());
+        let mut receivers: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Deliver { node, .. } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        receivers.sort_unstable();
+        assert_eq!(receivers, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn serialization_queueing_backs_up() {
+        let cfg = LinkConfig {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: Some(8_000_000), // 1 byte/µs
+            mtu: 1500,
+            fault: FaultInjector::default(),
+        };
+        let mut seg = Segment::new(cfg);
+        seg.attach(NodeId(0), 0);
+        seg.attach(NodeId(1), 0);
+        let mut q = EventQueue::new();
+        // Two back-to-back 500-byte frames at t=0: second must wait.
+        seg.transmit((NodeId(0), 0), frame(500), SimTime::ZERO, &mut q, &mut rng());
+        seg.transmit((NodeId(0), 0), frame(500), SimTime::ZERO, &mut q, &mut rng());
+        let t1 = q.pop().unwrap().at;
+        let t2 = q.pop().unwrap().at;
+        assert_eq!(t1, SimTime(500));
+        assert_eq!(t2, SimTime(1000));
+    }
+
+    #[test]
+    fn detach_stops_delivery() {
+        let mut seg = Segment::new(LinkConfig::lan());
+        seg.attach(NodeId(0), 0);
+        seg.attach(NodeId(1), 0);
+        assert!(seg.is_attached(NodeId(1), 0));
+        seg.detach(NodeId(1), 0);
+        assert!(!seg.is_attached(NodeId(1), 0));
+        let mut q = EventQueue::new();
+        seg.transmit((NodeId(0), 0), frame(64), SimTime::ZERO, &mut q, &mut rng());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn oversize_frames_dropped() {
+        let mut seg = Segment::new(LinkConfig::lan()); // mtu 1500
+        seg.attach(NodeId(0), 0);
+        seg.attach(NodeId(1), 0);
+        let mut q = EventQueue::new();
+        let out = seg.transmit(
+            (NodeId(0), 0),
+            frame(1515), // > 1500 + 14
+            SimTime::ZERO,
+            &mut q,
+            &mut rng(),
+        );
+        assert_eq!(out, FaultOutcome::Drop);
+        assert_eq!(seg.stats.oversize_drops, 1);
+        assert!(q.is_empty());
+        // Exactly MTU + header is fine.
+        let out = seg.transmit((NodeId(0), 0), frame(1514), SimTime::ZERO, &mut q, &mut rng());
+        assert_eq!(out, FaultOutcome::Deliver);
+    }
+
+    #[test]
+    fn fault_injection_drops_approximately_at_rate() {
+        let mut seg = Segment::new(LinkConfig {
+            fault: FaultInjector {
+                drop_prob: 0.5,
+                ..Default::default()
+            },
+            ..LinkConfig::lan()
+        });
+        seg.attach(NodeId(0), 0);
+        seg.attach(NodeId(1), 0);
+        let mut q = EventQueue::new();
+        let mut r = rng();
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if seg.transmit((NodeId(0), 0), frame(64), SimTime::ZERO, &mut q, &mut r)
+                == FaultOutcome::Drop
+            {
+                dropped += 1;
+            }
+        }
+        assert!((400..600).contains(&dropped), "dropped {dropped}/1000");
+        assert_eq!(seg.stats.fault_drops, dropped);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let inj = FaultInjector {
+            corrupt_prob: 1.0,
+            ..Default::default()
+        };
+        let mut r = rng();
+        let orig = vec![0u8; 100];
+        let mut data = orig.clone();
+        assert_eq!(inj.apply(&mut data, &mut r), FaultOutcome::Deliver);
+        let flipped: u32 = orig
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut seg = Segment::new(LinkConfig {
+            fault: FaultInjector {
+                duplicate_prob: 1.0,
+                ..Default::default()
+            },
+            ..LinkConfig::lan()
+        });
+        seg.attach(NodeId(0), 0);
+        seg.attach(NodeId(1), 0);
+        let mut q = EventQueue::new();
+        let out = seg.transmit((NodeId(0), 0), frame(64), SimTime::ZERO, &mut q, &mut rng());
+        assert_eq!(out, FaultOutcome::Duplicate);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn zero_faults_is_deterministic_delivery() {
+        let mut seg = Segment::new(LinkConfig::lan());
+        seg.attach(NodeId(0), 0);
+        seg.attach(NodeId(1), 0);
+        let mut q = EventQueue::new();
+        for _ in 0..100 {
+            assert_eq!(
+                seg.transmit((NodeId(0), 0), frame(64), SimTime::ZERO, &mut q, &mut rng()),
+                FaultOutcome::Deliver
+            );
+        }
+        assert_eq!(q.len(), 100);
+    }
+}

@@ -1,0 +1,328 @@
+//! Packet tracing and measurement.
+//!
+//! Experiments observe the network exclusively through this module: every
+//! send, forward, local delivery and drop is recorded with a parsed summary
+//! of the packet (including the inner header when the packet is a tunnel).
+//! That is enough to measure everything the paper's figures illustrate —
+//! path hop counts, per-direction latency, bytes on the wire, and exactly
+//! *which router dropped which packet and why* (Figure 2).
+
+use crate::event::NodeId;
+use crate::time::SimTime;
+use crate::wire::encap;
+use crate::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
+
+/// Why a packet was dropped. The first three are the network policies the
+/// paper names in §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// A boundary router saw a packet arriving from outside whose source
+    /// address claims to be inside (ingress filtering), or vice versa
+    /// (egress filtering). The paper's Figure 2 failure.
+    SourceAddressFilter,
+    /// An end-user network refusing to carry transit traffic (§3.1).
+    TransitPolicy,
+    /// An explicit firewall rule.
+    Firewall,
+    /// TTL reached zero.
+    TtlExpired,
+    /// No route to the destination.
+    NoRoute,
+    /// Packet larger than link MTU with DF set.
+    MtuExceeded,
+    /// Fault injection on a link.
+    LinkFault,
+    /// ARP could not resolve the next hop on the final segment.
+    ArpFailure,
+    /// Arrived at a host with no protocol handler / listener.
+    NoListener,
+    /// Failed to parse (e.g. corrupted by fault injection).
+    Malformed,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DropReason::SourceAddressFilter => "source-address filter",
+            DropReason::TransitPolicy => "transit policy",
+            DropReason::Firewall => "firewall",
+            DropReason::TtlExpired => "ttl expired",
+            DropReason::NoRoute => "no route",
+            DropReason::MtuExceeded => "mtu exceeded (DF)",
+            DropReason::LinkFault => "link fault",
+            DropReason::ArpFailure => "arp failure",
+            DropReason::NoListener => "no listener",
+            DropReason::Malformed => "malformed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compact, parsed view of one IP packet as seen at one point in the net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketSummary {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// The IP protocol of the payload.
+    pub protocol: IpProtocol,
+    /// On-wire length of the packet, bytes.
+    pub wire_len: usize,
+    /// `(src, dst, protocol)` of the inner packet, when this is a tunnel.
+    pub inner: Option<(Ipv4Addr, Ipv4Addr, IpProtocol)>,
+}
+
+impl PacketSummary {
+    /// Summarize a packet, looking through one tunnel layer if present.
+    pub fn of(pkt: &Ipv4Packet) -> PacketSummary {
+        let inner = if encap::is_tunnel(pkt) {
+            encap::decapsulate(pkt)
+                .ok()
+                .map(|i| (i.src, i.dst, i.protocol))
+        } else {
+            None
+        };
+        PacketSummary {
+            src: pkt.src,
+            dst: pkt.dst,
+            protocol: pkt.protocol,
+            wire_len: pkt.wire_len(),
+            inner,
+        }
+    }
+
+    /// The addresses of the *logical* conversation: the inner header if
+    /// encapsulated, the outer one otherwise.
+    pub fn logical_endpoints(&self) -> (Ipv4Addr, Ipv4Addr) {
+        match self.inner {
+            Some((s, d, _)) => (s, d),
+            None => (self.src, self.dst),
+        }
+    }
+}
+
+/// What happened to the packet at `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Originated here and handed to a link.
+    Sent,
+    /// Transited a router (or was re-tunnelled by an agent).
+    Forwarded,
+    /// Reached a host stack and was delivered to a local protocol.
+    DeliveredLocal,
+    /// Discarded.
+    Dropped(DropReason),
+}
+
+/// One observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened, in simulated time.
+    pub at: SimTime,
+    /// The node concerned.
+    pub node: NodeId,
+    /// What happened to the packet.
+    pub kind: TraceEventKind,
+    /// Parsed view of the packet involved.
+    pub packet: PacketSummary,
+}
+
+/// Collects [`TraceEvent`]s. Owned by the [`crate::world::World`].
+#[derive(Debug, Default)]
+pub struct PacketTrace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+/// Where trace records get written. Kept as a struct rather than a trait so
+/// the world can expose it without dynamic dispatch; experiments only read.
+pub type TraceSink = PacketTrace;
+
+impl PacketTrace {
+    /// An empty trace; records only while enabled.
+    pub fn new(enabled: bool) -> PacketTrace {
+        PacketTrace {
+            events: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Record one observation (no-op while disabled).
+    pub fn record(&mut self, at: SimTime, node: NodeId, kind: TraceEventKind, pkt: &Ipv4Packet) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                node,
+                kind,
+                packet: PacketSummary::of(pkt),
+            });
+        }
+    }
+
+    /// Forget everything recorded so far.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Every recorded event, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose packet summary satisfies `pred`.
+    pub fn matching<'a, F>(&'a self, pred: F) -> impl Iterator<Item = &'a TraceEvent>
+    where
+        F: Fn(&PacketSummary) -> bool + 'a,
+    {
+        self.events.iter().filter(move |e| pred(&e.packet))
+    }
+
+    /// Number of times matching packets were put on a wire (Sent+Forwarded):
+    /// i.e. total link traversals, the "distance travelled" of §3.2.
+    pub fn hops<F>(&self, pred: F) -> usize
+    where
+        F: Fn(&PacketSummary) -> bool,
+    {
+        self.matching(pred)
+            .filter(|e| matches!(e.kind, TraceEventKind::Sent | TraceEventKind::Forwarded))
+            .count()
+    }
+
+    /// Local deliveries of matching packets.
+    pub fn deliveries<F>(&self, pred: F) -> usize
+    where
+        F: Fn(&PacketSummary) -> bool,
+    {
+        self.matching(pred)
+            .filter(|e| matches!(e.kind, TraceEventKind::DeliveredLocal))
+            .count()
+    }
+
+    /// Drops of matching packets, with reasons.
+    pub fn drops<F>(&self, pred: F) -> Vec<(NodeId, DropReason)>
+    where
+        F: Fn(&PacketSummary) -> bool,
+    {
+        self.matching(pred)
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Dropped(r) => Some((e.node, r)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total bytes put on wires by matching packets.
+    pub fn bytes_on_wire<F>(&self, pred: F) -> usize
+    where
+        F: Fn(&PacketSummary) -> bool,
+    {
+        self.matching(pred)
+            .filter(|e| matches!(e.kind, TraceEventKind::Sent | TraceEventKind::Forwarded))
+            .map(|e| e.packet.wire_len)
+            .sum()
+    }
+
+    /// Time from first Sent to first DeliveredLocal among matching events,
+    /// i.e. one-way delivery latency of the first matching packet.
+    pub fn first_delivery_latency<F>(&self, pred: F) -> Option<crate::time::SimDuration>
+    where
+        F: Fn(&PacketSummary) -> bool,
+    {
+        let mut sent: Option<SimTime> = None;
+        for e in self.matching(pred) {
+            match e.kind {
+                TraceEventKind::Sent if sent.is_none() => sent = Some(e.at),
+                TraceEventKind::DeliveredLocal => {
+                    if let Some(s) = sent {
+                        return Some(e.at.since(s));
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::wire::encap::{encapsulate, EncapFormat};
+    use bytes::Bytes;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn pkt(src: &str, dst: &str) -> Ipv4Packet {
+        Ipv4Packet::new(ip(src), ip(dst), IpProtocol::Udp, Bytes::from_static(b"x"))
+    }
+
+    #[test]
+    fn summary_sees_through_tunnels() {
+        let inner = pkt("171.64.15.9", "18.26.0.1");
+        let outer = encapsulate(
+            EncapFormat::IpInIp,
+            ip("36.186.0.99"),
+            ip("171.64.15.1"),
+            &inner,
+            0,
+        )
+        .unwrap();
+        let s = PacketSummary::of(&outer);
+        assert_eq!(s.src, ip("36.186.0.99"));
+        assert_eq!(
+            s.inner,
+            Some((ip("171.64.15.9"), ip("18.26.0.1"), IpProtocol::Udp))
+        );
+        assert_eq!(s.logical_endpoints(), (ip("171.64.15.9"), ip("18.26.0.1")));
+        let plain = PacketSummary::of(&inner);
+        assert_eq!(plain.inner, None);
+        assert_eq!(plain.logical_endpoints(), (ip("171.64.15.9"), ip("18.26.0.1")));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = PacketTrace::new(false);
+        t.record(SimTime::ZERO, NodeId(0), TraceEventKind::Sent, &pkt("1.1.1.1", "2.2.2.2"));
+        assert!(t.events().is_empty());
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, NodeId(0), TraceEventKind::Sent, &pkt("1.1.1.1", "2.2.2.2"));
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn hops_deliveries_drops_and_bytes() {
+        let mut t = PacketTrace::new(true);
+        let p = pkt("1.1.1.1", "2.2.2.2");
+        let q = pkt("3.3.3.3", "4.4.4.4");
+        t.record(SimTime(0), NodeId(0), TraceEventKind::Sent, &p);
+        t.record(SimTime(10), NodeId(1), TraceEventKind::Forwarded, &p);
+        t.record(SimTime(20), NodeId(2), TraceEventKind::DeliveredLocal, &p);
+        t.record(
+            SimTime(5),
+            NodeId(1),
+            TraceEventKind::Dropped(DropReason::SourceAddressFilter),
+            &q,
+        );
+        let to2 = |s: &PacketSummary| s.dst == ip("2.2.2.2");
+        assert_eq!(t.hops(to2), 2);
+        assert_eq!(t.deliveries(to2), 1);
+        assert_eq!(t.bytes_on_wire(to2), 2 * p.wire_len());
+        assert_eq!(
+            t.first_delivery_latency(to2),
+            Some(SimDuration::from_micros(20))
+        );
+        let dropped = t.drops(|s| s.src == ip("3.3.3.3"));
+        assert_eq!(dropped, vec![(NodeId(1), DropReason::SourceAddressFilter)]);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! ARP (RFC 826) for IPv4 over Ethernet, including the gratuitous replies
+//! used for proxy ARP (RFC 1027).
+//!
+//! Proxy ARP is how the paper's home agent captures packets addressed to an
+//! absent mobile host (§2: "The home agent uses gratuitous proxy ARP to
+//! capture all IP packets addressed to the mobile host").
+
+use super::ethernet::MacAddr;
+use super::ipv4::Ipv4Addr;
+use super::ParseError;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// "Who has X?"
+    Request,
+    /// "X is at MAC Y."
+    Reply,
+}
+
+impl ArpOp {
+    fn number(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+}
+
+/// Wire length of an IPv4-over-Ethernet ARP packet.
+pub const ARP_LEN: usize = 28;
+
+/// An ARP packet (hardware = Ethernet, protocol = IPv4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sha: MacAddr,
+    /// Sender protocol (IPv4) address.
+    pub spa: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub tha: MacAddr,
+    /// Target protocol (IPv4) address.
+    pub tpa: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// "Who has `target`? Tell `sender_ip` at `sender_mac`."
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target: Ipv4Addr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Request,
+            sha: sender_mac,
+            spa: sender_ip,
+            tha: MacAddr::ZERO,
+            tpa: target,
+        }
+    }
+
+    /// "`sender_ip` is at `sender_mac`" — answering `requester`.
+    pub fn reply(
+        sender_mac: MacAddr,
+        sender_ip: Ipv4Addr,
+        requester_mac: MacAddr,
+        requester_ip: Ipv4Addr,
+    ) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sha: sender_mac,
+            spa: sender_ip,
+            tha: requester_mac,
+            tpa: requester_ip,
+        }
+    }
+
+    /// Gratuitous ARP: unsolicited broadcast announcing (or, for proxy ARP,
+    /// usurping) the binding `ip → mac`. This is the RFC 1027 mechanism the
+    /// home agent uses when a mobile host registers away from home, and the
+    /// mechanism the mobile host uses to reclaim its address on return.
+    pub fn gratuitous(mac: MacAddr, ip: Ipv4Addr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sha: mac,
+            spa: ip,
+            tha: MacAddr::BROADCAST,
+            tpa: ip,
+        }
+    }
+
+    /// True if this packet announces a binding for its own sender address
+    /// (i.e. it is gratuitous).
+    pub fn is_gratuitous(&self) -> bool {
+        self.spa == self.tpa
+    }
+
+    /// Serialize to wire bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(ARP_LEN);
+        buf.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+        buf.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
+        buf.push(6); // hlen
+        buf.push(4); // plen
+        buf.extend_from_slice(&self.op.number().to_be_bytes());
+        buf.extend_from_slice(&self.sha.0);
+        buf.extend_from_slice(&self.spa.octets());
+        buf.extend_from_slice(&self.tha.0);
+        buf.extend_from_slice(&self.tpa.octets());
+        buf
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(data: &[u8]) -> Result<ArpPacket, ParseError> {
+        if data.len() < ARP_LEN {
+            return Err(ParseError::Truncated {
+                needed: ARP_LEN,
+                got: data.len(),
+            });
+        }
+        let htype = u16::from_be_bytes([data[0], data[1]]);
+        let ptype = u16::from_be_bytes([data[2], data[3]]);
+        if htype != 1 {
+            return Err(ParseError::BadField {
+                what: "arp htype",
+                value: u64::from(htype),
+            });
+        }
+        if ptype != 0x0800 {
+            return Err(ParseError::BadField {
+                what: "arp ptype",
+                value: u64::from(ptype),
+            });
+        }
+        if data[4] != 6 || data[5] != 4 {
+            return Err(ParseError::BadField {
+                what: "arp hlen/plen",
+                value: u64::from(u16::from_be_bytes([data[4], data[5]])),
+            });
+        }
+        let op = match u16::from_be_bytes([data[6], data[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            other => {
+                return Err(ParseError::BadField {
+                    what: "arp op",
+                    value: u64::from(other),
+                })
+            }
+        };
+        let mut sha = [0u8; 6];
+        sha.copy_from_slice(&data[8..14]);
+        let mut tha = [0u8; 6];
+        tha.copy_from_slice(&data[18..24]);
+        Ok(ArpPacket {
+            op,
+            sha: MacAddr(sha),
+            spa: Ipv4Addr::from_octets([data[14], data[15], data[16], data[17]]),
+            tha: MacAddr(tha),
+            tpa: Ipv4Addr::from_octets([data[24], data[25], data[26], data[27]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u32) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let p = ArpPacket::request(mac(1), ip("10.0.0.1"), ip("10.0.0.2"));
+        assert_eq!(ArpPacket::parse(&p.emit()).unwrap(), p);
+        assert_eq!(p.tha, MacAddr::ZERO);
+        assert!(!p.is_gratuitous());
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let p = ArpPacket::reply(mac(2), ip("10.0.0.2"), mac(1), ip("10.0.0.1"));
+        let q = ArpPacket::parse(&p.emit()).unwrap();
+        assert_eq!(q, p);
+        assert_eq!(q.op, ArpOp::Reply);
+    }
+
+    #[test]
+    fn gratuitous_arp_announces_itself() {
+        let p = ArpPacket::gratuitous(mac(3), ip("171.64.15.9"));
+        assert!(p.is_gratuitous());
+        assert_eq!(p.spa, p.tpa);
+        assert_eq!(ArpPacket::parse(&p.emit()).unwrap(), p);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_formats() {
+        let good = ArpPacket::request(mac(1), ip("10.0.0.1"), ip("10.0.0.2")).emit();
+        let mut bad = good.clone();
+        bad[1] = 9; // htype
+        assert!(ArpPacket::parse(&bad).is_err());
+        let mut bad = good.clone();
+        bad[3] = 0x06; // ptype
+        assert!(ArpPacket::parse(&bad).is_err());
+        let mut bad = good.clone();
+        bad[7] = 9; // op
+        assert!(ArpPacket::parse(&bad).is_err());
+        assert!(ArpPacket::parse(&good[..20]).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Ethernet II framing.
+//!
+//! The paper's In-DH mode ("Incoming, Direct, Home Address", §5) works
+//! precisely because IP delivery on the final hop is a link-layer matter:
+//! "The only difference is in the link-layer destination to which the packet
+//! is addressed." The simulator therefore models real frames with real MAC
+//! addressing rather than teleporting IP packets between stacks.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use super::ParseError;
+
+/// A 48-bit IEEE MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast MAC, ff:ff:ff:ff:ff:ff.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero MAC (unknown/placeholder).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Locally-administered unicast address derived from a node index, in the
+    /// style smoltcp examples use (`02-00-00-xx-xx-xx`).
+    pub fn from_index(ix: u32) -> MacAddr {
+        let [_, b, c, d] = ix.to_be_bytes();
+        MacAddr([0x02, 0x00, 0x00, b, c, d])
+    }
+
+    /// Is this the broadcast address?
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// True if the group (multicast) bit is set.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// The Ethernet multicast address for an IPv4 multicast group
+    /// (RFC 1112 §6.4: 01-00-5E + low 23 bits of the group address).
+    pub fn for_ipv4_multicast(group: crate::wire::ipv4::Ipv4Addr) -> MacAddr {
+        let [_, b, c, d] = group.octets();
+        MacAddr([0x01, 0x00, 0x5e, b & 0x7f, c, d])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// EtherType values used in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// Any other EtherType, preserved.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The wire value.
+    pub fn number(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(n) => n,
+        }
+    }
+
+    /// From the wire value.
+    pub fn from_number(n: u16) -> EtherType {
+        match n {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// Length of the Ethernet II header (no 802.1Q tags).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// An Ethernet II frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl EthernetFrame {
+    /// Assemble a frame.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Bytes) -> Self {
+        EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
+    }
+
+    /// On-wire length (header + payload; we do not model the FCS or the
+    /// 64-byte minimum, which would only add constant padding).
+    pub fn wire_len(&self) -> usize {
+        ETHERNET_HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialize to wire bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        buf.extend_from_slice(&self.dst.0);
+        buf.extend_from_slice(&self.src.0);
+        buf.extend_from_slice(&self.ethertype.number().to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(data: &[u8]) -> Result<EthernetFrame, ParseError> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return Err(ParseError::Truncated {
+                needed: ETHERNET_HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        Ok(EthernetFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: EtherType::from_number(u16::from_be_bytes([data[12], data[13]])),
+            payload: Bytes::copy_from_slice(&data[ETHERNET_HEADER_LEN..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ipv4::Ipv4Addr;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let f = EthernetFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            EtherType::Ipv4,
+            Bytes::from_static(b"hello ethernet"),
+        );
+        let wire = f.emit();
+        assert_eq!(wire.len(), f.wire_len());
+        assert_eq!(EthernetFrame::parse(&wire).unwrap(), f);
+    }
+
+    #[test]
+    fn parse_rejects_short_frames() {
+        assert!(matches!(
+            EthernetFrame::parse(&[0u8; 13]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn mac_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        let uni = MacAddr::from_index(77);
+        assert!(!uni.is_broadcast());
+        assert!(!uni.is_multicast());
+        assert_eq!(uni.to_string(), "02:00:00:00:00:4d");
+    }
+
+    #[test]
+    fn distinct_indices_give_distinct_macs() {
+        assert_ne!(MacAddr::from_index(1), MacAddr::from_index(2));
+        assert_eq!(MacAddr::from_index(0x0a0b0c), MacAddr([0x02, 0, 0, 0x0a, 0x0b, 0x0c]));
+    }
+
+    #[test]
+    fn ipv4_multicast_mac_mapping() {
+        // RFC 1112: 224.1.2.3 → 01:00:5e:01:02:03, high bit of byte 3 masked.
+        let m = MacAddr::for_ipv4_multicast(Ipv4Addr::new(224, 129, 2, 3));
+        assert_eq!(m, MacAddr([0x01, 0x00, 0x5e, 0x01, 0x02, 0x03]));
+        assert!(m.is_multicast());
+    }
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for n in [0x0800u16, 0x0806, 0x86dd, 0x1234] {
+            assert_eq!(EtherType::from_number(n).number(), n);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Wire formats.
+//!
+//! Everything that travels over a simulated link is serialized to the bytes
+//! that would appear on a real wire and re-parsed at the receiver. This keeps
+//! the simulator honest: header sizes, checksums, fragmentation behaviour and
+//! the effect of corruption faults are all exactly as on a real network,
+//! which is what the paper's size/overhead arguments (§3.3) are about.
+
+pub mod arp;
+pub mod encap;
+pub mod ethernet;
+pub mod icmp;
+pub mod ipv4;
+pub mod pcap;
+pub mod srcroute;
+pub mod tcpseg;
+pub mod udp;
+
+use std::fmt;
+
+/// Error returned when a byte buffer cannot be parsed as the expected format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the minimum header.
+    /// Buffer shorter than the format requires.
+    Truncated {
+        /// Bytes the format requires.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A checksum did not verify.
+    /// A checksum failed to verify.
+    BadChecksum {
+        /// Which checksum failed (e.g. "ipv4 header", "tcp").
+        what: &'static str,
+    },
+    /// A field held a value the parser does not understand.
+    /// A field held a value the parser rejects.
+    BadField {
+        /// Which field was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { needed, got } => {
+                write!(f, "truncated: needed {needed} bytes, got {got}")
+            }
+            ParseError::BadChecksum { what } => write!(f, "bad {what} checksum"),
+            ParseError::BadField { what, value } => {
+                write!(f, "bad {what} field value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// RFC 1071 Internet checksum over `data`, with an optional seed already in
+/// one's-complement-sum form (used for pseudo-header checksums).
+pub fn internet_checksum(data: &[u8], seed: u32) -> u16 {
+    !ones_complement_sum(data, seed)
+}
+
+/// One's-complement 16-bit sum of `data` folded to 16 bits, starting from
+/// `seed`. Odd trailing byte is padded with zero as per RFC 1071.
+pub fn ones_complement_sum(data: &[u8], seed: u32) -> u16 {
+    let mut sum: u32 = seed;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Verify an RFC 1071 checksum: summing a buffer that contains its own
+/// correct checksum yields 0xffff.
+pub fn checksum_valid(data: &[u8], seed: u32) -> bool {
+    ones_complement_sum(data, seed) == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // The classic example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7
+        // have one's-complement sum 0xddf2, so checksum is !0xddf2 = 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data, 0), 0xddf2);
+        assert_eq!(internet_checksum(&data, 0), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(
+            ones_complement_sum(&[0xab], 0),
+            ones_complement_sum(&[0xab, 0x00], 0)
+        );
+    }
+
+    #[test]
+    fn buffer_containing_checksum_verifies() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0xbe, 0xef, 0x40, 0x00, 0x40, 0x11];
+        let ck = internet_checksum(&data, 0);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert!(checksum_valid(&data, 0));
+        data[0] ^= 0x01;
+        assert!(!checksum_valid(&data, 0));
+    }
+
+    #[test]
+    fn empty_buffer_checksum() {
+        assert_eq!(internet_checksum(&[], 0), 0xffff);
+        assert_eq!(ones_complement_sum(&[], 0), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Loose source routing (RFC 791 option 131).
+//!
+//! The paper considers LSR as the alternative to encapsulation and rejects
+//! it: "this achieves little that can't be done equally well using an
+//! encapsulating header. Current IP routers typically handle packets with
+//! options much more slowly than they handle normal unadorned IP packets"
+//! (§4). The option is implemented here so that judgment can be *measured*
+//! (experiment E17): routers charge a slow-path delay for any packet with
+//! options, and the source address stays visible to filters.
+
+use super::ipv4::{Ipv4Addr, Ipv4Packet};
+
+/// Option type for loose source and record route (copy bit set).
+pub const OPT_LSRR: u8 = 131;
+
+/// A parsed loose-source-route option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceRoute {
+    /// 1-based octet offset of the next address slot (RFC 791: starts at 4).
+    pub pointer: u8,
+    /// The route's address slots (remaining hops and recorded ones).
+    pub hops: Vec<Ipv4Addr>,
+}
+
+impl SourceRoute {
+    /// Build a route through `hops` (excluding the first destination, which
+    /// goes in the packet's destination field).
+    pub fn new(hops: &[Ipv4Addr]) -> SourceRoute {
+        SourceRoute {
+            pointer: 4,
+            hops: hops.to_vec(),
+        }
+    }
+
+    /// The next hop the packet should be redirected to, if any remain.
+    pub fn next_hop(&self) -> Option<Ipv4Addr> {
+        let ix = (usize::from(self.pointer) - 4) / 4;
+        self.hops.get(ix).copied()
+    }
+
+    /// Record `here` (the processing node's address) in the current slot
+    /// and advance the pointer — what a source-routing hop does after
+    /// rewriting the destination (RFC 791 §3.1).
+    pub fn advance(&mut self, here: Ipv4Addr) {
+        let ix = (usize::from(self.pointer) - 4) / 4;
+        if let Some(slot) = self.hops.get_mut(ix) {
+            *slot = here;
+            self.pointer += 4;
+        }
+    }
+
+    /// Serialize as an options area (unpadded; [`Ipv4Packet::set_options`]
+    /// pads).
+    pub fn emit(&self) -> Vec<u8> {
+        let len = 3 + 4 * self.hops.len();
+        assert!(len <= 40, "source route too long for the options area");
+        let mut b = Vec::with_capacity(len);
+        b.push(OPT_LSRR);
+        b.push(len as u8);
+        b.push(self.pointer);
+        for h in &self.hops {
+            b.extend_from_slice(&h.octets());
+        }
+        b
+    }
+
+    /// Parse the first LSRR option out of an options area, skipping NOPs
+    /// and stopping at end-of-list.
+    pub fn parse(options: &[u8]) -> Option<SourceRoute> {
+        let mut i = 0;
+        while i < options.len() {
+            match options[i] {
+                0 => return None, // end of option list
+                1 => i += 1,      // no-op
+                OPT_LSRR => {
+                    let len = usize::from(*options.get(i + 1)?);
+                    if len < 3 || i + len > options.len() || (len - 3) % 4 != 0 {
+                        return None;
+                    }
+                    let pointer = options[i + 2];
+                    let mut hops = Vec::with_capacity((len - 3) / 4);
+                    let mut j = i + 3;
+                    while j + 4 <= i + len {
+                        hops.push(Ipv4Addr::from_octets([
+                            options[j],
+                            options[j + 1],
+                            options[j + 2],
+                            options[j + 3],
+                        ]));
+                        j += 4;
+                    }
+                    return Some(SourceRoute { pointer, hops });
+                }
+                _ => {
+                    // Unknown option: skip by its length octet.
+                    let len = usize::from(*options.get(i + 1)?);
+                    if len < 2 {
+                        return None;
+                    }
+                    i += len;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Attach a loose source route to `pkt`: the packet is addressed to the
+/// first waypoint and carries the remaining route (ending at the true
+/// destination) in the option.
+pub fn apply_route(pkt: &mut Ipv4Packet, waypoints: &[Ipv4Addr], final_dst: Ipv4Addr) {
+    assert!(!waypoints.is_empty(), "need at least one waypoint");
+    pkt.dst = waypoints[0];
+    let mut remaining: Vec<Ipv4Addr> = waypoints[1..].to_vec();
+    remaining.push(final_dst);
+    pkt.set_options(&SourceRoute::new(&remaining).emit());
+}
+
+/// If `pkt` is addressed to `here` and carries an unexhausted source
+/// route, rewrite it for the next leg and return `true` (the caller should
+/// then forward it). RFC 791 hop processing.
+pub fn process_at_hop(pkt: &mut Ipv4Packet, here: Ipv4Addr) -> bool {
+    if pkt.dst != here || pkt.options.is_empty() {
+        return false;
+    }
+    let Some(mut route) = SourceRoute::parse(&pkt.options) else {
+        return false;
+    };
+    let Some(next) = route.next_hop() else {
+        return false; // exhausted: we are the final destination
+    };
+    route.advance(here);
+    pkt.dst = next;
+    pkt.set_options(&route.emit());
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ipv4::IpProtocol;
+    use bytes::Bytes;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let r = SourceRoute::new(&[ip("10.0.0.1"), ip("10.0.0.2")]);
+        let parsed = SourceRoute::parse(&r.emit()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.next_hop(), Some(ip("10.0.0.1")));
+    }
+
+    #[test]
+    fn parse_skips_nops_and_stops_at_eol() {
+        let mut opts = vec![1u8, 1]; // two NOPs
+        opts.extend(SourceRoute::new(&[ip("9.9.9.9")]).emit());
+        assert_eq!(
+            SourceRoute::parse(&opts).unwrap().next_hop(),
+            Some(ip("9.9.9.9"))
+        );
+        assert!(SourceRoute::parse(&[0, 0, 0, 0]).is_none());
+        assert!(SourceRoute::parse(&[131, 2]).is_none(), "bad length");
+    }
+
+    #[test]
+    fn hop_processing_walks_the_route_and_records_it() {
+        let mut pkt = Ipv4Packet::new(
+            ip("171.64.15.9"),
+            ip("0.0.0.0"),
+            IpProtocol::Icmp,
+            Bytes::from_static(b"x"),
+        );
+        apply_route(&mut pkt, &[ip("171.64.15.1")], ip("18.26.0.5"));
+        assert_eq!(pkt.dst, ip("171.64.15.1"), "addressed to the waypoint");
+        // Wire roundtrip preserves the option.
+        let mut pkt = Ipv4Packet::parse(&pkt.emit()).unwrap();
+
+        // At the waypoint: rewrite to the final destination.
+        assert!(process_at_hop(&mut pkt, ip("171.64.15.1")));
+        assert_eq!(pkt.dst, ip("18.26.0.5"));
+        // The waypoint recorded itself in the route (record-route half).
+        let rec = SourceRoute::parse(&pkt.options).unwrap();
+        assert_eq!(rec.hops, vec![ip("171.64.15.1")]);
+
+        // At the final destination: route exhausted, deliver locally.
+        assert!(!process_at_hop(&mut pkt, ip("18.26.0.5")));
+        // Not addressed to us: untouched.
+        assert!(!process_at_hop(&mut pkt, ip("1.2.3.4")));
+    }
+
+    #[test]
+    fn option_overhead_is_smaller_than_encapsulation_for_one_waypoint() {
+        let mut pkt = Ipv4Packet::new(
+            ip("171.64.15.9"),
+            ip("0.0.0.0"),
+            IpProtocol::Icmp,
+            Bytes::from_static(b"payload"),
+        );
+        let plain = pkt.wire_len();
+        apply_route(&mut pkt, &[ip("171.64.15.1")], ip("18.26.0.5"));
+        // One remaining hop: 3 + 4 bytes, padded to 8. The §4 trade-off:
+        // 8 bytes vs IP-in-IP's 20 — but the source stays visible and every
+        // router takes the slow path.
+        assert_eq!(pkt.wire_len() - plain, 8);
+        let wire = pkt.emit();
+        assert_eq!(wire[0], 0x47, "IHL grew to 7 words");
+        assert_eq!(Ipv4Packet::parse(&wire).unwrap(), pkt);
+    }
+}

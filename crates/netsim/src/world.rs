@@ -1,0 +1,847 @@
+//! The simulation world: nodes, segments, the event loop, and automatic
+//! shortest-path route computation for static topologies.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::device::host::{Host, HostConfig};
+use crate::device::nic::IfaceAddr;
+use crate::device::router::{Router, RouterConfig};
+use crate::device::{token, NS_APPS};
+use crate::event::{Event, EventKind, EventQueue, IfaceNo, NodeId, Timer, TimerToken};
+use crate::link::{FaultOutcome, LinkConfig, LinkStats, Segment, SegmentId};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{PacketTrace, TraceEventKind};
+use crate::wire::ethernet::{EthernetFrame, MacAddr};
+use crate::wire::ipv4::{Ipv4Addr, Ipv4Cidr, Ipv4Packet};
+
+/// A node is either an end system or a router.
+#[allow(clippy::large_enum_variant)] // hosts dominate and are not copied
+pub enum Node {
+    /// An end system.
+    Host(Host),
+    /// A packet forwarder.
+    Router(Router),
+}
+
+impl Node {
+    fn on_frame(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &[u8]) {
+        match self {
+            Node::Host(h) => h.on_frame(ctx, iface, frame),
+            Node::Router(r) => r.on_frame(ctx, iface, frame),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NetCtx, t: TimerToken) {
+        match self {
+            Node::Host(h) => h.on_timer(ctx, t),
+            Node::Router(r) => r.on_timer(ctx, t),
+        }
+    }
+
+    fn nic(&self) -> &crate::device::nic::Nic {
+        match self {
+            Node::Host(h) => h.nic(),
+            Node::Router(r) => r.nic(),
+        }
+    }
+
+    fn nic_mut(&mut self) -> &mut crate::device::nic::Nic {
+        match self {
+            Node::Host(h) => h.nic_mut(),
+            Node::Router(r) => r.nic_mut(),
+        }
+    }
+
+    fn is_router(&self) -> bool {
+        matches!(self, Node::Router(_))
+    }
+
+    fn add_route(&mut self, prefix: Ipv4Cidr, iface: IfaceNo, gateway: Option<Ipv4Addr>) {
+        match self {
+            Node::Host(h) => h.add_route(prefix, iface, gateway),
+            Node::Router(r) => r.add_route(prefix, iface, gateway),
+        }
+    }
+
+    fn clear_routes(&mut self) {
+        match self {
+            Node::Host(h) => h.clear_routes(),
+            Node::Router(r) => r.clear_routes(),
+        }
+    }
+
+    /// The node's human-readable name.
+    pub fn name(&self) -> &str {
+        match self {
+            Node::Host(h) => &h.name,
+            Node::Router(r) => &r.name,
+        }
+    }
+}
+
+/// The per-event context handed to devices: the only way they can touch the
+/// world (transmit frames, set timers, draw randomness, write traces).
+pub struct NetCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The node being dispatched.
+    pub node: NodeId,
+    queue: &'a mut EventQueue,
+    segments: &'a mut Vec<Segment>,
+    rng: &'a mut StdRng,
+    trace: &'a mut PacketTrace,
+    pcap: &'a mut Option<crate::wire::pcap::PcapWriter<Box<dyn std::io::Write>>>,
+}
+
+impl NetCtx<'_> {
+    /// Put a frame on a segment from this node's `iface`.
+    pub fn transmit(&mut self, seg: SegmentId, iface: IfaceNo, frame: &EthernetFrame) -> FaultOutcome {
+        let bytes = frame.emit();
+        let outcome = self.segments[seg.0].transmit(
+            (self.node, iface),
+            Bytes::from(bytes.clone()),
+            self.now,
+            self.queue,
+            self.rng,
+        );
+        if outcome != FaultOutcome::Drop {
+            if let Some(pcap) = self.pcap.as_mut() {
+                // Capture what was put on the wire (post fault injection is
+                // not observable here; the sender's view is what tcpdump on
+                // the sender would show).
+                let _ = pcap.write_frame(self.now, &bytes);
+            }
+        }
+        outcome
+    }
+
+    /// Schedule a timer for this node.
+    pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) {
+        self.queue.push(
+            self.now + after,
+            EventKind::Timer(Timer {
+                node: self.node,
+                token,
+            }),
+        );
+    }
+
+    /// MTU of a segment (IP bytes per frame).
+    pub fn segment_mtu(&self, seg: SegmentId) -> usize {
+        self.segments[seg.0].config.mtu
+    }
+
+    /// The world's deterministic RNG (fault injection, workloads).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Record a trace event for `pkt` at this node.
+    pub fn trace_packet(&mut self, kind: TraceEventKind, pkt: &Ipv4Packet) {
+        self.trace.record(self.now, self.node, kind, pkt);
+    }
+}
+
+/// The simulated internetwork.
+pub struct World {
+    nodes: Vec<Option<Node>>,
+    segments: Vec<Segment>,
+    queue: EventQueue,
+    now: SimTime,
+    rng: StdRng,
+    /// The packet trace; enabled by default.
+    pub trace: PacketTrace,
+    next_mac: u32,
+    pcap: Option<crate::wire::pcap::PcapWriter<Box<dyn std::io::Write>>>,
+}
+
+impl World {
+    /// Create a world with a deterministic RNG seed.
+    pub fn new(seed: u64) -> World {
+        World {
+            nodes: Vec::new(),
+            segments: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            trace: PacketTrace::new(true),
+            next_mac: 1,
+            pcap: None,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Capture every transmitted frame into a pcap stream (e.g. a
+    /// `std::fs::File`) readable by Wireshark/tcpdump. Frames from all
+    /// segments are interleaved in time order, like a tap on every wire.
+    pub fn capture_pcap(&mut self, out: Box<dyn std::io::Write>) -> std::io::Result<()> {
+        self.pcap = Some(crate::wire::pcap::PcapWriter::new(out)?);
+        Ok(())
+    }
+
+    /// Stop capturing and flush; returns the number of frames written.
+    pub fn finish_pcap(&mut self) -> std::io::Result<u64> {
+        match self.pcap.take() {
+            Some(w) => {
+                let n = w.frames_written();
+                w.finish()?;
+                Ok(n)
+            }
+            None => Ok(0),
+        }
+    }
+
+    // ---- construction -----------------------------------------------------
+
+    /// Create a broadcast segment; attach nodes with [`World::attach`].
+    pub fn add_segment(&mut self, config: LinkConfig) -> SegmentId {
+        self.segments.push(Segment::new(config));
+        SegmentId(self.segments.len() - 1)
+    }
+
+    /// Create a host node.
+    pub fn add_host(&mut self, config: HostConfig) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(Node::Host(Host::new(id, config))));
+        id
+    }
+
+    /// Create a router node.
+    pub fn add_router(&mut self, config: RouterConfig) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(Node::Router(Router::new(id, config))));
+        id
+    }
+
+    fn fresh_mac(&mut self) -> MacAddr {
+        let m = MacAddr::from_index(self.next_mac);
+        self.next_mac += 1;
+        m
+    }
+
+    /// Create a new interface on `node`, attach it to `seg`, and optionally
+    /// configure an address ("171.64.15.9/24"-style).
+    pub fn attach(&mut self, node: NodeId, seg: SegmentId, addr: Option<&str>) -> IfaceNo {
+        let mac = self.fresh_mac();
+        let mtu = self.segments[seg.0].config.mtu;
+        let n = self.nodes[node.0].as_mut().expect("node exists");
+        let iface = n.nic_mut().add_iface(mac);
+        n.nic_mut().set_segment(iface, Some(seg), mtu);
+        if let Some(a) = addr {
+            n.nic_mut().set_addr(iface, Some(IfaceAddr::parse(a)));
+        }
+        self.segments[seg.0].attach(node, iface);
+        iface
+    }
+
+    /// Re-plug an existing interface into a different segment (mobility!).
+    /// The address is left unchanged; callers configure it for the new net.
+    pub fn reattach(&mut self, node: NodeId, iface: IfaceNo, seg: SegmentId) {
+        self.detach(node, iface);
+        let mtu = self.segments[seg.0].config.mtu;
+        let n = self.nodes[node.0].as_mut().expect("node exists");
+        n.nic_mut().set_segment(iface, Some(seg), mtu);
+        self.segments[seg.0].attach(node, iface);
+    }
+
+    /// Unplug an interface from whatever segment it is on.
+    pub fn detach(&mut self, node: NodeId, iface: IfaceNo) {
+        let n = self.nodes[node.0].as_mut().expect("node exists");
+        if let Some(old) = n.nic().segment(iface) {
+            self.segments[old.0].detach(node, iface);
+            n.nic_mut().set_segment(iface, None, 1500);
+        }
+    }
+
+    // ---- access -------------------------------------------------------------
+
+    /// Number of nodes ever created.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrow a host (panics if `id` is a router).
+    pub fn host(&self, id: NodeId) -> &Host {
+        match self.nodes[id.0].as_ref().expect("node present") {
+            Node::Host(h) => h,
+            Node::Router(_) => panic!("node {} is a router", id.0),
+        }
+    }
+
+    /// Mutably borrow a host (panics if `id` is a router).
+    pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
+        match self.nodes[id.0].as_mut().expect("node present") {
+            Node::Host(h) => h,
+            Node::Router(_) => panic!("node {} is a router", id.0),
+        }
+    }
+
+    /// Mutably borrow a router (panics if `id` is a host).
+    pub fn router_mut(&mut self, id: NodeId) -> &mut Router {
+        match self.nodes[id.0].as_mut().expect("node present") {
+            Node::Router(r) => r,
+            Node::Host(_) => panic!("node {} is a host", id.0),
+        }
+    }
+
+    /// A segment's traffic counters.
+    pub fn segment_stats(&self, seg: SegmentId) -> LinkStats {
+        self.segments[seg.0].stats
+    }
+
+    /// Mutably borrow a segment's parameters (tests change fault rates).
+    pub fn segment_config_mut(&mut self, seg: SegmentId) -> &mut LinkConfig {
+        &mut self.segments[seg.0].config
+    }
+
+    /// Run `f` against a host with a live [`NetCtx`] — how tests, examples
+    /// and the mobility layer inject work into the simulation.
+    pub fn host_do<R>(&mut self, id: NodeId, f: impl FnOnce(&mut Host, &mut NetCtx) -> R) -> R {
+        let mut node = self.nodes[id.0].take().expect("node present");
+        let r = {
+            let mut ctx = NetCtx {
+                now: self.now,
+                node: id,
+                queue: &mut self.queue,
+                segments: &mut self.segments,
+                rng: &mut self.rng,
+                trace: &mut self.trace,
+                pcap: &mut self.pcap,
+            };
+            match &mut node {
+                Node::Host(h) => f(h, &mut ctx),
+                Node::Router(_) => panic!("node {} is a router", id.0),
+            }
+        };
+        self.nodes[id.0] = Some(node);
+        r
+    }
+
+    /// Schedule an immediate application poll on `node` (bootstraps apps).
+    pub fn poll_soon(&mut self, node: NodeId) {
+        self.queue.push(
+            self.now,
+            EventKind::Timer(Timer {
+                node,
+                token: token(NS_APPS, 0),
+            }),
+        );
+    }
+
+    // ---- event loop -----------------------------------------------------------
+
+    /// Process one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Event { at, kind, .. }) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        match kind {
+            EventKind::Deliver { node, iface, frame } => {
+                // A node may have been detached between scheduling and
+                // delivery (mid-flight frames to a departed mobile host are
+                // lost, as in reality).
+                let Some(mut n) = self.nodes.get_mut(node.0).and_then(Option::take) else {
+                    return true;
+                };
+                if n.nic().segment(iface).is_none() {
+                    self.nodes[node.0] = Some(n);
+                    return true;
+                }
+                let mut ctx = NetCtx {
+                    now: self.now,
+                    node,
+                    queue: &mut self.queue,
+                    segments: &mut self.segments,
+                    rng: &mut self.rng,
+                    trace: &mut self.trace,
+                    pcap: &mut self.pcap,
+                };
+                n.on_frame(&mut ctx, iface, &frame);
+                self.nodes[node.0] = Some(n);
+            }
+            EventKind::Timer(t) => {
+                let Some(mut n) = self.nodes.get_mut(t.node.0).and_then(Option::take) else {
+                    return true;
+                };
+                let mut ctx = NetCtx {
+                    now: self.now,
+                    node: t.node,
+                    queue: &mut self.queue,
+                    segments: &mut self.segments,
+                    rng: &mut self.rng,
+                    trace: &mut self.trace,
+                    pcap: &mut self.pcap,
+                };
+                n.on_timer(&mut ctx, t.token);
+                self.nodes[t.node.0] = Some(n);
+            }
+        }
+        true
+    }
+
+    /// Run until the queue is empty or simulated time reaches `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Run for a further `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Run until no events remain (bounded by `limit` events as a runaway
+    /// guard). Panics if the limit is hit — a quiescing network should
+    /// always drain.
+    pub fn run_until_idle(&mut self, limit: usize) {
+        for _ in 0..limit {
+            if !self.step() {
+                return;
+            }
+        }
+        panic!("run_until_idle: event limit {limit} exceeded at t={}", self.now);
+    }
+
+    /// Events currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    // ---- automatic routing ----------------------------------------------------
+
+    /// Compute shortest-path routes (by cumulative link latency) from every
+    /// node to every addressed prefix in the topology and install them,
+    /// replacing existing route tables. Only routers forward, so paths only
+    /// transit router nodes. Call once after building a static topology.
+    pub fn compute_routes(&mut self) {
+        // Which prefixes live on which segment.
+        let mut prefix_home: Vec<(Ipv4Cidr, SegmentId)> = Vec::new();
+        for (_, node) in self.nodes_iter() {
+            let nic = node.nic();
+            for i in 0..nic.iface_count() {
+                if let (Some(a), Some(seg)) = (nic.addr(i), nic.segment(i)) {
+                    if !prefix_home.contains(&(a.prefix, seg)) {
+                        prefix_home.push((a.prefix, seg));
+                    }
+                }
+            }
+        }
+
+        // Router adjacency: router R with ifaces on segments A and B links
+        // A↔B. Also remember each router's address on each segment.
+        let mut seg_routers: HashMap<usize, Vec<(NodeId, IfaceNo, Ipv4Addr)>> = HashMap::new();
+        for (id, node) in self.nodes_iter() {
+            if !node.is_router() {
+                continue;
+            }
+            let nic = node.nic();
+            for i in 0..nic.iface_count() {
+                if let (Some(a), Some(seg)) = (nic.addr(i), nic.segment(i)) {
+                    seg_routers.entry(seg.0).or_default().push((id, i, a.addr));
+                }
+            }
+        }
+
+        let node_ids: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|i| self.nodes[*i].is_some())
+            .map(NodeId)
+            .collect();
+
+        for me in node_ids {
+            let (starts, my_segs): (Vec<(usize, IfaceNo)>, Vec<usize>) = {
+                let node = self.nodes[me.0].as_ref().unwrap();
+                let nic = node.nic();
+                let mut starts = Vec::new();
+                for i in 0..nic.iface_count() {
+                    if let Some(seg) = nic.segment(i) {
+                        if nic.addr(i).is_some() {
+                            starts.push((seg.0, i));
+                        }
+                    }
+                }
+                let segs = starts.iter().map(|&(s, _)| s).collect();
+                (starts, segs)
+            };
+            if starts.is_empty() {
+                continue;
+            }
+
+            // Dijkstra over segments. dist[s], pred[s] = (via_router_addr,
+            // prev_segment).
+            let mut dist: HashMap<usize, u64> = HashMap::new();
+            let mut pred: HashMap<usize, (Ipv4Addr, usize)> = HashMap::new();
+            let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+            for &(s, _) in &starts {
+                let w = self.segments[s].config.latency.as_micros() + 1;
+                if dist.get(&s).is_none_or(|&d| w < d) {
+                    dist.insert(s, w);
+                    heap.push(std::cmp::Reverse((w, s)));
+                }
+            }
+            while let Some(std::cmp::Reverse((d, s))) = heap.pop() {
+                if dist.get(&s) != Some(&d) {
+                    continue;
+                }
+                // Expand via every router on segment s.
+                let Some(routers) = seg_routers.get(&s) else { continue };
+                for &(rid, _, raddr) in routers {
+                    if rid == me {
+                        continue;
+                    }
+                    let rnic = self.nodes[rid.0].as_ref().unwrap().nic();
+                    for j in 0..rnic.iface_count() {
+                        let Some(next) = rnic.segment(j) else { continue };
+                        if next.0 == s || rnic.addr(j).is_none() {
+                            continue;
+                        }
+                        let w = d + self.segments[next.0].config.latency.as_micros() + 1;
+                        if dist.get(&next.0).is_none_or(|&cur| w < cur) {
+                            dist.insert(next.0, w);
+                            pred.insert(next.0, (raddr, s));
+                            heap.push(std::cmp::Reverse((w, next.0)));
+                        }
+                    }
+                }
+            }
+
+            // Install routes.
+            let mut new_routes: Vec<(Ipv4Cidr, IfaceNo, Option<Ipv4Addr>)> = Vec::new();
+            for &(prefix, home_seg) in &prefix_home {
+                if my_segs.contains(&home_seg.0) {
+                    // On-link: routers need an explicit connected route;
+                    // hosts resolve on-link destinations directly but the
+                    // route is harmless for them too.
+                    let iface = starts.iter().find(|&&(s, _)| s == home_seg.0).unwrap().1;
+                    new_routes.push((prefix, iface, None));
+                    continue;
+                }
+                if !dist.contains_key(&home_seg.0) {
+                    continue; // unreachable
+                }
+                // Walk predecessors back to one of our start segments to
+                // find the first-hop gateway.
+                let mut seg = home_seg.0;
+                let gateway;
+                loop {
+                    let &(raddr, prev) = pred.get(&seg).expect("pred chain");
+                    if my_segs.contains(&prev) {
+                        gateway = (raddr, prev);
+                        break;
+                    }
+                    seg = prev;
+                }
+                let iface = starts.iter().find(|&&(s, _)| s == gateway.1).unwrap().1;
+                new_routes.push((prefix, iface, Some(gateway.0)));
+            }
+
+            let node = self.nodes[me.0].as_mut().unwrap();
+            node.clear_routes();
+            for (p, i, g) in new_routes {
+                node.add_route(p, i, g);
+            }
+        }
+    }
+
+    fn nodes_iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i), n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::router::FilterRule;
+    use crate::device::TxMeta;
+    use crate::trace::DropReason;
+    use crate::wire::icmp::IcmpMessage;
+    use crate::wire::ipv4::IpProtocol;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// Two LANs joined by one router.
+    ///   lanA(10.0.1.0/24): alice(.10) -- r(.1)
+    ///   lanB(10.0.2.0/24): r(.1) -- bob(.10)
+    fn two_lan_world() -> (World, NodeId, NodeId, NodeId) {
+        let mut w = World::new(7);
+        let lan_a = w.add_segment(LinkConfig::lan());
+        let lan_b = w.add_segment(LinkConfig::lan());
+        let alice = w.add_host(HostConfig::conventional("alice"));
+        let bob = w.add_host(HostConfig::conventional("bob"));
+        let r = w.add_router(RouterConfig::named("r"));
+        w.attach(alice, lan_a, Some("10.0.1.10/24"));
+        w.attach(bob, lan_b, Some("10.0.2.10/24"));
+        w.attach(r, lan_a, Some("10.0.1.1/24"));
+        w.attach(r, lan_b, Some("10.0.2.1/24"));
+        w.compute_routes();
+        (w, alice, bob, r)
+    }
+
+    #[test]
+    fn ping_across_router() {
+        let (mut w, alice, bob, _) = two_lan_world();
+        w.host_do(alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1);
+        });
+        w.run_until_idle(10_000);
+        // Bob logged the request, alice the reply.
+        assert!(w
+            .host(bob)
+            .icmp_log
+            .iter()
+            .any(|e| matches!(e.message, IcmpMessage::EchoRequest { seq: 1, .. })));
+        assert!(w
+            .host(alice)
+            .icmp_log
+            .iter()
+            .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 1, .. })
+                && e.from == ip("10.0.2.10")));
+    }
+
+    #[test]
+    fn ping_on_same_segment_needs_no_router() {
+        let mut w = World::new(7);
+        let lan = w.add_segment(LinkConfig::lan());
+        let a = w.add_host(HostConfig::conventional("a"));
+        let b = w.add_host(HostConfig::conventional("b"));
+        w.attach(a, lan, Some("10.0.1.1/24"));
+        w.attach(b, lan, Some("10.0.1.2/24"));
+        // No compute_routes: on-link resolution needs no routes at all.
+        w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.1.1"), ip("10.0.1.2"), 5));
+        w.run_until_idle(1_000);
+        assert!(w
+            .host(a)
+            .icmp_log
+            .iter()
+            .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 5, .. })));
+    }
+
+    #[test]
+    fn router_decrements_ttl_and_reports_expiry() {
+        let (mut w, alice, _bob, _r) = two_lan_world();
+        w.host_do(alice, |h, ctx| {
+            let msg = IcmpMessage::EchoRequest {
+                ident: 1,
+                seq: 1,
+                payload: Bytes::from_static(b"x"),
+            };
+            let mut p = Ipv4Packet::new(
+                ip("10.0.1.10"),
+                ip("10.0.2.10"),
+                IpProtocol::Icmp,
+                Bytes::from(msg.emit()),
+            );
+            p.ttl = 1; // dies at the router
+            h.send_ip(ctx, p, TxMeta::default());
+        });
+        w.run_until_idle(1_000);
+        let drops = w.trace.drops(|s| s.dst == ip("10.0.2.10"));
+        assert!(drops.iter().any(|(_, r)| *r == DropReason::TtlExpired));
+        // ICMP errors about ICMP are suppressed, so use UDP to see one.
+        w.host_do(alice, |h, ctx| {
+            let mut p = Ipv4Packet::new(
+                ip("10.0.1.10"),
+                ip("10.0.2.10"),
+                IpProtocol::Udp,
+                Bytes::from_static(b"payload!"),
+            );
+            p.ttl = 1;
+            h.send_ip(ctx, p, TxMeta::default());
+        });
+        w.run_until_idle(1_000);
+        assert!(w
+            .host(alice)
+            .icmp_log
+            .iter()
+            .any(|e| matches!(e.message, IcmpMessage::TimeExceeded { .. })));
+    }
+
+    #[test]
+    fn no_route_is_dropped_and_reported() {
+        let (mut w, alice, _, _) = two_lan_world();
+        // Give alice a default route so the packet reaches the router,
+        // which has no route for the destination and reports back.
+        w.host_mut(alice)
+            .add_route(Ipv4Cidr::default_route(), 0, Some(ip("10.0.1.1")));
+        w.host_do(alice, |h, ctx| {
+            let p = Ipv4Packet::new(
+                ip("10.0.1.10"),
+                ip("99.99.99.99"),
+                IpProtocol::Udp,
+                Bytes::from_static(b"nowhere"),
+            );
+            h.send_ip(ctx, p, TxMeta::default());
+        });
+        w.run_until_idle(1_000);
+        let drops = w.trace.drops(|s| s.dst == ip("99.99.99.99"));
+        assert!(drops.iter().any(|(_, r)| *r == DropReason::NoRoute));
+        assert!(w
+            .host(alice)
+            .icmp_log
+            .iter()
+            .any(|e| matches!(
+                e.message,
+                IcmpMessage::DestUnreachable { code: crate::wire::icmp::UnreachableCode::Net, .. }
+            )));
+    }
+
+    #[test]
+    fn ingress_filter_blocks_spoofed_source_end_to_end() {
+        let (mut w, alice, bob, r) = two_lan_world();
+        // Boundary filter: packets arriving on lanA's router iface (0) with
+        // sources claiming lanB are spoofed.
+        let inside: Ipv4Cidr = "10.0.2.0/24".parse().unwrap();
+        w.router_mut(r).filters.push(FilterRule::ingress_source_filter(0, inside));
+        // Alice spoofs bob's network as source (the Figure 2 situation).
+        w.host_do(alice, |h, ctx| {
+            let p = Ipv4Packet::new(
+                ip("10.0.2.99"),
+                ip("10.0.2.10"),
+                IpProtocol::Udp,
+                Bytes::from_static(b"spoof"),
+            );
+            h.send_ip(ctx, p, TxMeta::default());
+        });
+        w.run_until_idle(1_000);
+        let drops = w.trace.drops(|s| s.src == ip("10.0.2.99"));
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].1, DropReason::SourceAddressFilter);
+        assert_eq!(w.trace.deliveries(|s| s.dst == ip("10.0.2.10")), 0);
+        // Honest traffic still flows.
+        w.host_do(alice, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 9));
+        w.run_until_idle(10_000);
+        assert!(w
+            .host(bob)
+            .icmp_log
+            .iter()
+            .any(|e| matches!(e.message, IcmpMessage::EchoRequest { seq: 9, .. })));
+    }
+
+    #[test]
+    fn detached_interface_receives_nothing() {
+        let mut w = World::new(7);
+        let lan = w.add_segment(LinkConfig::lan());
+        let a = w.add_host(HostConfig::conventional("a"));
+        let b = w.add_host(HostConfig::conventional("b"));
+        w.attach(a, lan, Some("10.0.1.1/24"));
+        let b_if = w.attach(b, lan, Some("10.0.1.2/24"));
+        w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.1.1"), ip("10.0.1.2"), 1));
+        w.detach(b, b_if); // unplug before the frame arrives
+        w.run_until_idle(1_000);
+        assert!(w.host(b).icmp_log.is_empty());
+    }
+
+    #[test]
+    fn reattach_moves_host_between_segments() {
+        let mut w = World::new(7);
+        let lan_a = w.add_segment(LinkConfig::lan());
+        let lan_b = w.add_segment(LinkConfig::lan());
+        let fixed_a = w.add_host(HostConfig::conventional("fa"));
+        let fixed_b = w.add_host(HostConfig::conventional("fb"));
+        let roamer = w.add_host(HostConfig::conventional("roamer"));
+        w.attach(fixed_a, lan_a, Some("10.0.1.1/24"));
+        w.attach(fixed_b, lan_b, Some("10.0.2.1/24"));
+        let r_if = w.attach(roamer, lan_a, Some("10.0.1.99/24"));
+
+        w.host_do(roamer, |h, ctx| h.send_ping(ctx, ip("10.0.1.99"), ip("10.0.1.1"), 1));
+        w.run_until_idle(1_000);
+        assert_eq!(w.host(roamer).icmp_log.len(), 1);
+
+        // Move to lanB and renumber.
+        w.reattach(roamer, r_if, lan_b);
+        w.host_mut(roamer)
+            .set_iface_addr(r_if, Some(IfaceAddr::parse("10.0.2.99/24")));
+        w.host_do(roamer, |h, ctx| h.send_ping(ctx, ip("10.0.2.99"), ip("10.0.2.1"), 2));
+        w.run_until_idle(1_000);
+        assert!(w
+            .host(roamer)
+            .icmp_log
+            .iter()
+            .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 2, .. })
+                && e.from == ip("10.0.2.1")));
+    }
+
+    #[test]
+    fn trace_hop_counts_measure_path_length() {
+        let (mut w, alice, _, _) = two_lan_world();
+        w.host_do(alice, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 3));
+        w.run_until_idle(10_000);
+        // Request: alice Sent + router Forwarded = 2 wire traversals.
+        let hops = w
+            .trace
+            .hops(|s| s.dst == ip("10.0.2.10") && s.protocol == IpProtocol::Icmp);
+        assert_eq!(hops, 2);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let run = |seed| {
+            let (mut w, alice, _, _) = two_lan_world();
+            let _ = seed;
+            w.host_do(alice, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1));
+            w.run_until_idle(10_000);
+            (w.now(), w.trace.events().len())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn multi_hop_route_computation() {
+        // lanA — r1 — mid — r2 — lanB, distinct latencies.
+        let mut w = World::new(1);
+        let lan_a = w.add_segment(LinkConfig::lan());
+        let mid = w.add_segment(LinkConfig::wan(30));
+        let lan_b = w.add_segment(LinkConfig::lan());
+        let a = w.add_host(HostConfig::conventional("a"));
+        let b = w.add_host(HostConfig::conventional("b"));
+        let r1 = w.add_router(RouterConfig::named("r1"));
+        let r2 = w.add_router(RouterConfig::named("r2"));
+        w.attach(a, lan_a, Some("10.0.1.10/24"));
+        w.attach(r1, lan_a, Some("10.0.1.1/24"));
+        w.attach(r1, mid, Some("192.168.0.1/30"));
+        w.attach(r2, mid, Some("192.168.0.2/30"));
+        w.attach(r2, lan_b, Some("10.0.2.1/24"));
+        w.attach(b, lan_b, Some("10.0.2.10/24"));
+        w.compute_routes();
+
+        w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1));
+        w.run_until_idle(10_000);
+        assert!(w
+            .host(a)
+            .icmp_log
+            .iter()
+            .any(|e| matches!(e.message, IcmpMessage::EchoReply { .. })));
+        // 3 traversals each way.
+        assert_eq!(
+            w.trace
+                .hops(|s| s.dst == ip("10.0.2.10") && s.protocol == IpProtocol::Icmp),
+            3
+        );
+        // One-way latency dominated by the 30 ms WAN hop.
+        let lat = w
+            .trace
+            .first_delivery_latency(|s| s.dst == ip("10.0.2.10"))
+            .unwrap();
+        assert!(lat.as_millis() >= 30, "latency was {lat}");
+    }
+}

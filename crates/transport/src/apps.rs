@@ -1,0 +1,854 @@
+//! In-simulation applications.
+//!
+//! These model the workloads the paper argues about: long-lived telnet
+//! sessions that must survive movement (§2, §8), short-lived HTTP transfers
+//! where "the user may prefer the small risk of an occasional incomplete
+//! image" to Mobile IP overhead (§4, Out-DT), DNS-style datagram
+//! transactions, and bulk transfers for throughput measurements.
+//!
+//! Applications are [`App`]s: the host polls them after every event, and
+//! they schedule their own wake-ups for timed actions.
+
+use std::any::Any;
+
+use netsim::wire::ipv4::Ipv4Addr;
+use netsim::{App, Host, NetCtx, SimDuration, SimTime};
+
+use crate::{tcp, udp};
+
+/// Tracks the single scheduled wake-up an app needs, without flooding the
+/// event queue with duplicates.
+#[derive(Debug, Default, Clone, Copy)]
+struct Alarm {
+    scheduled_for: Option<SimTime>,
+}
+
+impl Alarm {
+    /// Ensure the host gets polled at (or just after) `due`.
+    fn ensure(&mut self, host: &mut Host, ctx: &mut NetCtx, due: SimTime) {
+        if self.scheduled_for == Some(due) {
+            return;
+        }
+        self.scheduled_for = Some(due);
+        let delay = due.since(ctx.now);
+        host.request_wakeup(ctx, delay);
+    }
+}
+
+// ---------------------------------------------------------------- UDP echo
+
+/// Echoes every UDP datagram back to its sender.
+pub struct UdpEchoServer {
+    port: u16,
+    sock: Option<udp::UdpHandle>,
+    /// Keystrokes echoed back by the correspondent.
+    pub echoed: u64,
+}
+
+impl UdpEchoServer {
+    /// A server listening on `port`.
+    pub fn new(port: u16) -> Self {
+        UdpEchoServer {
+            port,
+            sock: None,
+            echoed: 0,
+        }
+    }
+}
+
+impl App for UdpEchoServer {
+    fn poll(&mut self, host: &mut Host, ctx: &mut NetCtx) {
+        let sock = *self
+            .sock
+            .get_or_insert_with(|| udp::bind(host, None, self.port));
+        while let Some(got) = udp::recv(host, sock) {
+            udp::send_to(host, ctx, sock, got.from, got.payload);
+            self.echoed += 1;
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Sends UDP requests on an interval and records round-trip times — a
+/// DNS-lookup-like datagram workload.
+pub struct UdpPinger {
+    /// The server to talk to.
+    pub server: (Ipv4Addr, u16),
+    /// Explicit source binding (the §7.1.1 signal), if any.
+    pub bind_addr: Option<Ipv4Addr>,
+    /// Gap between transmissions.
+    pub interval: SimDuration,
+    /// Packets to send in total.
+    pub count: u32,
+    sock: Option<udp::UdpHandle>,
+    sent: u32,
+    next_at: SimTime,
+    outstanding: Option<(u32, SimTime)>,
+    alarm: Alarm,
+    /// (sequence, rtt) of each completed exchange.
+    pub rtts: Vec<(u32, SimDuration)>,
+    /// Requests that were never answered (superseded by the next send).
+    pub lost: u32,
+}
+
+impl UdpPinger {
+    /// A pinger sending `count` requests to `server` every `interval`.
+    pub fn new(server: (Ipv4Addr, u16), interval: SimDuration, count: u32) -> Self {
+        UdpPinger {
+            server,
+            bind_addr: None,
+            interval,
+            count,
+            sock: None,
+            sent: 0,
+            next_at: SimTime::ZERO,
+            outstanding: None,
+            alarm: Alarm::default(),
+            rtts: Vec::new(),
+            lost: 0,
+        }
+    }
+
+    /// Has the workload finished?
+    pub fn done(&self) -> bool {
+        self.sent >= self.count && self.outstanding.is_none()
+    }
+}
+
+impl App for UdpPinger {
+    fn poll(&mut self, host: &mut Host, ctx: &mut NetCtx) {
+        let bind_addr = self.bind_addr;
+        let sock = *self
+            .sock
+            .get_or_insert_with(|| udp::bind(host, bind_addr, 0));
+        // Collect answers.
+        while let Some(got) = udp::recv(host, sock) {
+            if got.payload.len() >= 4 {
+                let seq = u32::from_be_bytes(got.payload[..4].try_into().unwrap());
+                if let Some((out_seq, at)) = self.outstanding {
+                    if out_seq == seq {
+                        self.rtts.push((seq, ctx.now.since(at)));
+                        self.outstanding = None;
+                    }
+                }
+            }
+        }
+        // Send the next request when due.
+        if self.sent < self.count {
+            if ctx.now >= self.next_at {
+                if self.outstanding.take().is_some() {
+                    self.lost += 1;
+                }
+                let seq = self.sent;
+                udp::send_to(host, ctx, sock, self.server, seq.to_be_bytes().to_vec());
+                self.outstanding = Some((seq, ctx.now));
+                self.sent += 1;
+                self.next_at = ctx.now + self.interval;
+            }
+            if self.sent < self.count {
+                let due = self.next_at;
+                self.alarm.ensure(host, ctx, due);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------- TCP echo
+
+/// Accepts TCP connections and echoes everything received; closes when the
+/// peer closes.
+pub struct TcpEchoServer {
+    port: u16,
+    listener: Option<tcp::ListenerHandle>,
+    conns: Vec<tcp::TcpHandle>,
+    /// Bytes echoed back to clients.
+    pub bytes_echoed: u64,
+    /// Connections accepted over the lifetime.
+    pub connections_served: u64,
+}
+
+impl TcpEchoServer {
+    /// A server listening on `port`.
+    pub fn new(port: u16) -> Self {
+        TcpEchoServer {
+            port,
+            listener: None,
+            conns: Vec::new(),
+            bytes_echoed: 0,
+            connections_served: 0,
+        }
+    }
+}
+
+impl App for TcpEchoServer {
+    fn poll(&mut self, host: &mut Host, ctx: &mut NetCtx) {
+        let l = *self
+            .listener
+            .get_or_insert_with(|| tcp::listen(host, None, self.port));
+        while let Some(c) = tcp::accept(host, l) {
+            self.conns.push(c);
+            self.connections_served += 1;
+        }
+        self.conns.retain(|&c| {
+            let data = tcp::recv(host, c);
+            if !data.is_empty() {
+                self.bytes_echoed += data.len() as u64;
+                tcp::send(host, ctx, c, &data);
+            }
+            match tcp::state(host, c) {
+                tcp::TcpState::CloseWait => {
+                    tcp::close(host, ctx, c);
+                    true
+                }
+                tcp::TcpState::Closed => false,
+                _ => true,
+            }
+        });
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ------------------------------------------------------- request/response
+
+/// A simple HTTP-like server: reads a request line ending in `\n`, replies
+/// with a configurable number of bytes, then closes its side.
+pub struct RequestResponseServer {
+    port: u16,
+    /// Bytes of response body per request.
+    pub response_len: usize,
+    listener: Option<tcp::ListenerHandle>,
+    conns: Vec<(tcp::TcpHandle, Vec<u8>, bool)>,
+    /// Requests answered.
+    pub requests_served: u64,
+}
+
+impl RequestResponseServer {
+    /// A server answering every request on `port` with `response_len` bytes.
+    pub fn new(port: u16, response_len: usize) -> Self {
+        RequestResponseServer {
+            port,
+            response_len,
+            listener: None,
+            conns: Vec::new(),
+            requests_served: 0,
+        }
+    }
+}
+
+impl App for RequestResponseServer {
+    fn poll(&mut self, host: &mut Host, ctx: &mut NetCtx) {
+        let port = self.port;
+        let l = *self
+            .listener
+            .get_or_insert_with(|| tcp::listen(host, None, port));
+        while let Some(c) = tcp::accept(host, l) {
+            self.conns.push((c, Vec::new(), false));
+        }
+        let response_len = self.response_len;
+        let mut served = 0;
+        self.conns.retain_mut(|(c, reqbuf, responded)| {
+            if !*responded {
+                reqbuf.extend(tcp::recv(host, *c));
+                if reqbuf.contains(&b'\n') {
+                    let body: Vec<u8> = (0..response_len).map(|i| (i % 251) as u8).collect();
+                    tcp::send(host, ctx, *c, &body);
+                    tcp::close(host, ctx, *c);
+                    *responded = true;
+                    served += 1;
+                }
+            }
+            !matches!(tcp::state(host, *c), tcp::TcpState::Closed)
+        });
+        self.requests_served += served;
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Outcome of one client transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// The transfer finished; the connection closed cleanly.
+    Completed {
+        /// When the transfer began.
+        started: SimTime,
+        /// When the transfer completed.
+        finished: SimTime,
+        /// Response bytes received.
+        bytes: usize,
+    },
+    /// The transfer died before completing.
+    Failed {
+        /// When the transfer began.
+        started: SimTime,
+        /// The transport-level cause.
+        error: tcp::TcpError,
+    },
+}
+
+impl TransferOutcome {
+    /// Did the transfer finish successfully?
+    pub fn completed(&self) -> bool {
+        matches!(self, TransferOutcome::Completed { .. })
+    }
+
+    /// Wall-clock (simulated) duration of a completed transfer.
+    pub fn duration(&self) -> Option<SimDuration> {
+        match self {
+            TransferOutcome::Completed {
+                started, finished, ..
+            } => Some(finished.since(*started)),
+            TransferOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+enum ClientPhase {
+    Waiting,
+    Active {
+        conn: tcp::TcpHandle,
+        started: SimTime,
+        received: usize,
+    },
+    Finished,
+}
+
+/// A client that repeatedly opens a connection to a
+/// [`RequestResponseServer`], sends a one-line request, and reads the
+/// response until the server closes — the Web-browsing workload of §4's
+/// Out-DT discussion.
+pub struct HttpLikeClient {
+    /// The server to talk to.
+    pub server: (Ipv4Addr, u16),
+    /// Explicit local binding; `Some(care-of address)` requests plain
+    /// non-mobile delivery (Out-DT).
+    pub bind_addr: Option<Ipv4Addr>,
+    /// Transfers to perform in total.
+    pub transfers: u32,
+    /// Pause between consecutive transfers.
+    pub gap: SimDuration,
+    /// Application-level response timeout: a transfer that makes no
+    /// progress for this long is aborted and counted failed (the browser's
+    /// own give-up-and-show-broken-icon behaviour, §4). Needed because an
+    /// idle half-dead connection has nothing in flight, so TCP alone never
+    /// notices.
+    pub timeout: SimDuration,
+    start_at: SimTime,
+    phase: ClientPhase,
+    completed_count: u32,
+    next_start: SimTime,
+    alarm: Alarm,
+    /// Per-transfer results, in order.
+    pub outcomes: Vec<TransferOutcome>,
+}
+
+impl HttpLikeClient {
+    /// A client performing `transfers` fetches from `server`, `gap` apart.
+    pub fn new(server: (Ipv4Addr, u16), transfers: u32, gap: SimDuration) -> Self {
+        HttpLikeClient {
+            server,
+            bind_addr: None,
+            transfers,
+            gap,
+            timeout: SimDuration::from_secs(30),
+            start_at: SimTime::ZERO,
+            phase: ClientPhase::Waiting,
+            completed_count: 0,
+            next_start: SimTime::ZERO,
+            alarm: Alarm::default(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Delay the first transfer until `at`.
+    pub fn starting_at(mut self, at: SimTime) -> Self {
+        self.start_at = at;
+        self.next_start = at;
+        self
+    }
+
+    /// Has the workload finished?
+    pub fn done(&self) -> bool {
+        matches!(self.phase, ClientPhase::Finished)
+    }
+}
+
+impl App for HttpLikeClient {
+    fn poll(&mut self, host: &mut Host, ctx: &mut NetCtx) {
+        loop {
+            match &mut self.phase {
+                ClientPhase::Waiting => {
+                    if self.completed_count >= self.transfers {
+                        self.phase = ClientPhase::Finished;
+                        continue;
+                    }
+                    if ctx.now < self.next_start {
+                        let due = self.next_start;
+                        self.alarm.ensure(host, ctx, due);
+                        return;
+                    }
+                    match tcp::connect(host, ctx, self.server, self.bind_addr) {
+                        Ok(conn) => {
+                            tcp::send(host, ctx, conn, b"GET /index.html\n");
+                            self.phase = ClientPhase::Active {
+                                conn,
+                                started: ctx.now,
+                                received: 0,
+                            };
+                        }
+                        Err(e) => {
+                            self.outcomes.push(TransferOutcome::Failed {
+                                started: ctx.now,
+                                error: e,
+                            });
+                            self.completed_count += 1;
+                            self.next_start = ctx.now + self.gap;
+                        }
+                    }
+                    return;
+                }
+                ClientPhase::Active {
+                    conn,
+                    started,
+                    received,
+                } => {
+                    let conn = *conn;
+                    let started_at = *started;
+                    *received += tcp::recv(host, conn).len();
+                    // Browser give-up timer: abort stalled transfers.
+                    if ctx.now.since(started_at) >= self.timeout
+                        && !matches!(tcp::state(host, conn), tcp::TcpState::Closed)
+                    {
+                        tcp::abort(host, ctx, conn);
+                        self.outcomes.push(TransferOutcome::Failed {
+                            started: started_at,
+                            error: tcp::TcpError::TimedOut,
+                        });
+                        self.completed_count += 1;
+                        self.next_start = ctx.now + self.gap;
+                        self.phase = ClientPhase::Waiting;
+                        continue;
+                    }
+                    match tcp::state(host, conn) {
+                        tcp::TcpState::CloseWait => {
+                            // Server finished sending; close our side.
+                            tcp::close(host, ctx, conn);
+                            return;
+                        }
+                        tcp::TcpState::Closed
+                            if tcp::error(host, conn).is_none()
+                                || *received > 0 && tcp::error(host, conn).is_none() =>
+                        {
+                            self.outcomes.push(TransferOutcome::Completed {
+                                started: *started,
+                                finished: ctx.now,
+                                bytes: *received,
+                            });
+                            self.completed_count += 1;
+                            self.next_start = ctx.now + self.gap;
+                            self.phase = ClientPhase::Waiting;
+                        }
+                        tcp::TcpState::Closed => {
+                            self.outcomes.push(TransferOutcome::Failed {
+                                started: *started,
+                                error: tcp::error(host, conn).unwrap(),
+                            });
+                            self.completed_count += 1;
+                            self.next_start = ctx.now + self.gap;
+                            self.phase = ClientPhase::Waiting;
+                        }
+                        // LastAck/TimeWait resolve on their own; Closing
+                        // too — but make sure we wake up to enforce the
+                        // give-up timer even if no packet ever arrives.
+                        _ => {
+                            let due = started_at + self.timeout;
+                            self.alarm.ensure(host, ctx, due);
+                            return;
+                        }
+                    }
+                }
+                ClientPhase::Finished => return,
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ------------------------------------------------------------ keystrokes
+
+/// A long-lived interactive session: one connection, one keystroke byte
+/// every `interval`, expecting the byte echoed back. The telnet workload of
+/// §2: "idle telnet connections that are preserved for hours … while the
+/// laptop computer is sitting unused".
+pub struct KeystrokeSession {
+    /// The server to talk to.
+    pub server: (Ipv4Addr, u16),
+    /// Explicit local binding (the §7.1.1 mobile-awareness signal), if any.
+    pub bind_addr: Option<Ipv4Addr>,
+    /// Gap between transmissions.
+    pub interval: SimDuration,
+    /// Keystrokes to type in total.
+    pub keystrokes: u32,
+    conn: Option<tcp::TcpHandle>,
+    typed: u32,
+    /// Keystrokes echoed back by the correspondent.
+    pub echoed: u64,
+    next_at: SimTime,
+    alarm: Alarm,
+    /// Set when the session died, with the transport error.
+    pub broken: Option<tcp::TcpError>,
+}
+
+impl KeystrokeSession {
+    /// A session typing `keystrokes` at `server`, one every `interval`.
+    pub fn new(server: (Ipv4Addr, u16), interval: SimDuration, keystrokes: u32) -> Self {
+        KeystrokeSession {
+            server,
+            bind_addr: None,
+            interval,
+            keystrokes,
+            conn: None,
+            typed: 0,
+            echoed: 0,
+            next_at: SimTime::ZERO,
+            alarm: Alarm::default(),
+            broken: None,
+        }
+    }
+
+    /// Did every typed keystroke come back?
+    pub fn all_echoed(&self) -> bool {
+        self.typed == self.keystrokes && u64::from(self.typed) == self.echoed
+    }
+
+    /// Keystrokes typed so far.
+    pub fn typed(&self) -> u32 {
+        self.typed
+    }
+
+    /// The underlying connection, once established (for stats inspection).
+    pub fn conn(&self) -> Option<tcp::TcpHandle> {
+        self.conn
+    }
+}
+
+impl App for KeystrokeSession {
+    fn poll(&mut self, host: &mut Host, ctx: &mut NetCtx) {
+        if self.broken.is_some() {
+            return;
+        }
+        let conn = match self.conn {
+            Some(c) => c,
+            None => match tcp::connect(host, ctx, self.server, self.bind_addr) {
+                Ok(c) => {
+                    self.conn = Some(c);
+                    c
+                }
+                Err(e) => {
+                    self.broken = Some(e);
+                    return;
+                }
+            },
+        };
+        self.echoed += tcp::recv(host, conn).len() as u64;
+        if let Some(e) = tcp::error(host, conn) {
+            self.broken = Some(e);
+            return;
+        }
+        if self.typed < self.keystrokes && tcp::state(host, conn) == tcp::TcpState::Established
+            && ctx.now >= self.next_at {
+                tcp::send(host, ctx, conn, b"k");
+                self.typed += 1;
+                self.next_at = ctx.now + self.interval;
+            }
+        if self.typed < self.keystrokes {
+            let due = self.next_at;
+            self.alarm.ensure(host, ctx, due);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ------------------------------------------------------------- bulk sender
+
+/// Connects, pushes `total_bytes`, closes, and records the outcome.
+pub struct BulkSender {
+    /// The server to talk to.
+    pub server: (Ipv4Addr, u16),
+    /// Explicit local binding (the §7.1.1 mobile-awareness signal), if any.
+    pub bind_addr: Option<Ipv4Addr>,
+    /// Bytes to push before closing.
+    pub total_bytes: usize,
+    conn: Option<tcp::TcpHandle>,
+    sent: bool,
+    started: Option<SimTime>,
+    /// The result, once the transfer resolves.
+    pub outcome: Option<TransferOutcome>,
+}
+
+impl BulkSender {
+    /// A sender that will push `total_bytes` to `server`.
+    pub fn new(server: (Ipv4Addr, u16), total_bytes: usize) -> Self {
+        BulkSender {
+            server,
+            bind_addr: None,
+            total_bytes,
+            conn: None,
+            sent: false,
+            started: None,
+            outcome: None,
+        }
+    }
+}
+
+impl App for BulkSender {
+    fn poll(&mut self, host: &mut Host, ctx: &mut NetCtx) {
+        if self.outcome.is_some() {
+            return;
+        }
+        let conn = match self.conn {
+            Some(c) => c,
+            None => {
+                self.started = Some(ctx.now);
+                match tcp::connect(host, ctx, self.server, self.bind_addr) {
+                    Ok(c) => {
+                        self.conn = Some(c);
+                        c
+                    }
+                    Err(e) => {
+                        self.outcome = Some(TransferOutcome::Failed {
+                            started: ctx.now,
+                            error: e,
+                        });
+                        return;
+                    }
+                }
+            }
+        };
+        let _ = tcp::recv(host, conn);
+        if let Some(e) = tcp::error(host, conn) {
+            self.outcome = Some(TransferOutcome::Failed {
+                started: self.started.unwrap(),
+                error: e,
+            });
+            return;
+        }
+        if !self.sent && tcp::state(host, conn).can_send() {
+            let data: Vec<u8> = (0..self.total_bytes).map(|i| (i % 249) as u8).collect();
+            tcp::send(host, ctx, conn, &data);
+            tcp::close(host, ctx, conn);
+            self.sent = true;
+        }
+        if self.sent
+            && matches!(
+                tcp::state(host, conn),
+                tcp::TcpState::Closed | tcp::TcpState::TimeWait | tcp::TcpState::FinWait2
+            )
+            && tcp::all_acked(host, conn)
+        {
+            self.outcome = Some(TransferOutcome::Completed {
+                started: self.started.unwrap(),
+                finished: ctx.now,
+                bytes: self.total_bytes,
+            });
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A sink for [`BulkSender`]: accepts and drains connections.
+pub struct SinkServer {
+    port: u16,
+    listener: Option<tcp::ListenerHandle>,
+    conns: Vec<tcp::TcpHandle>,
+    /// Total bytes received.
+    pub bytes_received: u64,
+}
+
+impl SinkServer {
+    /// A server listening on `port`.
+    pub fn new(port: u16) -> Self {
+        SinkServer {
+            port,
+            listener: None,
+            conns: Vec::new(),
+            bytes_received: 0,
+        }
+    }
+}
+
+impl App for SinkServer {
+    fn poll(&mut self, host: &mut Host, ctx: &mut NetCtx) {
+        let port = self.port;
+        let l = *self
+            .listener
+            .get_or_insert_with(|| tcp::listen(host, None, port));
+        while let Some(c) = tcp::accept(host, l) {
+            self.conns.push(c);
+        }
+        self.conns.retain(|&c| {
+            self.bytes_received += tcp::recv(host, c).len() as u64;
+            match tcp::state(host, c) {
+                tcp::TcpState::CloseWait => {
+                    tcp::close(host, ctx, c);
+                    true
+                }
+                tcp::TcpState::Closed => false,
+                _ => true,
+            }
+        });
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{HostConfig, LinkConfig, NodeId, World};
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn lan_pair() -> (World, NodeId, NodeId) {
+        let mut w = World::new(21);
+        let lan = w.add_segment(LinkConfig::lan());
+        let a = w.add_host(HostConfig::conventional("client"));
+        let b = w.add_host(HostConfig::conventional("server"));
+        w.attach(a, lan, Some("10.0.0.1/24"));
+        w.attach(b, lan, Some("10.0.0.2/24"));
+        for n in [a, b] {
+            udp::install(w.host_mut(n));
+            tcp::install(w.host_mut(n));
+        }
+        (w, a, b)
+    }
+
+    #[test]
+    fn udp_pinger_against_echo_server() {
+        let (mut w, a, b) = lan_pair();
+        w.host_mut(b).add_app(Box::new(UdpEchoServer::new(7)));
+        let app = w.host_mut(a).add_app(Box::new(UdpPinger::new(
+            (ip("10.0.0.2"), 7),
+            SimDuration::from_millis(100),
+            5,
+        )));
+        w.poll_soon(a);
+        w.poll_soon(b);
+        w.run_for(SimDuration::from_secs(2));
+        let pinger = w.host_mut(a).app_as::<UdpPinger>(app).unwrap();
+        assert!(pinger.done());
+        assert_eq!(pinger.rtts.len(), 5);
+        assert_eq!(pinger.lost, 0);
+        for (_, rtt) in &pinger.rtts {
+            assert!(rtt.as_micros() > 0);
+        }
+    }
+
+    #[test]
+    fn keystrokes_echo_over_tcp() {
+        let (mut w, a, b) = lan_pair();
+        w.host_mut(b).add_app(Box::new(TcpEchoServer::new(23)));
+        let app = w.host_mut(a).add_app(Box::new(KeystrokeSession::new(
+            (ip("10.0.0.2"), 23),
+            SimDuration::from_millis(200),
+            10,
+        )));
+        w.poll_soon(a);
+        w.poll_soon(b);
+        w.run_for(SimDuration::from_secs(5));
+        let sess = w.host_mut(a).app_as::<KeystrokeSession>(app).unwrap();
+        assert!(sess.broken.is_none());
+        assert!(sess.all_echoed(), "typed {} echoed {}", sess.typed(), sess.echoed);
+    }
+
+    #[test]
+    fn http_like_client_completes_transfers() {
+        let (mut w, a, b) = lan_pair();
+        w.host_mut(b)
+            .add_app(Box::new(RequestResponseServer::new(80, 8_000)));
+        let app = w.host_mut(a).add_app(Box::new(HttpLikeClient::new(
+            (ip("10.0.0.2"), 80),
+            3,
+            SimDuration::from_millis(500),
+        )));
+        w.poll_soon(a);
+        w.poll_soon(b);
+        w.run_for(SimDuration::from_secs(30));
+        let client = w.host_mut(a).app_as::<HttpLikeClient>(app).unwrap();
+        assert!(client.done());
+        assert_eq!(client.outcomes.len(), 3);
+        for o in &client.outcomes {
+            match o {
+                TransferOutcome::Completed { bytes, .. } => assert_eq!(*bytes, 8_000),
+                TransferOutcome::Failed { error, .. } => panic!("transfer failed: {error:?}"),
+            }
+        }
+        let srv = w.host_mut(b);
+        let served = srv.app_as::<RequestResponseServer>(0).unwrap();
+        assert_eq!(served.requests_served, 3);
+    }
+
+    #[test]
+    fn bulk_sender_into_sink() {
+        let (mut w, a, b) = lan_pair();
+        w.host_mut(b).add_app(Box::new(SinkServer::new(9)));
+        let app = w
+            .host_mut(a)
+            .add_app(Box::new(BulkSender::new((ip("10.0.0.2"), 9), 200_000)));
+        w.poll_soon(a);
+        w.poll_soon(b);
+        w.run_for(SimDuration::from_secs(60));
+        let sender = w.host_mut(a).app_as::<BulkSender>(app).unwrap();
+        let outcome = sender.outcome.expect("finished");
+        assert!(outcome.completed(), "{outcome:?}");
+        assert!(outcome.duration().unwrap().as_micros() > 0);
+        let sink = w.host_mut(b).app_as::<SinkServer>(0).unwrap();
+        assert_eq!(sink.bytes_received, 200_000);
+    }
+
+    #[test]
+    fn client_failure_is_recorded_when_server_absent() {
+        let (mut w, a, _b) = lan_pair();
+        let app = w.host_mut(a).add_app(Box::new(HttpLikeClient::new(
+            (ip("10.0.0.2"), 81), // nothing listens on 81
+            1,
+            SimDuration::from_millis(100),
+        )));
+        w.poll_soon(a);
+        w.run_for(SimDuration::from_secs(10));
+        let client = w.host_mut(a).app_as::<HttpLikeClient>(app).unwrap();
+        assert!(client.done());
+        assert!(matches!(
+            client.outcomes[0],
+            TransferOutcome::Failed {
+                error: tcp::TcpError::Reset,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # transport — UDP and TCP over `netsim` host stacks
+//!
+//! From-scratch transport protocols for the Internet Mobility 4x4
+//! reproduction:
+//!
+//! * [`udp`] — datagram sockets with the bind-address semantics the paper
+//!   uses as its mobile-awareness signal (§7.1.1: an application that binds
+//!   its socket to a physical interface address asks for plain, non-mobile
+//!   delivery).
+//! * [`tcp`] — a real TCP state machine (three-way handshake, cumulative
+//!   acknowledgement, retransmission with Karn-sampled RTO and exponential
+//!   backoff, FIN/RST teardown). Connections are identified by the classic
+//!   4-tuple, which is precisely why Mobile IP's stable home address keeps
+//!   them alive across moves and why the paper's Out-DT/In-DT modes break
+//!   them. Every transmitted data segment is reported to the host's
+//!   mobility hook as original-vs-retransmission — the §7.1.2 feedback
+//!   interface the paper proposed but had "not yet implemented".
+//! * [`apps`] — in-simulation applications (echo services, request/response
+//!   clients, bulk transfer, keystroke sessions) used by the experiments.
+//!
+//! All socket operations are free functions taking `(&mut Host, &mut
+//! NetCtx)` so they compose with the simulator's take-out dispatch pattern.
+
+pub mod apps;
+pub mod tcp;
+pub mod udp;
+
+/// Sequence-number arithmetic (RFC 793 §3.3): all comparisons are modulo
+/// 2^32.
+pub(crate) fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+pub(crate) fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_sequence_compare() {
+        assert!(seq_lt(1, 2));
+        assert!(!seq_lt(2, 1));
+        assert!(!seq_lt(5, 5));
+        assert!(seq_le(5, 5));
+        // Wrap: 0xffff_fff0 is "before" 0x10.
+        assert!(seq_lt(0xffff_fff0, 0x10));
+        assert!(!seq_lt(0x10, 0xffff_fff0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Forgoing Mobile IP for the Web (§4 Out-DT, §6.4 Row D, §7.1.1).
+//!
+//! ```bash
+//! cargo run --example web_browsing
+//! ```
+//!
+//! The away laptop browses: many short HTTP-ish transfers. The §7.1.1 port
+//! heuristic sends port-80 conversations from the care-of address — plain
+//! IP, no tunnels, no triangle — while a concurrent telnet session on port
+//! 23 keeps the home address and full Mobile IP protection. A mid-browsing
+//! move breaks (at most) the one transfer in flight; the browser's answer
+//! is the Reload button. The telnet session doesn't even notice.
+
+use mobility4x4::mip_core::scenario::{addrs, build, ip, ChKind, ScenarioConfig};
+use mobility4x4::mip_core::MobileHost;
+use mobility4x4::netsim::SimDuration;
+use mobility4x4::transport::apps::{
+    HttpLikeClient, KeystrokeSession, RequestResponseServer, TcpEchoServer, TransferOutcome,
+};
+use mobility4x4::transport::tcp;
+
+fn main() {
+    let mut s = build(ScenarioConfig {
+        ch_kind: ChKind::Conventional,
+        ..ScenarioConfig::default() // default policy: ports 80/53 -> Out-DT
+    });
+    let ch = s.ch;
+    let ch_addr = s.ch_addr();
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(RequestResponseServer::new(80, 16_000)));
+    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world.poll_soon(ch);
+
+    s.roam_to_a();
+    println!("away at {}, registered: {}", addrs::COA_A, s.mh_registered());
+
+    let mh = s.mh;
+    // The browser: 8 transfers of 16 kB with small gaps.
+    let browser = s.world.host_mut(mh).add_app(Box::new(HttpLikeClient::new(
+        (ch_addr, 80),
+        8,
+        SimDuration::from_millis(600),
+    )));
+    // The telnet session: long-lived, port 23, home address.
+    let telnet = s.world.host_mut(mh).add_app(Box::new(KeystrokeSession::new(
+        (ch_addr, 23),
+        SimDuration::from_millis(500),
+        30,
+    )));
+    s.world.poll_soon(mh);
+
+    // Browse a while, then move mid-transfer.
+    s.world.run_for(SimDuration::from_secs(4));
+    println!("... moving to visited B mid-browse ...");
+    s.roam_to_b();
+
+    // Let everything finish (a DT transfer broken by the move needs TCP's
+    // full timeout before the client gives up and 'clicks reload').
+    for _ in 0..150 {
+        s.world.run_for(SimDuration::from_secs(2));
+        let done = s
+            .world
+            .host_mut(mh)
+            .app_as::<HttpLikeClient>(browser)
+            .unwrap()
+            .done();
+        if done {
+            break;
+        }
+    }
+    s.world.run_for(SimDuration::from_secs(10));
+
+    // Browser report.
+    let outcomes = {
+        let b = s.world.host_mut(mh).app_as::<HttpLikeClient>(browser).unwrap();
+        b.outcomes.clone()
+    };
+    let mut completed = 0;
+    let mut failed = 0;
+    for (i, o) in outcomes.iter().enumerate() {
+        match o {
+            TransferOutcome::Completed { bytes, .. } => {
+                completed += 1;
+                println!("  transfer {}: {} bytes in {}", i + 1, bytes, o.duration().unwrap());
+            }
+            TransferOutcome::Failed { error, .. } => {
+                failed += 1;
+                println!("  transfer {}: FAILED ({error:?}) — user clicks Reload (§4)", i + 1);
+            }
+        }
+    }
+    println!("browser: {completed} completed, {failed} broken by the move");
+    assert!(failed <= 1, "at most the in-flight transfer breaks");
+
+    // Telnet report: untouched by the move.
+    let (sess_ok, conn) = {
+        let t = s.world.host_mut(mh).app_as::<KeystrokeSession>(telnet).unwrap();
+        (t.all_echoed() && t.broken.is_none(), t.conn())
+    };
+    let endpoint = conn.map(|c| tcp::local_endpoint(s.world.host_mut(mh), c));
+    println!("telnet session survived: {sess_ok}, endpoint {endpoint:?} (the home address)");
+    assert!(sess_ok);
+    assert_eq!(endpoint.unwrap().0, ip(addrs::MH_HOME));
+
+    // The policy's view: port 80 went Out-DT, port 23 went via Mobile IP.
+    let hook = s.world.host_mut(mh).hook_as::<MobileHost>().unwrap();
+    println!(
+        "packets by mode: Out-DT={} (web) vs Out-IE={} (telnet)",
+        hook.stats.sent_out_dt, hook.stats.sent_out_ie
+    );
+    assert!(hook.stats.sent_out_dt > 0);
+    assert!(hook.stats.sent_out_ie > 0);
+}

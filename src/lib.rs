@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # mobility4x4
+//!
+//! A reproduction of *Internet Mobility 4x4* (Stuart Cheshire and Mary
+//! Baker, SIGCOMM '96) as a Rust workspace:
+//!
+//! * [`netsim`] — a deterministic, wire-format-faithful IPv4 network
+//!   simulator (the testbed substitute);
+//! * [`transport`] — from-scratch UDP and TCP with the §7.1.2
+//!   original-vs-retransmission feedback interface;
+//! * [`mip_core`] — the paper's contribution: Mobile IP with per-packet
+//!   routing-mode selection over the 4x4 grid.
+//!
+//! This facade crate re-exports the three layers and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). Start with `examples/quickstart.rs`:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+//!
+//! and see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! measured results.
+
+pub use mip_core;
+pub use netsim;
+pub use transport;
+
+/// The paper's 4x4 taxonomy, re-exported at the top level for convenience.
+pub use mip_core::{classify, CellClass, Combination, InMode, OutMode};

@@ -1,0 +1,151 @@
+//! Figure 10's caption, as a test: "a single host may have many different
+//! conversations in progress at the same time, choosing for each of them
+//! the communication mode that is most appropriate."
+//!
+//! One away mobile host runs four conversations concurrently:
+//!
+//! * a telnet-like session to a conventional remote CH — privacy-sensitive,
+//!   pinned to Out-IE by an operator rule;
+//! * a Web transfer to the same CH — port heuristic picks Out-DT;
+//! * a telnet-like session to a mobile-aware CH — Out-DE via the policy;
+//! * a ping exchange with a host on its own visited segment — Out-DH,
+//!   single link-layer hop.
+//!
+//! All four run at once on one stack, and each uses its own mode.
+
+use mobility4x4::mip_core::scenario::{addrs, build, ip, ChKind, ScenarioConfig};
+use mobility4x4::mip_core::{MobileHost, OutMode, PolicyConfig, Strategy};
+use mobility4x4::netsim::wire::icmp::IcmpMessage;
+use mobility4x4::netsim::wire::ipv4::IpProtocol;
+use mobility4x4::netsim::{HostConfig, SimDuration};
+use mobility4x4::transport::apps::{
+    HttpLikeClient, KeystrokeSession, RequestResponseServer, TcpEchoServer,
+};
+use mobility4x4::transport::{tcp, udp};
+
+#[test]
+fn four_conversations_four_modes_one_host() {
+    // Base scenario: conventional CH at 18.26.0.5; we add a mobile-aware
+    // CH2 in the same domain and a local host on visited-A.
+    let mut s = build(ScenarioConfig {
+        ch_kind: ChKind::Conventional,
+        mh_policy: PolicyConfig {
+            // Default pessimistic with DT ports; rule: CH2's /32 runs DE.
+            ..PolicyConfig::default()
+                .with_rule("18.26.0.6/32".parse().unwrap(), Strategy::Fixed(OutMode::DE))
+                .with_rule("18.26.0.5/32".parse().unwrap(), Strategy::Fixed(OutMode::IE))
+        },
+        ..ScenarioConfig::default()
+    });
+    let ch2 = s.world.add_host(HostConfig::decap_capable("ch2"));
+    s.world.attach(ch2, s.ch_seg, Some("18.26.0.6/24"));
+    let local = s.world.add_host(HostConfig::conventional("local"));
+    s.world.attach(local, s.visited_a, Some("36.186.0.5/24"));
+    s.world.compute_routes();
+    for n in [ch2, local] {
+        udp::install(s.world.host_mut(n));
+        tcp::install(s.world.host_mut(n));
+    }
+
+    // Services.
+    let ch = s.ch;
+    let ch_addr = s.ch_addr();
+    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(RequestResponseServer::new(80, 8_000)));
+    s.world.host_mut(ch2).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world.poll_soon(ch);
+    s.world.poll_soon(ch2);
+
+    s.roam_to_a();
+    assert!(s.mh_registered());
+    let mh = s.mh;
+
+    // Conversation 1: telnet to conventional CH (rule: Out-IE).
+    let telnet_ie = s.world.host_mut(mh).add_app(Box::new(KeystrokeSession::new(
+        (ch_addr, 23),
+        SimDuration::from_millis(300),
+        15,
+    )));
+    // Conversation 2: Web to the same CH (port heuristic: Out-DT).
+    let web_dt = s.world.host_mut(mh).add_app(Box::new(HttpLikeClient::new(
+        (ch_addr, 80),
+        3,
+        SimDuration::from_millis(500),
+    )));
+    // Conversation 3: telnet to the mobile-aware CH2 (rule: Out-DE).
+    let telnet_de = s.world.host_mut(mh).add_app(Box::new(KeystrokeSession::new(
+        (ip("18.26.0.6"), 23),
+        SimDuration::from_millis(300),
+        15,
+    )));
+    s.world.poll_soon(mh);
+    // Conversation 4: pings to the on-segment neighbour (Out-DH on-link).
+    for seq in 0..5 {
+        s.world.host_do(mh, |h, ctx| {
+            h.send_ping(ctx, ip(addrs::MH_HOME), ip("36.186.0.5"), seq)
+        });
+        s.world.run_for(SimDuration::from_secs(1));
+    }
+    s.world.run_for(SimDuration::from_secs(20));
+
+    // All four conversations succeeded.
+    {
+        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(telnet_ie).unwrap();
+        assert!(sess.all_echoed() && sess.broken.is_none(), "IE telnet");
+    }
+    {
+        let web = s.world.host_mut(mh).app_as::<HttpLikeClient>(web_dt).unwrap();
+        assert!(web.done(), "web transfers finished");
+        assert!(web.outcomes.iter().all(|o| o.completed()), "web all ok");
+    }
+    {
+        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(telnet_de).unwrap();
+        assert!(sess.all_echoed() && sess.broken.is_none(), "DE telnet");
+    }
+    let echo_replies = s
+        .world
+        .host(mh)
+        .icmp_log
+        .iter()
+        .filter(|e| matches!(e.message, IcmpMessage::EchoReply { .. })
+            && e.from == ip("36.186.0.5"))
+        .count();
+    assert_eq!(echo_replies, 5, "on-link pings all answered");
+
+    // And each used its own mode, concurrently, on one stack.
+    let hook = s.world.host_mut(mh).hook_as::<MobileHost>().unwrap();
+    assert!(hook.stats.sent_out_ie > 0, "conversation 1 used Out-IE");
+    assert!(hook.stats.sent_out_dt > 0, "conversation 2 used Out-DT");
+    assert!(hook.stats.sent_out_de > 0, "conversation 3 used Out-DE");
+    assert!(hook.stats.sent_out_dh >= 5, "conversation 4 used Out-DH");
+    assert_eq!(hook.mode_for(ch_addr), OutMode::IE);
+    assert_eq!(hook.mode_for(ip("18.26.0.6")), OutMode::DE);
+
+    // The endpoints tell the same story: the web conversation used the
+    // care-of address, the telnets the home address.
+    let telnet_conn = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(telnet_ie)
+        .unwrap()
+        .conn()
+        .unwrap();
+    assert_eq!(
+        tcp::local_endpoint(s.world.host_mut(mh), telnet_conn).0,
+        ip(addrs::MH_HOME)
+    );
+
+    // No care-of-address packet ever reached the IE-pinned correspondent
+    // conversation... but the SAME correspondent host did see the care-of
+    // address on port 80 — mode choice is per conversation, not per peer.
+    let coa = ip(addrs::COA_A);
+    let saw_coa_tcp = s.world.trace.events().iter().any(|e| {
+        e.node == ch
+            && matches!(e.kind, mobility4x4::netsim::TraceEventKind::DeliveredLocal)
+            && e.packet.src == coa
+            && e.packet.protocol == IpProtocol::Tcp
+    });
+    assert!(saw_coa_tcp, "the DT web conversation hit the same host");
+}

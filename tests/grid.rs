@@ -1,0 +1,44 @@
+//! The headline integration test: the empirical 4x4 grid must agree with
+//! Figure 10 cell-for-cell — every unshaded and light-shaded combination
+//! completes a TCP conversation; every dark cell breaks it.
+
+use mobility4x4::mip_core::{CellClass, InMode, OutMode};
+
+#[test]
+fn all_sixteen_cells_match_figure_10() {
+    let grid = bench::experiments::fig10_grid::run();
+    assert_eq!(grid.cells.len(), 16);
+    let mut mismatches = Vec::new();
+    for cell in &grid.cells {
+        let expected_to_work = cell.paper_class.works();
+        if cell.works != expected_to_work {
+            mismatches.push(format!(
+                "{}: measured works={} but paper says {:?}",
+                cell.combo, cell.works, cell.paper_class
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "grid disagrees with the paper:\n{}\n\n{}",
+        mismatches.join("\n"),
+        grid.table
+    );
+    // Structural spot checks.
+    let count = |class: CellClass| {
+        grid.cells
+            .iter()
+            .filter(|c| c.paper_class == class)
+            .count()
+    };
+    assert_eq!(count(CellClass::Useful), 7);
+    assert_eq!(count(CellClass::ValidButUnused), 3);
+    assert_eq!(count(CellClass::Broken), 6);
+    // The working cells deliver every keystroke, not just some.
+    for cell in &grid.cells {
+        if cell.works {
+            assert_eq!(cell.keystrokes_echoed, 5, "{}", cell.combo);
+        }
+    }
+    let _ = (InMode::ALL, OutMode::ALL);
+}
