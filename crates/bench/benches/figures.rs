@@ -62,7 +62,13 @@ fn bench_figures(c: &mut Criterion) {
         })
     });
     g.bench_function("exp_http_dt", |b| {
-        b.iter(|| black_box(exp_http::browse(mip_core::PolicyConfig::default(), 2, false)))
+        b.iter(|| {
+            black_box(exp_http::browse(
+                mip_core::PolicyConfig::default(),
+                2,
+                false,
+            ))
+        })
     });
     g.bench_function("exp_handoff_mobile_ip", |b| {
         b.iter(|| black_box(exp_handoff::session(true)))
@@ -103,8 +109,14 @@ fn bench_micro(c: &mut Criterion) {
         g.bench_function(format!("encapsulate_{f:?}_512B"), |b| {
             b.iter(|| {
                 black_box(
-                    encapsulate(f, ip("36.186.0.99"), ip("171.64.15.1"), black_box(&inner), 1)
-                        .unwrap(),
+                    encapsulate(
+                        f,
+                        ip("36.186.0.99"),
+                        ip("171.64.15.1"),
+                        black_box(&inner),
+                        1,
+                    )
+                    .unwrap(),
                 )
             })
         });
@@ -170,5 +182,48 @@ fn bench_micro(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_micro);
+// ---- metrics registry overhead -----------------------------------------
+
+/// The same end-to-end workload with the metrics registry off (the
+/// default) and on. The disabled run is the cost every simulation pays
+/// for the registry existing at all — it should be within noise of the
+/// pre-registry event loop, and far under the enabled run.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics_overhead");
+    g.sample_size(10);
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        g.bench_function(format!("ping_world_metrics_{label}"), |b| {
+            b.iter(|| {
+                let mut w = netsim::World::new(1);
+                let lan_a = w.add_segment(netsim::LinkConfig::lan());
+                let mid = w.add_segment(netsim::LinkConfig::wan(10));
+                let lan_b = w.add_segment(netsim::LinkConfig::lan());
+                let a = w.add_host(netsim::HostConfig::conventional("a"));
+                let bb = w.add_host(netsim::HostConfig::conventional("b"));
+                let r1 = w.add_router(netsim::RouterConfig::named("r1"));
+                let r2 = w.add_router(netsim::RouterConfig::named("r2"));
+                w.attach(a, lan_a, Some("10.0.1.10/24"));
+                w.attach(r1, lan_a, Some("10.0.1.1/24"));
+                w.attach(r1, mid, Some("192.168.0.1/30"));
+                w.attach(r2, mid, Some("192.168.0.2/30"));
+                w.attach(r2, lan_b, Some("10.0.2.1/24"));
+                w.attach(bb, lan_b, Some("10.0.2.10/24"));
+                w.compute_routes();
+                if enabled {
+                    w.enable_metrics();
+                }
+                for seq in 0..32u16 {
+                    w.host_do(a, |h, ctx| {
+                        h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), seq)
+                    });
+                }
+                w.run_until_idle(10_000_000);
+                black_box(w.trace.events().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_micro, bench_metrics_overhead);
 criterion_main!(benches);

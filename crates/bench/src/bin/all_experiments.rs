@@ -2,17 +2,23 @@
 //! independent deterministic simulations) and prints all result tables —
 //! the source of the "measured" columns in EXPERIMENTS.md.
 //!
-//! With `--json <path>`, additionally writes the tables as structured JSON
-//! for downstream tooling.
+//! Always writes the structured run report to `target/run-reports/`; with
+//! `--json <path>`, additionally writes the bare tables as JSON at the
+//! given path (the pre-report format kept for downstream tooling).
 
 fn main() {
+    bench::report::enable();
     let args: Vec<String> = std::env::args().collect();
     let tables = bench::experiments::run_all();
     for t in &tables {
         println!("{t}");
     }
+    bench::report::emit("all_experiments", &tables);
     if let Some(ix) = args.iter().position(|a| a == "--json") {
-        let path = args.get(ix + 1).map(String::as_str).unwrap_or("experiments.json");
+        let path = args
+            .get(ix + 1)
+            .map(String::as_str)
+            .unwrap_or("experiments.json");
         let json = serde_json::to_string_pretty(&tables).expect("serializable");
         std::fs::write(path, json).expect("write json");
         eprintln!("wrote {path}");

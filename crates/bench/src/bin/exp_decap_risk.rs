@@ -1,4 +1,7 @@
 //! Extension: the §6.1 automatic-decapsulation spoofing risk, measured.
 fn main() {
-    println!("{}", bench::experiments::exp_decap_risk::run());
+    bench::report::enable();
+    let t = bench::experiments::exp_decap_risk::run();
+    println!("{t}");
+    bench::report::emit("exp_decap_risk", &[t]);
 }

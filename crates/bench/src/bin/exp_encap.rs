@@ -1,4 +1,7 @@
 //! Ablation: encapsulation format on a live tunnelled workload (§3.3).
 fn main() {
-    println!("{}", bench::experiments::exp_encap::run());
+    bench::report::enable();
+    let t = bench::experiments::exp_encap::run();
+    println!("{t}");
+    bench::report::emit("exp_encap", &[t]);
 }

@@ -1,4 +1,7 @@
 //! E13: transmission-feedback ablation (§7.1.2).
 fn main() {
-    println!("{}", bench::experiments::exp_feedback::run());
+    bench::report::enable();
+    let t = bench::experiments::exp_feedback::run();
+    println!("{t}");
+    bench::report::emit("exp_feedback", &[t]);
 }

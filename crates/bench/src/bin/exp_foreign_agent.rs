@@ -1,4 +1,7 @@
 //! Ablation: foreign agent vs collocated care-of address (§2).
 fn main() {
-    println!("{}", bench::experiments::exp_foreign_agent::run());
+    bench::report::enable();
+    let t = bench::experiments::exp_foreign_agent::run();
+    println!("{t}");
+    bench::report::emit("exp_foreign_agent", &[t]);
 }

@@ -1,4 +1,7 @@
 //! E11: connection durability across handoffs (§2).
 fn main() {
-    println!("{}", bench::experiments::exp_handoff::run());
+    bench::report::enable();
+    let t = bench::experiments::exp_handoff::run();
+    println!("{t}");
+    bench::report::emit("exp_handoff", &[t]);
 }

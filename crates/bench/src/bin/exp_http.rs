@@ -1,4 +1,7 @@
 //! E10: Web workload, Out-DT vs always-Mobile-IP (§4/§6.4).
 fn main() {
-    println!("{}", bench::experiments::exp_http::run());
+    bench::report::enable();
+    let t = bench::experiments::exp_http::run();
+    println!("{t}");
+    bench::report::emit("exp_http", &[t]);
 }

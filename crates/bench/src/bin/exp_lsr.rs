@@ -1,4 +1,7 @@
 //! E17: loose source routing vs encapsulation (§4), measured.
 fn main() {
-    println!("{}", bench::experiments::exp_lsr::run());
+    bench::report::enable();
+    let t = bench::experiments::exp_lsr::run();
+    println!("{t}");
+    bench::report::emit("exp_lsr", &[t]);
 }

@@ -1,4 +1,7 @@
 //! E12: multicast, home tunnel vs local join (§6.4).
 fn main() {
-    println!("{}", bench::experiments::exp_multicast::run());
+    bench::report::enable();
+    let t = bench::experiments::exp_multicast::run();
+    println!("{t}");
+    bench::report::emit("exp_multicast", &[t]);
 }

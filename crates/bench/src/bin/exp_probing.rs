@@ -1,4 +1,7 @@
 //! E9: probing-strategy comparison (§7.1).
 fn main() {
-    println!("{}", bench::experiments::exp_probing::run());
+    bench::report::enable();
+    let t = bench::experiments::exp_probing::run();
+    println!("{t}");
+    bench::report::emit("exp_probing", &[t]);
 }

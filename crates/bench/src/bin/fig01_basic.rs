@@ -1,4 +1,7 @@
 //! Regenerates Figure 1 (basic Mobile IP path asymmetry). See DESIGN.md E1.
 fn main() {
-    println!("{}", bench::experiments::fig01_basic::run());
+    bench::report::enable();
+    let t = bench::experiments::fig01_basic::run();
+    println!("{t}");
+    bench::report::emit("fig01_basic", &[t]);
 }

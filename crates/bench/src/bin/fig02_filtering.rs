@@ -1,6 +1,9 @@
 //! Regenerates Figure 2 (source-address-filtering deliverability matrix). See DESIGN.md E2.
 fn main() {
-    for t in bench::experiments::fig02_filtering::run() {
+    bench::report::enable();
+    let tables = bench::experiments::fig02_filtering::run();
+    for t in &tables {
         println!("{t}");
     }
+    bench::report::emit("fig02_filtering", &tables);
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 3 (bi-directional tunneling). See DESIGN.md E3.
 fn main() {
-    println!("{}", bench::experiments::fig03_bitunnel::run());
+    bench::report::enable();
+    let t = bench::experiments::fig03_bitunnel::run();
+    println!("{t}");
+    bench::report::emit("fig03_bitunnel", &[t]);
 }

@@ -1,6 +1,9 @@
 //! Regenerates Figure 5 (smart correspondent learning). See DESIGN.md E5.
 fn main() {
-    for t in bench::experiments::fig05_smart_ch::run() {
+    bench::report::enable();
+    let tables = bench::experiments::fig05_smart_ch::run();
+    for t in &tables {
         println!("{t}");
     }
+    bench::report::emit("fig05_smart_ch", &tables);
 }

@@ -1,6 +1,9 @@
 //! Regenerates Figures 6-9 (packet formats and sizes). See DESIGN.md E6/E7.
 fn main() {
-    for t in bench::experiments::fig06_formats::run() {
+    bench::report::enable();
+    let tables = bench::experiments::fig06_formats::run();
+    for t in &tables {
         println!("{t}");
     }
+    bench::report::emit("fig06_07_formats", &tables);
 }

@@ -41,6 +41,7 @@ pub fn attack(tunnelled: bool, victim_decaps: bool) -> SpoofOutcome {
         home_ingress_filter: true,
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     s.world.host_mut(s.server).set_decap_capable(victim_decaps);
     udp::install(s.world.host_mut(s.server));
     let sock = udp::bind(s.world.host_mut(s.server), None, 2049); // NFS-ish
@@ -74,6 +75,10 @@ pub fn attack(tunnelled: bool, victim_decaps: bool) -> SpoofOutcome {
     });
     s.world.run_for(SimDuration::from_secs(2));
 
+    crate::report::record_world(
+        &format!("spoof/tunnelled={tunnelled}/decaps={victim_decaps}"),
+        &s.world,
+    );
     let mut accepted = 0;
     while let Some(got) = udp::recv(s.world.host_mut(s.server), sock) {
         if got.from.0 == trusted {
@@ -87,15 +92,27 @@ pub fn attack(tunnelled: bool, victim_decaps: bool) -> SpoofOutcome {
 pub fn run() -> Table {
     let mut t = Table::new(
         "Extension §6.1 — spoofing a trusted inside source past the ingress filter",
-        &["attack packet", "victim decapsulates", "forged datagram accepted"],
+        &[
+            "attack packet",
+            "victim decapsulates",
+            "forged datagram accepted",
+        ],
     );
-    for (tunnelled, label) in [(false, "plain (Figure 2 geometry)"), (true, "inside a tunnel")] {
+    for (tunnelled, label) in [
+        (false, "plain (Figure 2 geometry)"),
+        (true, "inside a tunnel"),
+    ] {
         for decaps in [false, true] {
             let o = attack(tunnelled, decaps);
             t.row(&[
                 label.to_string(),
                 decaps.to_string(),
-                if o.accepted > 0 { "ACCEPTED" } else { "blocked" }.to_string(),
+                if o.accepted > 0 {
+                    "ACCEPTED"
+                } else {
+                    "blocked"
+                }
+                .to_string(),
             ]);
         }
     }

@@ -44,9 +44,12 @@ pub fn workload(format: EncapFormat) -> EncapOutcome {
         mh_policy: PolicyConfig::fixed(OutMode::IE).without_dt_ports(),
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
     s.roam_to_a();
     s.world.trace.clear();
@@ -59,6 +62,7 @@ pub fn workload(format: EncapFormat) -> EncapOutcome {
     s.world.poll_soon(mh);
     s.world.run_for(SimDuration::from_secs(10));
 
+    crate::report::record_world(&format!("workload/{format:?}"), &s.world);
     let is_tunnel = |p: &netsim::trace::PacketSummary| {
         matches!(
             p.protocol,
@@ -78,7 +82,11 @@ pub fn workload(format: EncapFormat) -> EncapOutcome {
         .filter(|e| matches!(e.kind, netsim::TraceEventKind::Sent))
         .map(|e| e.packet.wire_len)
         .sum();
-    let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
     EncapOutcome {
         tunnel_packets,
         tunnel_bytes,
@@ -143,7 +151,13 @@ pub fn run() -> Table {
     let gre = workload(EncapFormat::Gre);
     let mut t = Table::new(
         "Ablation §3.3 — tunnel format on a fully-tunnelled 20-keystroke session",
-        &["format", "session ok", "tunnel pkts", "tunnel wire bytes", "vs IP-in-IP"],
+        &[
+            "format",
+            "session ok",
+            "tunnel pkts",
+            "tunnel wire bytes",
+            "vs IP-in-IP",
+        ],
     );
     for (name, o) in [
         ("IP-in-IP (+20 B)", &ipip),
@@ -187,15 +201,20 @@ mod tests {
         assert!(minimal.tunnel_bytes < ipip.tunnel_bytes);
         assert!(gre.tunnel_bytes > ipip.tunnel_bytes);
         // Per-packet deltas are exactly the header-size differences.
-        let per_pkt_saving =
-            (ipip.tunnel_bytes - minimal.tunnel_bytes) / ipip.tunnel_packets;
+        let per_pkt_saving = (ipip.tunnel_bytes - minimal.tunnel_bytes) / ipip.tunnel_packets;
         assert_eq!(per_pkt_saving, 8, "IPIP(20) - MinEnc(12) = 8 B/pkt");
     }
 
     #[test]
     fn fragmented_datagrams_survive_a_minimal_encapsulation_tunnel() {
         let (minenc, delivered) = minimal_with_fragments();
-        assert_eq!(delivered, 2, "both datagrams (incl. the fragmented one) arrive");
-        assert!(minenc >= 2, "both rode Minimal Encapsulation after reassembly");
+        assert_eq!(
+            delivered, 2,
+            "both datagrams (incl. the fragmented one) arrive"
+        );
+        assert!(
+            minenc >= 2,
+            "both rode Minimal Encapsulation after reassembly"
+        );
     }
 }

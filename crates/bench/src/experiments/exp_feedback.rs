@@ -41,10 +41,13 @@ pub fn session(feedback_enabled: bool) -> FeedbackOutcome {
         mh_policy: policy,
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
     let mh = s.mh;
     let start = s.world.now();
@@ -58,16 +61,31 @@ pub fn session(feedback_enabled: bool) -> FeedbackOutcome {
     let mut completion_ms = 0;
     for _ in 0..300 {
         s.world.run_for(SimDuration::from_secs(1));
-        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+        let sess = s
+            .world
+            .host_mut(mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
         if sess.all_echoed() || sess.broken.is_some() {
             completion_ms = s.world.now().since(start).as_millis();
             break;
         }
     }
     let completed = {
-        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+        let sess = s
+            .world
+            .host_mut(mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
         sess.all_echoed() && sess.broken.is_none()
     };
+    crate::report::record_world(&format!("session/feedback={feedback_enabled}"), &s.world);
+    if let Some(h) = s.world.host_mut(mh).hook_as::<MobileHost>() {
+        crate::report::record_value(
+            &format!("session/feedback={feedback_enabled}/audit"),
+            h.audit(),
+        );
+    }
     let hook = s.world.host_mut(mh).hook_as::<MobileHost>().unwrap();
     FeedbackOutcome {
         completed,
@@ -83,7 +101,13 @@ pub fn run() -> Table {
     let without = session(false);
     let mut t = Table::new(
         "E13 §7.1.2 — retransmission feedback ablation (optimistic MH behind an egress filter)",
-        &["feedback", "session completed", "time ms", "demotions", "final mode"],
+        &[
+            "feedback",
+            "session completed",
+            "time ms",
+            "demotions",
+            "final mode",
+        ],
     );
     t.row(&[
         "enabled".to_string(),

@@ -39,6 +39,7 @@ pub fn deployment(via_fa: bool) -> FaOutcome {
         mh_policy: PolicyConfig::fixed(OutMode::DE).without_dt_ports(),
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     if via_fa {
         // Stand up a foreign agent on visited-A.
         let fa = s.world.add_host(netsim::HostConfig::conventional("fa"));
@@ -83,7 +84,9 @@ pub fn deployment(via_fa: bool) -> FaOutcome {
         let (lsrc, ldst) = p.logical_endpoints();
         lsrc == ch_addr && ldst == mh_home
     });
+    crate::report::record_world(&format!("deployment/via_fa={via_fa}"), &s.world);
     let hook = s.world.host_mut(s.mh).hook_as::<MobileHost>().unwrap();
+    crate::report::record_value(&format!("deployment/via_fa={via_fa}/audit"), hook.audit());
     FaOutcome {
         registered: hook.is_registered(),
         ping_answered,

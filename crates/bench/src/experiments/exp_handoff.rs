@@ -41,10 +41,13 @@ pub fn session(use_home_address: bool) -> HandoffOutcome {
         mh_policy: PolicyConfig::fixed(OutMode::IE).without_dt_ports(),
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
 
     let mh = s.mh;
@@ -59,12 +62,16 @@ pub fn session(use_home_address: bool) -> HandoffOutcome {
     s.roam_to_b(); // second handoff (includes 2 s settle)
     s.world.run_for(SimDuration::from_secs(4));
     s.go_home(); // final move, mid-session
-    // Long tail: a dead care-of-bound connection takes TCP's full
-    // exponential backoff (~2 min) to report its own demise.
+                 // Long tail: a dead care-of-bound connection takes TCP's full
+                 // exponential backoff (~2 min) to report its own demise.
     s.world.run_for(SimDuration::from_secs(200));
 
     let (survived, echoed, typed, conn) = {
-        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+        let sess = s
+            .world
+            .host_mut(mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
         (
             sess.broken.is_none() && sess.all_echoed(),
             sess.echoed,
@@ -75,7 +82,15 @@ pub fn session(use_home_address: bool) -> HandoffOutcome {
     let retransmitted = conn
         .map(|c| tcp::stats(s.world.host_mut(mh), c).segs_retransmitted)
         .unwrap_or(0);
+    crate::report::record_world(
+        &format!("session/home_address={use_home_address}"),
+        &s.world,
+    );
     let hook = s.world.host_mut(mh).hook_as::<MobileHost>().unwrap();
+    crate::report::record_value(
+        &format!("session/home_address={use_home_address}/audit"),
+        hook.audit(),
+    );
     HandoffOutcome {
         survived,
         echoed,

@@ -35,7 +35,9 @@ pub struct WorkloadOutcome {
 fn tcp_bytes(s: &Scenario) -> usize {
     s.world.trace.bytes_on_wire(|p| {
         p.protocol == IpProtocol::Tcp
-            || p.inner.map(|(_, _, pr)| pr == IpProtocol::Tcp).unwrap_or(false)
+            || p.inner
+                .map(|(_, _, pr)| pr == IpProtocol::Tcp)
+                .unwrap_or(false)
     })
 }
 
@@ -47,6 +49,7 @@ pub fn browse(policy: PolicyConfig, transfers: u32, move_midway: bool) -> Worklo
         mh_policy: policy,
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     let ch = s.ch;
     let ch_addr = s.ch_addr();
@@ -104,6 +107,10 @@ pub fn browse(policy: PolicyConfig, transfers: u32, move_midway: bool) -> Worklo
         }
     }
 
+    crate::report::record_world(
+        &format!("browse/transfers={transfers}/move_midway={move_midway}"),
+        &s.world,
+    );
     let bytes = tcp_bytes(&s);
     let client = s.world.host_mut(mh).app_as::<HttpLikeClient>(app).unwrap();
     let mut durations = Vec::new();
@@ -128,7 +135,11 @@ pub fn browse(policy: PolicyConfig, transfers: u32, move_midway: bool) -> Worklo
 pub fn run() -> Table {
     let n = 6;
     let dt = browse(PolicyConfig::default(), n, false);
-    let ie = browse(PolicyConfig::fixed(OutMode::IE).without_dt_ports(), n, false);
+    let ie = browse(
+        PolicyConfig::fixed(OutMode::IE).without_dt_ports(),
+        n,
+        false,
+    );
     let dt_move = browse(PolicyConfig::default(), n, true);
     let ie_move = browse(PolicyConfig::fixed(OutMode::IE).without_dt_ports(), n, true);
 
@@ -169,7 +180,11 @@ mod tests {
     #[test]
     fn dt_is_faster_and_lighter_than_mobile_ip() {
         let dt = browse(PolicyConfig::default(), 4, false);
-        let ie = browse(PolicyConfig::fixed(OutMode::IE).without_dt_ports(), 4, false);
+        let ie = browse(
+            PolicyConfig::fixed(OutMode::IE).without_dt_ports(),
+            4,
+            false,
+        );
         assert_eq!(dt.completed, 4);
         assert_eq!(ie.completed, 4);
         assert!(

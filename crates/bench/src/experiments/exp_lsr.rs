@@ -61,6 +61,7 @@ fn scenario(filtered: bool) -> Scenario {
 /// through the home agent by `method`.
 pub fn probe(method: Steering, filtered: bool) -> LsrOutcome {
     let mut s = scenario(filtered);
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     let mh = s.mh;
     let ch_addr = s.ch_addr();
@@ -121,6 +122,7 @@ pub fn probe(method: Steering, filtered: bool) -> LsrOutcome {
         .iter()
         .map(|&r| s.world.router_mut(r).slow_path_packets)
         .sum();
+    crate::report::record_world(&format!("probe/{method:?}/filtered={filtered}"), &s.world);
     LsrOutcome {
         delivered,
         one_way_us,

@@ -42,6 +42,7 @@ pub fn receive_session(method: JoinMethod) -> McOutcome {
         mh_policy: PolicyConfig::fixed(OutMode::IE),
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     // The session has senders on both segments (10 packets each), starting
     // after the mobile settles.
     let start = SimTime::ZERO + SimDuration::from_secs(4);
@@ -64,10 +65,19 @@ pub fn receive_session(method: JoinMethod) -> McOutcome {
 
     s.roam_to_a();
     let mh = s.mh;
-    let app = s.world.host_mut(mh).add_app(Box::new(MulticastListener::new(PORT)));
+    let app = s
+        .world
+        .host_mut(mh)
+        .add_app(Box::new(MulticastListener::new(PORT)));
     match method {
         JoinMethod::ViaHomeTunnel => {
-            join_via_home_agent(&mut s.world, s.ha, s.ha_home_iface, group, ip(addrs::MH_HOME));
+            join_via_home_agent(
+                &mut s.world,
+                s.ha,
+                s.ha_home_iface,
+                group,
+                ip(addrs::MH_HOME),
+            );
         }
         JoinMethod::LocalInterface => {
             join_local(&mut s.world, mh, 0, group);
@@ -78,7 +88,12 @@ pub fn receive_session(method: JoinMethod) -> McOutcome {
     let backbone_before = s.world.segment_stats(s.backbone).bytes;
     s.world.run_for(SimDuration::from_secs(15));
     let backbone_bytes = s.world.segment_stats(s.backbone).bytes - backbone_before;
-    let listener = s.world.host_mut(mh).app_as::<MulticastListener>(app).unwrap();
+    crate::report::record_world(&format!("receive_session/{method:?}"), &s.world);
+    let listener = s
+        .world
+        .host_mut(mh)
+        .app_as::<MulticastListener>(app)
+        .unwrap();
     McOutcome {
         received: listener.received,
         backbone_bytes,

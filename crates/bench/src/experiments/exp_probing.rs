@@ -47,17 +47,19 @@ pub struct ProbeOutcome {
 
 /// Run a 20-keystroke session under `policy` in `env` and measure the cost.
 pub fn probe(strategy_name: &str, policy: PolicyConfig, env: Env) -> ProbeOutcome {
-    let _ = strategy_name;
     let mut s = build(ScenarioConfig {
         ch_kind: ChKind::DecapCapable,
         visited_egress_filter: env == Env::EgressFiltered,
         mh_policy: policy,
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
 
     let keystrokes = 20;
@@ -75,20 +77,33 @@ pub fn probe(strategy_name: &str, policy: PolicyConfig, env: Env) -> ProbeOutcom
     let deadline = 300; // seconds
     for _ in 0..deadline {
         s.world.run_for(SimDuration::from_secs(1));
-        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+        let sess = s
+            .world
+            .host_mut(mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
         if sess.all_echoed() || sess.broken.is_some() {
             completion_ms = s.world.now().since(start).as_millis();
             break;
         }
     }
     let (completed, conn) = {
-        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+        let sess = s
+            .world
+            .host_mut(mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
         (sess.all_echoed() && sess.broken.is_none(), sess.conn())
     };
     let retransmitted = conn
         .map(|c| tcp::stats(s.world.host_mut(mh), c).segs_retransmitted)
         .unwrap_or(0);
+    crate::report::record_world(&format!("probe/{strategy_name}/{env:?}"), &s.world);
     let hook = s.world.host_mut(mh).hook_as::<MobileHost>().unwrap();
+    crate::report::record_value(
+        &format!("probe/{strategy_name}/{env:?}/audit"),
+        hook.audit(),
+    );
     ProbeOutcome {
         completed,
         completion_ms,
@@ -101,8 +116,14 @@ pub fn probe(strategy_name: &str, policy: PolicyConfig, env: Env) -> ProbeOutcom
 
 fn policies() -> Vec<(&'static str, PolicyConfig)> {
     vec![
-        ("optimistic (DH first)", PolicyConfig::optimistic().without_dt_ports()),
-        ("pessimistic (IE first)", PolicyConfig::pessimistic().without_dt_ports()),
+        (
+            "optimistic (DH first)",
+            PolicyConfig::optimistic().without_dt_ports(),
+        ),
+        (
+            "pessimistic (IE first)",
+            PolicyConfig::pessimistic().without_dt_ports(),
+        ),
         (
             "rule: CH region -> Out-DE (operator knows)",
             PolicyConfig::optimistic()
@@ -112,7 +133,10 @@ fn policies() -> Vec<(&'static str, PolicyConfig)> {
                 // hosts decapsulate, so start (and stay) at Out-DE.
                 .with_rule(cidr(addrs::CH_PREFIX), Strategy::Fixed(OutMode::DE)),
         ),
-        ("fixed Out-IE (no probing)", PolicyConfig::fixed(OutMode::IE).without_dt_ports()),
+        (
+            "fixed Out-IE (no probing)",
+            PolicyConfig::fixed(OutMode::IE).without_dt_ports(),
+        ),
     ]
 }
 
@@ -154,7 +178,11 @@ mod tests {
 
     #[test]
     fn optimistic_is_clean_on_open_network() {
-        let o = probe("opt", PolicyConfig::optimistic().without_dt_ports(), Env::Open);
+        let o = probe(
+            "opt",
+            PolicyConfig::optimistic().without_dt_ports(),
+            Env::Open,
+        );
         assert!(o.completed);
         assert_eq!(o.retransmitted, 0, "nothing to discover");
         assert_eq!(o.final_mode, Some(OutMode::DH));
@@ -171,12 +199,20 @@ mod tests {
         assert!(o.completed, "feedback demotion rescues the conversation");
         assert!(o.retransmitted > 0, "the probing cost is visible");
         assert!(o.demotions >= 1);
-        assert_eq!(o.final_mode, Some(OutMode::DE), "settles on Out-DE (CH can decap)");
+        assert_eq!(
+            o.final_mode,
+            Some(OutMode::DE),
+            "settles on Out-DE (CH can decap)"
+        );
     }
 
     #[test]
     fn pessimistic_always_completes_and_upgrades_when_safe() {
-        let open = probe("pess", PolicyConfig::pessimistic().without_dt_ports(), Env::Open);
+        let open = probe(
+            "pess",
+            PolicyConfig::pessimistic().without_dt_ports(),
+            Env::Open,
+        );
         assert!(open.completed);
         assert!(open.promotions >= 1, "upgrade probing happened");
         let filtered = probe(

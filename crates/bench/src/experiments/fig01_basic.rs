@@ -24,6 +24,7 @@ fn scenario() -> Scenario {
 /// Run the experiment at full scale and render the paper-style table.
 pub fn run() -> Table {
     let mut s = scenario();
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     assert!(s.mh_registered());
 
@@ -60,7 +61,9 @@ pub fn run() -> Table {
         .matching(|p| p.protocol == IpProtocol::IpInIp)
         .count();
 
+    crate::report::record_world("basic-mobile-ip", &s.world);
     let hook = s.world.host_mut(s.mh).hook_as::<MobileHost>().unwrap();
+    crate::report::record_value("basic-mobile-ip/audit", hook.audit());
     assert!(hook.stats.recv_in_ie >= 1, "incoming was In-IE");
     assert!(hook.stats.sent_out_dh >= 1, "outgoing was Out-DH");
 

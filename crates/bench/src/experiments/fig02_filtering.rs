@@ -72,6 +72,7 @@ pub fn probe(mode: OutMode, filters: FilterConfig, n: u16) -> (usize, usize) {
     // Out-DE needs the target to decapsulate (§6.1: some OSes have it
     // built-in).
     s.world.host_mut(s.server).set_decap_capable(true);
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     assert!(s.mh_registered(), "registration (Out-DT) always works");
 
@@ -107,6 +108,11 @@ pub fn probe(mode: OutMode, filters: FilterConfig, n: u16) -> (usize, usize) {
         .iter()
         .filter(|(_, r)| *r == DropReason::SourceAddressFilter)
         .count();
+    let label = format!("{mode}/{}", filters.label());
+    crate::report::record_world(&label, &s.world);
+    if let Some(h) = s.world.host_mut(mh).hook_as::<mip_core::MobileHost>() {
+        crate::report::record_value(&format!("{label}/audit"), h.audit());
+    }
     (delivered, filter_drops)
 }
 
@@ -115,11 +121,23 @@ pub fn run() -> Vec<Table> {
     let n = 3u16;
     let mut t = Table::new(
         "Figure 2 — deliverability of the four outgoing modes under source-address filtering",
-        &["out mode", "no filters", "home ingress", "visited egress", "both"],
+        &[
+            "out mode",
+            "no filters",
+            "home ingress",
+            "visited egress",
+            "both",
+        ],
     );
     let mut drops_t = Table::new(
         "Figure 2 — source-address-filter drops observed (of 3 probes)",
-        &["out mode", "no filters", "home ingress", "visited egress", "both"],
+        &[
+            "out mode",
+            "no filters",
+            "home ingress",
+            "visited egress",
+            "both",
+        ],
     );
     for mode in OutMode::ALL {
         let mut row = vec![mode.to_string()];
@@ -139,7 +157,6 @@ pub fn run() -> Vec<Table> {
         drops_t.row(&drow);
     }
     t.note("Out-DH is the only mode a filter can see through (§3.1): the encapsulated modes hide the home source, Out-DT uses a topologically-correct source");
-    let _ = FilterConfig::ALL[0].label();
     vec![t, drops_t]
 }
 
@@ -155,10 +172,7 @@ mod tests {
                 let (delivered, drops) = probe(mode, f, 2);
                 let expect_delivery = mode != OutMode::DH || !filtered;
                 if expect_delivery {
-                    assert_eq!(
-                        delivered, 2,
-                        "{mode} under {f:?} should deliver"
-                    );
+                    assert_eq!(delivered, 2, "{mode} under {f:?} should deliver");
                     assert_eq!(drops, 0);
                 } else {
                     assert_eq!(

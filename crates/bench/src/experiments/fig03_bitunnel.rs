@@ -29,6 +29,7 @@ fn measure(mode: OutMode, filtered: bool) -> Leg {
         mh_policy: PolicyConfig::fixed(mode).without_dt_ports(),
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     let server_addr = ip(addrs::SERVER);
     let home = ip(addrs::MH_HOME);
@@ -47,6 +48,7 @@ fn measure(mode: OutMode, filtered: bool) -> Leg {
         .icmp_log
         .iter()
         .any(|e| matches!(e.message, IcmpMessage::EchoRequest { .. }));
+    crate::report::record_world(&format!("leg/{mode:?}/filtered={filtered}"), &s.world);
     Leg {
         delivered,
         hops: s.world.trace.hops(pred),
@@ -68,7 +70,13 @@ pub fn run() -> Table {
 
     let mut t = Table::new(
         "Figure 3 — bi-directional tunneling restores deliverability under filters",
-        &["configuration", "delivered", "wire hops", "one-way ms", "wire bytes"],
+        &[
+            "configuration",
+            "delivered",
+            "wire hops",
+            "one-way ms",
+            "wire bytes",
+        ],
     );
     let fmt = |name: &str, l: &Leg| {
         [
@@ -82,7 +90,9 @@ pub fn run() -> Table {
     t.row(&fmt("Out-DH, permissive network (reference)", &dh_open));
     t.row(&fmt("Out-DH, filtered boundaries (Figure 2)", &dh_filtered));
     t.row(&fmt("Out-IE, filtered boundaries (Figure 3)", &ie_filtered));
-    t.note("Out-IE pays extra hops and +20 B/packet but 'meets the deliverability requirement' (§3.1)");
+    t.note(
+        "Out-IE pays extra hops and +20 B/packet but 'meets the deliverability requirement' (§3.1)",
+    );
     let _ = IpProtocol::IpInIp;
     t
 }

@@ -39,6 +39,7 @@ pub fn measure(backbone_ms: u64) -> TrianglePoint {
         mh_policy: PolicyConfig::fixed(OutMode::DH).without_dt_ports(),
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     let mh_home = ip(addrs::MH_HOME);
     let ch_addr = s.ch_addr();
@@ -64,6 +65,7 @@ pub fn measure(backbone_ms: u64) -> TrianglePoint {
             lsrc == mh_home && ldst == ch_addr
         })
         .expect("reply delivered");
+    crate::report::record_world(&format!("triangle/backbone_ms={backbone_ms}"), &s.world);
     TrianglePoint {
         backbone_ms,
         indirect_us: indirect.as_micros(),

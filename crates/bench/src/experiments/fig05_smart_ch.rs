@@ -47,7 +47,11 @@ fn ping_series(s: &mut Scenario, n: u16) -> Vec<u64> {
             .iter()
             .find(|e| matches!(e.message, IcmpMessage::EchoReply { seq: rs, .. } if rs == seq))
             .map(|e| e.at);
-        rtts.push(reply_at.map(|t| t.since(t0).as_micros()).unwrap_or(u64::MAX));
+        rtts.push(
+            reply_at
+                .map(|t| t.since(t0).as_micros())
+                .unwrap_or(u64::MAX),
+        );
     }
     rtts
 }
@@ -55,13 +59,17 @@ fn ping_series(s: &mut Scenario, n: u16) -> Vec<u64> {
 /// Mechanism 1: redirect-driven optimization. Returns the RTT series.
 pub fn redirect_series(n: u16) -> Vec<u64> {
     let mut s = scenario(true, false);
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
-    ping_series(&mut s, n)
+    let series = ping_series(&mut s, n);
+    crate::report::record_world("redirect-series", &s.world);
+    series
 }
 
 /// Mechanism 2: DNS TA-record lookup before first contact.
 pub fn dns_series(n: u16) -> Vec<u64> {
     let mut s = scenario(false, true);
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     // Give the TA registrar a moment to publish, then have the CH resolve.
     s.world.run_for(SimDuration::from_secs(1));
@@ -84,7 +92,9 @@ pub fn dns_series(n: u16) -> Vec<u64> {
         assert_eq!(res.a, Some(ip(addrs::MH_HOME)));
         assert_eq!(res.ta, Some(ip(addrs::COA_A)), "TA record published");
     }
-    ping_series(&mut s, n)
+    let series = ping_series(&mut s, n);
+    crate::report::record_world("dns-series", &s.world);
+    series
 }
 
 /// Baseline: conventional correspondent, every packet takes the triangle.
@@ -95,8 +105,11 @@ pub fn naive_series(n: u16) -> Vec<u64> {
         mh_policy: PolicyConfig::fixed(OutMode::DH).without_dt_ports(),
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
-    ping_series(&mut s, n)
+    let series = ping_series(&mut s, n);
+    crate::report::record_world("naive-series", &s.world);
+    series
 }
 
 /// Run the experiment at full scale and render its result tables.
@@ -108,7 +121,12 @@ pub fn run() -> Vec<Table> {
 
     let mut t = Table::new(
         "Figure 5 — smart correspondent: RTT per ping as the binding is learned (ms)",
-        &["ping #", "naive CH", "CH + ICMP redirect", "CH + DNS TA lookup"],
+        &[
+            "ping #",
+            "naive CH",
+            "CH + ICMP redirect",
+            "CH + DNS TA lookup",
+        ],
     );
     for i in 0..n as usize {
         t.row(&[
@@ -161,10 +179,7 @@ mod tests {
         let naive = naive_series(3);
         assert!(dns.iter().all(|&r| r != u64::MAX));
         // Even the FIRST dns-informed ping beats the naive one.
-        assert!(
-            dns[0] + 50_000 < naive[0],
-            "dns {dns:?} vs naive {naive:?}"
-        );
+        assert!(dns[0] + 50_000 < naive[0], "dns {dns:?} vs naive {naive:?}");
     }
 
     #[test]

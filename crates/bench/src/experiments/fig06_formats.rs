@@ -159,7 +159,11 @@ pub fn run() -> Vec<Table> {
 
     let mut t3 = Table::new(
         "§3.3 — packet count vs payload size at MTU 1500 (plain vs IP-in-IP encapsulated)",
-        &["transport payload B", "plain packets", "encapsulated packets"],
+        &[
+            "transport payload B",
+            "plain packets",
+            "encapsulated packets",
+        ],
     );
     for payload in [1000, 1460, 1472, 1480, 2000, 2960] {
         t3.row(&[

@@ -53,6 +53,7 @@ pub fn run_cell_in_env(incoming: InMode, outgoing: OutMode, filtered: bool) -> C
         mh_policy: PolicyConfig::fixed(outgoing).without_dt_ports(),
         ..ScenarioConfig::default()
     });
+    crate::report::observe_world(&mut s.world);
     s.roam_to_a();
     assert!(s.mh_registered());
 
@@ -68,7 +69,9 @@ pub fn run_cell_in_env(incoming: InMode, outgoing: OutMode, filtered: bool) -> C
 
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
 
     // The column's Out-DT means the application binds to the care-of
@@ -84,6 +87,7 @@ pub fn run_cell_in_env(incoming: InMode, outgoing: OutMode, filtered: bool) -> C
     // Long enough for broken cells to exhaust TCP's retries.
     s.world.run_for(SimDuration::from_secs(240));
 
+    crate::report::record_world(&format!("cell/{combo}/filtered={filtered}"), &s.world);
     let sess = s
         .world
         .host_mut(mh)
@@ -115,7 +119,13 @@ pub fn run() -> GridResult {
     }
     let mut table = Table::new(
         "Figure 10 — the 4x4 grid, measured (cell = empirical outcome / paper classification)",
-        &["incoming \\ outgoing", "Out-IE", "Out-DE", "Out-DH", "Out-DT"],
+        &[
+            "incoming \\ outgoing",
+            "Out-IE",
+            "Out-DE",
+            "Out-DH",
+            "Out-DT",
+        ],
     );
     for (r, incoming) in InMode::ALL.iter().enumerate() {
         let mut row = vec![incoming.to_string()];
@@ -131,9 +141,7 @@ pub fn run() -> GridResult {
         }
         table.row(&row);
     }
-    let agree = cells
-        .iter()
-        .all(|c| c.works == c.paper_class.works());
+    let agree = cells.iter().all(|c| c.works == c.paper_class.works());
     table.note(format!(
         "empirical outcome matches the paper's shading in {}/16 cells{}",
         cells
@@ -161,7 +169,13 @@ pub fn run_filtered() -> GridResult {
     }
     let mut table = Table::new(
         "Figure 10 under §3.1 egress filters — the Out-DH column needs a permissive path",
-        &["incoming \\ outgoing", "Out-IE", "Out-DE", "Out-DH", "Out-DT"],
+        &[
+            "incoming \\ outgoing",
+            "Out-IE",
+            "Out-DE",
+            "Out-DH",
+            "Out-DT",
+        ],
     );
     for (r, incoming) in InMode::ALL.iter().enumerate() {
         let mut row = vec![incoming.to_string()];

@@ -5,8 +5,8 @@ pub mod exp_encap;
 pub mod exp_feedback;
 pub mod exp_foreign_agent;
 pub mod exp_handoff;
-pub mod exp_lsr;
 pub mod exp_http;
+pub mod exp_lsr;
 pub mod exp_multicast;
 pub mod exp_probing;
 pub mod fig01_basic;
@@ -38,7 +38,9 @@ pub fn run_all() -> Vec<Table> {
         (3, || vec![fig04_triangle::run(&[5, 10, 25, 50, 100, 200])]),
         (4, fig05_smart_ch::run as Job),
         (5, fig06_formats::run as Job),
-        (6, || vec![fig10_grid::run().table, fig10_grid::run_filtered().table]),
+        (6, || {
+            vec![fig10_grid::run().table, fig10_grid::run_filtered().table]
+        }),
         (7, || vec![exp_probing::run()]),
         (8, || vec![exp_http::run()]),
         (9, || vec![exp_handoff::run()]),

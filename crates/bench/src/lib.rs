@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod forced;
+pub mod report;
 pub mod util;
 
 pub use util::Table;

@@ -1,0 +1,158 @@
+//! Structured run reports: machine-readable JSON alongside every
+//! experiment's human tables.
+//!
+//! Each `src/bin` wrapper calls [`emit`] after printing its tables; the
+//! report lands in `target/run-reports/<name>.json` (override the
+//! directory with `RUN_REPORT_DIR`). The schema is documented in
+//! `EXPERIMENTS.md` ("Observability").
+//!
+//! While an experiment runs it may attach labelled simulator snapshots —
+//! [`record_world`] captures a [`World`]'s metrics registry,
+//! [`record_value`] attaches any serializable value (an audit trail, a
+//! parameter sweep point). The collector is process-global but **disabled
+//! by default**: library, test and criterion callers of the experiment
+//! functions pay nothing and accumulate nothing. Binaries opt in with
+//! [`enable`].
+
+use std::fs;
+use std::path::PathBuf;
+
+use netsim::World;
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+
+use crate::Table;
+
+struct Collector {
+    enabled: bool,
+    snapshots: Vec<(String, Value)>,
+}
+
+static COLLECTOR: Mutex<Collector> = Mutex::new(Collector {
+    enabled: false,
+    snapshots: Vec::new(),
+});
+
+/// Turn snapshot collection on for this process (binaries call this first).
+pub fn enable() {
+    COLLECTOR.lock().enabled = true;
+}
+
+/// Whether collection is on for this process.
+pub fn enabled() -> bool {
+    COLLECTOR.lock().enabled
+}
+
+/// Enable a world's metrics registry — but only when report collection is
+/// on, so experiment functions stay zero-cost under tests and criterion.
+/// Call right after building a scenario, before running it.
+pub fn observe_world(world: &mut World) {
+    if enabled() {
+        world.enable_metrics();
+    }
+}
+
+/// Attach a labelled snapshot of `world`'s metrics registry to the next
+/// emitted report. No-op unless [`enable`] was called and the world's
+/// metrics are enabled.
+pub fn record_world(label: &str, world: &World) {
+    let mut c = COLLECTOR.lock();
+    if !c.enabled || !world.metrics.enabled() {
+        return;
+    }
+    let snap = world.metrics.snapshot(&world.node_names(), world.now());
+    c.snapshots.push((label.to_string(), snap));
+}
+
+/// Attach any serializable value (audit trails, sweep parameters, …) to
+/// the next emitted report. No-op unless [`enable`] was called.
+pub fn record_value(label: &str, value: &impl Serialize) {
+    let mut c = COLLECTOR.lock();
+    if !c.enabled {
+        return;
+    }
+    let v = value.to_value();
+    c.snapshots.push((label.to_string(), v));
+}
+
+fn report_dir() -> PathBuf {
+    match std::env::var_os("RUN_REPORT_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from("target").join("run-reports"),
+    }
+}
+
+/// Build the report value for `name` from the given tables plus every
+/// snapshot recorded since the last emit (which this call drains).
+pub fn build(name: &str, tables: &[Table]) -> Value {
+    let snapshots = std::mem::take(&mut COLLECTOR.lock().snapshots);
+    Value::Object(vec![
+        ("name".into(), Value::Str(name.to_string())),
+        ("schema".into(), Value::Str("run-report/v1".into())),
+        (
+            "tables".into(),
+            Value::Array(tables.iter().map(|t| t.to_value()).collect()),
+        ),
+        ("snapshots".into(), Value::Object(snapshots)),
+    ])
+}
+
+/// Write the JSON run report for `name`, returning its path. Errors are
+/// reported to stderr, never fatal: the human tables already printed.
+pub fn emit(name: &str, tables: &[Table]) -> Option<PathBuf> {
+    let report = build(name, tables);
+    let dir = report_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("run-report: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(&report)
+        .unwrap_or_else(|e| format!("{{\"error\":\"serialization failed: {e:?}\"}}"));
+    match fs::write(&path, json) {
+        Ok(()) => {
+            eprintln!("run-report: {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("run-report: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_accumulates_nothing() {
+        // Default state: not enabled (tests run in one process with the
+        // enable-path test, so assert on the report contents instead of
+        // global state).
+        let mut t = Table::new("demo", &["a"]);
+        t.row(&["1"]);
+        let v = build("demo", &[t]);
+        let json = serde_json::to_string(&v).unwrap();
+        assert!(json.contains("\"name\":\"demo\""));
+        assert!(json.contains("\"schema\":\"run-report/v1\""));
+        assert!(json.contains("\"tables\":["));
+    }
+
+    #[test]
+    fn enabled_collector_captures_world_snapshots() {
+        enable();
+        let mut w = World::new(1);
+        w.enable_metrics();
+        record_world("before", &w);
+        record_value("param", &42u64);
+        let v = build("snap-test", &[]);
+        let json = serde_json::to_string(&v).unwrap();
+        assert!(json.contains("\"before\":{"), "{json}");
+        assert!(json.contains("\"param\":42"), "{json}");
+        // Drained: a second build sees an empty snapshot set.
+        let v2 = build("snap-test", &[]);
+        let json2 = serde_json::to_string(&v2).unwrap();
+        assert!(json2.contains("\"snapshots\":{}"), "{json2}");
+    }
+}

@@ -5,7 +5,7 @@ use std::fmt;
 /// A plain-text aligned table, the output format of every experiment.
 /// Serializable so `all_experiments --json` can emit machine-readable
 /// results alongside the human tables.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table heading, printed as a markdown section title.
     pub title: String,
@@ -13,6 +13,13 @@ pub struct Table {
     rows: Vec<Vec<String>>,
     notes: Vec<String>,
 }
+
+serde::impl_serialize!(Table {
+    title,
+    headers,
+    rows,
+    notes
+});
 
 impl Table {
     /// Create an empty table with the given column headers.
@@ -28,7 +35,8 @@ impl Table {
     /// Append one row; must match the header arity.
     pub fn row<S: ToString>(&mut self, cells: &[S]) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Append a free-form footnote line.
@@ -59,7 +67,12 @@ impl fmt::Display for Table {
         let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             write!(f, "|")?;
             for (i, w) in widths.iter().enumerate() {
-                write!(f, " {:<w$} |", cells.get(i).map(String::as_str).unwrap_or(""), w = w)?;
+                write!(
+                    f,
+                    " {:<w$} |",
+                    cells.get(i).map(String::as_str).unwrap_or(""),
+                    w = w
+                )?;
             }
             writeln!(f)
         };

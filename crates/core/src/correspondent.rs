@@ -63,6 +63,14 @@ pub struct ChStats {
     pub bindings_expired: u64,
 }
 
+serde::impl_serialize!(ChStats {
+    sent_in_de,
+    sent_in_dh,
+    sent_conventional,
+    bindings_learned,
+    bindings_expired
+});
+
 /// The mobile-aware correspondent hook.
 pub struct MobileAwareCh {
     cache: HashMap<Ipv4Addr, ChBinding>,
@@ -318,7 +326,13 @@ mod tests {
     #[test]
     fn redirect_populates_binding_cache_and_enables_in_de() {
         let mut net = build();
-        move_to(&mut net.w, net.mh, net.visited, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
 
         // First packet goes conventionally (via HA), which triggers the
@@ -345,15 +359,22 @@ mod tests {
         let hook = net.w.host_mut(net.ch).hook_as::<MobileAwareCh>().unwrap();
         assert_eq!(hook.stats.sent_in_de, 1);
         // The request traveled as a CH-sourced tunnel...
-        assert!(net.w.trace.matching(|s| s.protocol == IpProtocol::IpInIp
-            && s.src == ip("18.26.0.5")
-            && s.dst == ip("36.186.0.99"))
-            .count() > 0);
+        assert!(
+            net.w
+                .trace
+                .matching(|s| s.protocol == IpProtocol::IpInIp
+                    && s.src == ip("18.26.0.5")
+                    && s.dst == ip("36.186.0.99"))
+                .count()
+                > 0
+        );
         // ...and the mobile host saw In-DE.
         let mh_hook = net.w.host_mut(net.mh).hook_as::<MobileHost>().unwrap();
         assert!(mh_hook.stats.recv_in_de >= 1);
         // The reply reached CH (Out-DH allowed in this unfiltered world).
-        assert!(net.w.host(net.ch)
+        assert!(net
+            .w
+            .host(net.ch)
             .icmp_log
             .iter()
             .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 2, .. })));
@@ -376,7 +397,13 @@ mod tests {
             .policy_mut()
             .config = PolicyConfig::fixed(OutMode::DE).without_dt_ports();
 
-        move_to(&mut net.w, net.mh, net.visited, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
 
         // MH pings CH with Out-DE; CH decapsulates and learns the binding.
@@ -385,7 +412,9 @@ mod tests {
         });
         net.w.run_for(SimDuration::from_secs(2));
         let hook = net.w.host_mut(net.ch).hook_as::<MobileAwareCh>().unwrap();
-        let b = hook.binding(ip("171.64.15.9")).expect("learned from tunnel");
+        let b = hook
+            .binding(ip("171.64.15.9"))
+            .expect("learned from tunnel");
         assert_eq!(b.care_of, ip("36.186.0.99"));
         assert_eq!(b.source, BindingSource::ObservedTunnel);
         // The echo *reply* from CH already went In-DE, directly.
@@ -403,22 +432,42 @@ mod tests {
             .unwrap()
             .policy_mut()
             .config = PolicyConfig::fixed(OutMode::DE).without_dt_ports();
-        move_to(&mut net.w, net.mh, net.visited, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
 
-        net.w.host_mut(net.ch).add_app(Box::new(TcpEchoServer::new(23)));
+        net.w
+            .host_mut(net.ch)
+            .add_app(Box::new(TcpEchoServer::new(23)));
         net.w.poll_soon(net.ch);
-        let app = net.w.host_mut(net.mh).add_app(Box::new(KeystrokeSession::new(
-            (ip("18.26.0.5"), 23),
-            SimDuration::from_millis(100),
-            10,
-        )));
+        let app = net
+            .w
+            .host_mut(net.mh)
+            .add_app(Box::new(KeystrokeSession::new(
+                (ip("18.26.0.5"), 23),
+                SimDuration::from_millis(100),
+                10,
+            )));
         net.w.poll_soon(net.mh);
         net.w.trace.clear();
         net.w.run_for(SimDuration::from_secs(10));
 
-        let sess = net.w.host_mut(net.mh).app_as::<KeystrokeSession>(app).unwrap();
-        assert!(sess.all_echoed(), "typed {} echoed {}", sess.typed(), sess.echoed);
+        let sess = net
+            .w
+            .host_mut(net.mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
+        assert!(
+            sess.all_echoed(),
+            "typed {} echoed {}",
+            sess.typed(),
+            sess.echoed
+        );
         // After the CH learns the binding (first segment), no TCP-carrying
         // packet crosses the home segment: nothing in the trace is
         // delivered at or forwarded by the home agent node (node 0).
@@ -451,7 +500,13 @@ mod tests {
         MobileAwareCh::install(&mut net.w, local_ch);
         udp::install(net.w.host_mut(local_ch));
 
-        move_to(&mut net.w, net.mh, net.visited, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
         // Manually install the binding (e.g. from DNS).
         let far_future = net.w.now() + SimDuration::from_secs(600);
@@ -475,8 +530,9 @@ mod tests {
         // Request: exactly one wire traversal, no encapsulation, IP dst is
         // the home address (In-DH as drawn in Figure 8).
         assert_eq!(
-            net.w.trace.hops(|s| s.dst == ip("171.64.15.9")
-                && s.protocol == IpProtocol::Icmp),
+            net.w
+                .trace
+                .hops(|s| s.dst == ip("171.64.15.9") && s.protocol == IpProtocol::Icmp),
             1
         );
         let hook = net.w.host_mut(local_ch).hook_as::<MobileAwareCh>().unwrap();
@@ -485,7 +541,9 @@ mod tests {
         // MH recorded In-DH and replied; reply received.
         let mh_hook = net.w.host_mut(net.mh).hook_as::<MobileHost>().unwrap();
         assert!(mh_hook.stats.recv_in_dh >= 1);
-        assert!(net.w.host(local_ch)
+        assert!(net
+            .w
+            .host(local_ch)
             .icmp_log
             .iter()
             .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 3, .. })));
@@ -494,14 +552,25 @@ mod tests {
     #[test]
     fn expired_binding_falls_back_to_conventional() {
         let mut net = build();
-        move_to(&mut net.w, net.mh, net.visited, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
         let soon = net.w.now() + SimDuration::from_secs(1);
         net.w
             .host_mut(net.ch)
             .hook_as::<MobileAwareCh>()
             .unwrap()
-            .set_binding(ip("171.64.15.9"), ip("36.186.0.99"), soon, BindingSource::Manual);
+            .set_binding(
+                ip("171.64.15.9"),
+                ip("36.186.0.99"),
+                soon,
+                BindingSource::Manual,
+            );
         net.w.run_for(SimDuration::from_secs(5));
         // Binding now expired: next send is conventional and purges it.
         net.w.host_do(net.ch, |h, ctx| {

@@ -16,7 +16,9 @@ use std::collections::HashMap;
 
 use netsim::device::nic::IfaceAddr;
 use netsim::wire::ParseError;
-use netsim::{App, Host, IfaceNo, Ipv4Addr, Ipv4Cidr, NetCtx, NodeId, SegmentId, SimDuration, SimTime, World};
+use netsim::{
+    App, Host, IfaceNo, Ipv4Addr, Ipv4Cidr, NetCtx, NodeId, SegmentId, SimDuration, SimTime, World,
+};
 use transport::udp;
 
 use crate::mobile_host::{Location, MobileHost, TIMER_KICK};
@@ -350,7 +352,8 @@ mod tests {
             h.send_ping(ctx, ip("36.186.0.20"), ip("36.186.0.254"), 1)
         });
         w.run_for(SimDuration::from_secs(1));
-        assert!(w.host(client)
+        assert!(w
+            .host(client)
             .icmp_log
             .iter()
             .any(|e| matches!(e.message, IcmpMessage::EchoReply { .. })));
@@ -380,11 +383,24 @@ mod tests {
         w.poll_soon(c1);
         w.poll_soon(c2);
         w.run_for(SimDuration::from_secs(3));
-        let l1 = w.host_mut(c1).app_as::<DhcpClient>(a1).unwrap().lease.unwrap();
-        let l2 = w.host_mut(c2).app_as::<DhcpClient>(a2).unwrap().lease.unwrap();
+        let l1 = w
+            .host_mut(c1)
+            .app_as::<DhcpClient>(a1)
+            .unwrap()
+            .lease
+            .unwrap();
+        let l2 = w
+            .host_mut(c2)
+            .app_as::<DhcpClient>(a2)
+            .unwrap()
+            .lease
+            .unwrap();
         assert_ne!(l1.addr, l2.addr);
         assert_eq!(
-            w.host_mut(srv).app_as::<DhcpServer>(0).unwrap().leases_granted,
+            w.host_mut(srv)
+                .app_as::<DhcpServer>(0)
+                .unwrap()
+                .leases_granted,
             2
         );
     }
@@ -414,7 +430,11 @@ mod tests {
             ha,
             HomeAgentConfig::new(ip("171.64.15.1"), "171.64.15.0/24".parse().unwrap(), ha_if),
         );
-        MobileHost::install(&mut w, mh, MobileHostConfig::new("171.64.15.9/24", ip("171.64.15.1")));
+        MobileHost::install(
+            &mut w,
+            mh,
+            MobileHostConfig::new("171.64.15.9/24", ip("171.64.15.1")),
+        );
         udp::install(w.host_mut(mh));
         udp::install(w.host_mut(dhcp));
         w.host_mut(dhcp).add_app(Box::new(DhcpServer::new(

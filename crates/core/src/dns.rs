@@ -226,7 +226,8 @@ impl DnsMessage {
                 });
             }
             let rtype = u16::from_be_bytes([data[pos], data[pos + 1]]);
-            let ttl = u32::from_be_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
+            let ttl =
+                u32::from_be_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
             let rdlen = u16::from_be_bytes([data[pos + 8], data[pos + 9]]) as usize;
             pos += 10;
             if rdlen != 4 || pos + 4 > data.len() {
@@ -235,7 +236,8 @@ impl DnsMessage {
                     value: rdlen as u64,
                 });
             }
-            let addr = Ipv4Addr::from_octets([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+            let addr =
+                Ipv4Addr::from_octets([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
             pos += 4;
             answers.push(ResourceRecord {
                 name,
@@ -614,8 +616,9 @@ mod tests {
         w.attach(client, lan, Some("10.0.0.2/24"));
         udp::install(w.host_mut(server));
         udp::install(w.host_mut(client));
-        w.host_mut(server)
-            .add_app(Box::new(DnsServer::new().with_a("mh.stanford.edu", ip("171.64.15.9"))));
+        w.host_mut(server).add_app(Box::new(
+            DnsServer::new().with_a("mh.stanford.edu", ip("171.64.15.9")),
+        ));
         w.poll_soon(server);
         (w, server, client)
     }
@@ -655,7 +658,10 @@ mod tests {
         {
             let srv = w.host_mut(server).app_as::<DnsServer>(0).unwrap();
             assert_eq!(srv.updates_accepted, 1);
-            assert_eq!(srv.ta_record("mh.stanford.edu").map(|t| t.0), Some(ip("36.186.0.99")));
+            assert_eq!(
+                srv.ta_record("mh.stanford.edu").map(|t| t.0),
+                Some(ip("36.186.0.99"))
+            );
         }
         // Query sees both records.
         let app = w

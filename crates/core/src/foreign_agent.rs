@@ -25,14 +25,10 @@ use netsim::device::nic::NextHop;
 use netsim::device::TxMeta;
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
 use netsim::wire::udp::UdpDatagram;
-use netsim::{
-    Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, TraceEventKind, World,
-};
+use netsim::{Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, TraceEventKind, World};
 use transport::udp;
 
-use crate::registration::{
-    RegistrationReply, RegistrationRequest, REGISTRATION_PORT,
-};
+use crate::registration::{RegistrationReply, RegistrationRequest, REGISTRATION_PORT};
 
 /// UDP port for foreign-agent advertisements (the real protocol piggybacks
 /// on ICMP router advertisements; a dedicated port keeps the simulation
@@ -51,6 +47,13 @@ pub struct FaStats {
     /// Agent advertisements broadcast.
     pub advertisements_sent: u64,
 }
+
+serde::impl_serialize!(FaStats {
+    requests_relayed,
+    replies_relayed,
+    packets_delivered,
+    advertisements_sent
+});
 
 /// Foreign-agent configuration.
 #[derive(Debug, Clone)]
@@ -382,7 +385,11 @@ mod tests {
                 advertise_every: Some(SimDuration::from_secs(1)),
             },
         );
-        MobileHost::install(&mut w, mh, MobileHostConfig::new("171.64.15.9/24", ip("171.64.15.1")));
+        MobileHost::install(
+            &mut w,
+            mh,
+            MobileHostConfig::new("171.64.15.9/24", ip("171.64.15.1")),
+        );
         udp::install(w.host_mut(mh));
         udp::install(w.host_mut(ch));
         udp::install(w.host_mut(fa));
@@ -437,14 +444,20 @@ mod tests {
             h.send_ping(ctx, ip("171.64.15.7"), ip("171.64.15.9"), 1)
         });
         net.w.run_for(SimDuration::from_secs(3));
-        assert!(net.w.host(net.ch)
+        assert!(net
+            .w
+            .host(net.ch)
             .icmp_log
             .iter()
             .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 1, .. })));
         // The tunnel ran HA→FA (outer dst = FA's address)...
-        assert!(net.w.trace.matching(|s| s.protocol == IpProtocol::IpInIp
-            && s.dst == ip("36.186.0.10"))
-            .count() > 0);
+        assert!(
+            net.w
+                .trace
+                .matching(|s| s.protocol == IpProtocol::IpInIp && s.dst == ip("36.186.0.10"))
+                .count()
+                > 0
+        );
         // ...and the final hop was delivered by the FA.
         let fa_hook = net.w.host_mut(net.fa).hook_as::<ForeignAgent>().unwrap();
         assert!(fa_hook.stats.packets_delivered >= 1);
@@ -464,7 +477,10 @@ mod tests {
         let listener = net.w.add_host(HostConfig::conventional("listener"));
         net.w.attach(listener, net.visited, Some("36.186.0.77/24"));
         udp::install(net.w.host_mut(listener));
-        let app = net.w.host_mut(listener).add_app(Box::new(FaDiscovery::new()));
+        let app = net
+            .w
+            .host_mut(listener)
+            .add_app(Box::new(FaDiscovery::new()));
         net.w.poll_soon(listener);
         net.w.run_for(SimDuration::from_secs(3));
         let disc = net.w.host_mut(listener).app_as::<FaDiscovery>(app).unwrap();

@@ -34,9 +34,7 @@ use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet};
 use netsim::wire::udp::UdpDatagram;
 use netsim::{Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, World};
 
-use crate::registration::{
-    RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT,
-};
+use crate::registration::{RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT};
 
 /// One registered mobile host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +65,16 @@ pub struct HaStats {
     /// Bindings dropped because their lifetime ran out.
     pub bindings_expired: u64,
 }
+
+serde::impl_serialize!(HaStats {
+    registrations_accepted,
+    registrations_denied,
+    deregistrations,
+    packets_tunneled,
+    bytes_tunneled,
+    redirects_sent,
+    bindings_expired
+});
 
 /// Home-agent configuration.
 #[derive(Debug, Clone)]
@@ -196,12 +204,7 @@ impl HomeAgent {
         }
     }
 
-    fn handle_registration(
-        &mut self,
-        pkt: &Ipv4Packet,
-        host: &mut Host,
-        ctx: &mut NetCtx,
-    ) -> bool {
+    fn handle_registration(&mut self, pkt: &Ipv4Packet, host: &mut Host, ctx: &mut NetCtx) -> bool {
         let Ok(dgram) = UdpDatagram::parse(&pkt.payload, pkt.src, pkt.dst) else {
             return false;
         };
@@ -212,8 +215,8 @@ impl HomeAgent {
             return true; // ours but malformed; swallow
         };
 
-        let authorized =
-            req.home_agent == self.config.addr && self.config.home_prefix.contains(req.home_address);
+        let authorized = req.home_agent == self.config.addr
+            && self.config.home_prefix.contains(req.home_address);
         let (code, lifetime) = if !authorized {
             self.stats.registrations_denied += 1;
             (ReplyCode::Denied, 0)
@@ -249,7 +252,8 @@ impl HomeAgent {
             home_agent: self.config.addr,
             ident: req.ident,
         };
-        let out_dgram = UdpDatagram::new(REGISTRATION_PORT, dgram.src_port, Bytes::from(reply.emit()));
+        let out_dgram =
+            UdpDatagram::new(REGISTRATION_PORT, dgram.src_port, Bytes::from(reply.emit()));
         let mut out = Ipv4Packet::new(
             self.config.addr,
             pkt.src,
@@ -467,7 +471,13 @@ mod tests {
             ident: 7,
         };
         f.w.host_do(f.away, |h, ctx| {
-            udp::send_to(h, ctx, sock, (ip("171.64.15.1"), REGISTRATION_PORT), req.emit());
+            udp::send_to(
+                h,
+                ctx,
+                sock,
+                (ip("171.64.15.1"), REGISTRATION_PORT),
+                req.emit(),
+            );
         });
         f.w.run_until_idle(100_000);
         let got = udp::recv(f.w.host_mut(f.away), sock).expect("reply received");
@@ -484,7 +494,10 @@ mod tests {
         let ha = f.w.host_mut(f.ha);
         assert!(ha.intercepts(ip("171.64.15.9")));
         let hook = ha.hook_as::<HomeAgent>().unwrap();
-        assert_eq!(hook.binding(ip("171.64.15.9")).unwrap().care_of, ip("36.186.0.99"));
+        assert_eq!(
+            hook.binding(ip("171.64.15.9")).unwrap().care_of,
+            ip("36.186.0.99")
+        );
         assert_eq!(hook.stats.registrations_accepted, 1);
     }
 
@@ -500,7 +513,13 @@ mod tests {
             ident: 9,
         };
         f.w.host_do(f.away, |h, ctx| {
-            udp::send_to(h, ctx, sock, (ip("171.64.15.1"), REGISTRATION_PORT), req.emit());
+            udp::send_to(
+                h,
+                ctx,
+                sock,
+                (ip("171.64.15.1"), REGISTRATION_PORT),
+                req.emit(),
+            );
         });
         f.w.run_until_idle(100_000);
         let got = udp::recv(f.w.host_mut(f.away), sock).unwrap();
@@ -534,7 +553,9 @@ mod tests {
             .any(|e| matches!(e.message, IcmpMessage::EchoRequest { seq: 1, .. })));
         // ...and the reply got back to the server (sent directly, Out-DH,
         // which works because no filters are configured in this fixture).
-        assert!(f.w.host(f.server)
+        assert!(f
+            .w
+            .host(f.server)
             .icmp_log
             .iter()
             .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 1, .. })));
@@ -574,11 +595,12 @@ mod tests {
         f.w.run_until_idle(100_000);
 
         // CH received exactly one Mobile Host Redirect (rate limiting).
-        let redirects: Vec<_> = f.w.host(ch)
-            .icmp_log
-            .iter()
-            .filter(|e| matches!(e.message, IcmpMessage::MobileHostRedirect { .. }))
-            .collect();
+        let redirects: Vec<_> =
+            f.w.host(ch)
+                .icmp_log
+                .iter()
+                .filter(|e| matches!(e.message, IcmpMessage::MobileHostRedirect { .. }))
+                .collect();
         assert_eq!(redirects.len(), 1);
         match redirects[0].message {
             IcmpMessage::MobileHostRedirect { home, care_of, .. } => {
@@ -648,7 +670,11 @@ mod tests {
         f.w.run_until_idle(100_000);
         let got = udp::recv(f.w.host_mut(f.server), server_sock).expect("delivered via HA");
         assert_eq!(got.payload, Bytes::from_static(b"via tunnel"));
-        assert_eq!(got.from, (ip("171.64.15.9"), 6000), "inner source preserved");
+        assert_eq!(
+            got.from,
+            (ip("171.64.15.9"), 6000),
+            "inner source preserved"
+        );
         // The HA re-sent the inner packet (Sent trace event at the HA node).
         let ha_id = f.ha;
         assert!(f.w.trace.events().iter().any(|e| e.node == ha_id

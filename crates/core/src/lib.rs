@@ -38,6 +38,7 @@
 //! see the `bench` crate and `EXPERIMENTS.md` at the repository root.
 
 pub mod addr;
+pub mod audit;
 pub mod correspondent;
 pub mod dhcp;
 pub mod dns;
@@ -51,14 +52,13 @@ pub mod registration;
 pub mod scenario;
 
 pub use addr::{CareOfAddress, HomeAddress};
+pub use audit::{AuditEntry, AuditEvent, AuditTrail, DecisionReason};
 pub use correspondent::{BindingSource, ChBinding, ChStats, MobileAwareCh};
 pub use home_agent::{Binding, HaStats, HomeAgent, HomeAgentConfig};
 pub use mobile_host::{
-    move_to, move_via_foreign_agent, return_home, Location, MhStats, MobileHost,
-    MobileHostConfig, RegState,
+    move_to, move_via_foreign_agent, return_home, Location, MhStats, MobileHost, MobileHostConfig,
+    RegState,
 };
-pub use modes::{
-    best_combination, classify, CellClass, Combination, Environment, InMode, OutMode,
-};
+pub use modes::{best_combination, classify, CellClass, Combination, Environment, InMode, OutMode};
 pub use policy::{Policy, PolicyConfig, Strategy, Transition};
 pub use registration::{RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT};

@@ -36,15 +36,13 @@ use netsim::wire::ethernet::MacAddr;
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
 use netsim::wire::udp::UdpDatagram;
 use netsim::{
-    FeedbackEvent, Host, IfaceAddr, IfaceNo, NetCtx, NodeId, SegmentId, SimDuration, SimTime,
-    World,
+    FeedbackEvent, Host, IfaceAddr, IfaceNo, NetCtx, NodeId, SegmentId, SimDuration, SimTime, World,
 };
 
+use crate::audit::{AuditEvent, AuditTrail};
 use crate::modes::{InMode, OutMode};
 use crate::policy::{Policy, PolicyConfig, Transition};
-use crate::registration::{
-    RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT,
-};
+use crate::registration::{RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT};
 
 /// Where the mobile host currently is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +116,23 @@ pub struct MhStats {
     /// Method-cache upgrade probes that took effect.
     pub promotions: u64,
 }
+
+serde::impl_serialize!(MhStats {
+    sent_out_ie,
+    sent_out_de,
+    sent_out_dh,
+    sent_out_dt,
+    recv_in_ie,
+    recv_in_de,
+    recv_in_dh,
+    recv_in_dt,
+    registrations_sent,
+    registration_retries,
+    registration_failures,
+    handoffs,
+    demotions,
+    promotions
+});
 
 impl MhStats {
     /// Packets sent using the given outgoing mode.
@@ -289,6 +304,12 @@ impl MobileHost {
         &mut self.policy
     }
 
+    /// The mode-decision audit trail: why each method was chosen, every
+    /// cache transition, registration step and handoff, timestamped.
+    pub fn audit(&self) -> &AuditTrail {
+        &self.policy.audit
+    }
+
     /// Record a change of location (the physical re-plugging is the
     /// caller's job — see [`move_to`] and [`crate::dhcp`]). Resets
     /// registration state and the per-correspondent method cache, since
@@ -297,6 +318,12 @@ impl MobileHost {
     pub fn note_moved(&mut self, location: Location) {
         self.location = location;
         self.reg = RegState::Unregistered;
+        self.policy.audit.record(AuditEvent::Handoff {
+            care_of: match location {
+                Location::Away { care_of } => Some(care_of),
+                Location::AtHome => None,
+            },
+        });
         self.policy.clear_cache();
         self.stats.handoffs += 1;
     }
@@ -345,15 +372,18 @@ impl MobileHost {
             care_of,
             ident,
         };
-        let dgram = UdpDatagram::new(REGISTRATION_PORT, REGISTRATION_PORT, Bytes::from(req.emit()));
-        let mut pkt = Ipv4Packet::new(
-            src,
-            dst,
-            IpProtocol::Udp,
-            Bytes::from(dgram.emit(src, dst)),
+        let dgram = UdpDatagram::new(
+            REGISTRATION_PORT,
+            REGISTRATION_PORT,
+            Bytes::from(req.emit()),
         );
+        let mut pkt = Ipv4Packet::new(src, dst, IpProtocol::Udp, Bytes::from(dgram.emit(src, dst)));
         pkt.ident = host.alloc_ident();
         self.stats.registrations_sent += 1;
+        self.policy.audit.set_now(ctx.now);
+        self.policy
+            .audit
+            .record(AuditEvent::RegistrationSent { care_of, lifetime });
         self.reg = if lifetime == 0 {
             RegState::Deregistering { ident }
         } else {
@@ -396,20 +426,23 @@ impl MobileHost {
         let Ok(reply) = RegistrationReply::parse(&dgram.payload) else {
             return true;
         };
+        self.policy.audit.set_now(ctx.now);
         match self.reg {
             RegState::Pending { ident, .. } if reply.ident == ident => match reply.code {
                 ReplyCode::Accepted => {
-                    let expires =
-                        ctx.now + SimDuration::from_secs(u64::from(reply.lifetime));
+                    let expires = ctx.now + SimDuration::from_secs(u64::from(reply.lifetime));
                     self.reg = RegState::Registered { expires };
+                    self.policy.audit.record(AuditEvent::RegistrationAccepted {
+                        lifetime: reply.lifetime,
+                    });
                     // Refresh at 80% of the granted lifetime.
-                    let refresh =
-                        SimDuration::from_secs(u64::from(reply.lifetime) * 4 / 5);
+                    let refresh = SimDuration::from_secs(u64::from(reply.lifetime) * 4 / 5);
                     host.request_hook_timer(ctx, refresh, TIMER_REG_REFRESH);
                 }
                 ReplyCode::Denied => {
                     self.reg = RegState::Unregistered;
                     self.stats.registration_failures += 1;
+                    self.policy.audit.record(AuditEvent::RegistrationDenied);
                 }
             },
             RegState::Deregistering { ident } if reply.ident == ident => {
@@ -456,8 +489,9 @@ impl MobilityHook for MobileHost {
         pkt: Ipv4Packet,
         _meta: TxMeta,
         host: &mut Host,
-        _ctx: &mut NetCtx,
+        ctx: &mut NetCtx,
     ) -> RouteDecision {
+        self.policy.audit.set_now(ctx.now);
         let Location::Away { care_of } = self.location else {
             // At home the mobile host "functions like a normal non-mobile
             // Internet host" (§2).
@@ -538,6 +572,10 @@ impl MobilityHook for MobileHost {
         // Port heuristics: HTTP/DNS-style conversations forgo Mobile IP.
         if let Some(port) = dst_port {
             if self.policy.use_dt_for_port(port) {
+                self.policy.audit.record(AuditEvent::DtPortShortCircuit {
+                    correspondent: dst,
+                    port,
+                });
                 return Some(care_of);
             }
         }
@@ -594,6 +632,8 @@ impl MobilityHook for MobileHost {
                     if tries + 1 >= self.config.reg_max_tries {
                         self.reg = RegState::Unregistered;
                         self.stats.registration_failures += 1;
+                        self.policy.audit.set_now(ctx.now);
+                        self.policy.audit.record(AuditEvent::RegistrationTimeout);
                     } else {
                         self.stats.registration_retries += 1;
                         self.send_registration(self.config.reg_lifetime, host, ctx);
@@ -602,17 +642,20 @@ impl MobilityHook for MobileHost {
             }
             TIMER_REG_REFRESH
                 if matches!(self.reg, RegState::Registered { .. })
-                    && matches!(self.location, Location::Away { .. })
-                => {
-                    self.send_registration(self.config.reg_lifetime, host, ctx);
-                }
+                    && matches!(self.location, Location::Away { .. }) =>
+            {
+                self.send_registration(self.config.reg_lifetime, host, ctx);
+            }
             _ => {}
         }
     }
 
-    fn feedback(&mut self, event: FeedbackEvent, _now: SimTime) {
+    fn feedback(&mut self, event: FeedbackEvent, now: SimTime) {
         if matches!(self.location, Location::Away { .. }) {
-            let t = self.policy.record_feedback(event.peer, event.retransmission);
+            self.policy.audit.set_now(now);
+            let t = self
+                .policy
+                .record_feedback(event.peer, event.retransmission);
             self.record_transition(t);
         }
     }
@@ -629,7 +672,13 @@ impl MobilityHook for MobileHost {
 /// "obtains a temporary 'guest' connection … and registers its new location
 /// with its home agent" sequence (address pre-assigned; see [`crate::dhcp`]
 /// for automatic assignment).
-pub fn move_to(world: &mut World, node: NodeId, segment: SegmentId, care_of: &str, gateway: Ipv4Addr) {
+pub fn move_to(
+    world: &mut World,
+    node: NodeId,
+    segment: SegmentId,
+    care_of: &str,
+    gateway: Ipv4Addr,
+) {
     let coa = IfaceAddr::parse(care_of);
     let phys = {
         let host = world.host_mut(node);
@@ -809,7 +858,13 @@ mod tests {
     #[test]
     fn moving_away_registers_with_home_agent() {
         let mut net = build(HostConfig::conventional("ch"));
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
         assert!(registered(&mut net));
         let hook = net.w.host_mut(net.ha).hook_as::<HomeAgent>().unwrap();
@@ -822,18 +877,23 @@ mod tests {
     #[test]
     fn ping_to_home_address_follows_the_mobile() {
         let mut net = build(HostConfig::conventional("ch"));
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
         // Conventional CH pings the home address (Figure 1).
         net.w.host_do(net.ch, |h, ctx| {
             h.send_ping(ctx, ip("18.26.0.5"), ip("171.64.15.9"), 1)
         });
         net.w.run_for(SimDuration::from_secs(2));
-        assert!(net.w.host(net.ch)
-            .icmp_log
-            .iter()
-            .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 1, .. })
-                && e.from == ip("171.64.15.9")));
+        assert!(net.w.host(net.ch).icmp_log.iter().any(|e| matches!(
+            e.message,
+            IcmpMessage::EchoReply { seq: 1, .. }
+        ) && e.from == ip("171.64.15.9")));
         // Incoming was In-IE (via home agent tunnel).
         let hook = net.w.host_mut(net.mh).hook_as::<MobileHost>().unwrap();
         assert!(hook.stats.recv_in_ie >= 1);
@@ -847,31 +907,52 @@ mod tests {
         // session keeps running while the mobile host moves from one
         // visited network to another and back home.
         let mut net = build(HostConfig::conventional("ch"));
-        net.w.host_mut(net.ch).add_app(Box::new(TcpEchoServer::new(23)));
+        net.w
+            .host_mut(net.ch)
+            .add_app(Box::new(TcpEchoServer::new(23)));
         net.w.poll_soon(net.ch);
 
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
         assert!(registered(&mut net));
 
         // Start a keystroke session typing every 500 ms.
-        let app = net.w.host_mut(net.mh).add_app(Box::new(KeystrokeSession::new(
-            (ip("18.26.0.5"), 23),
-            SimDuration::from_millis(500),
-            40,
-        )));
+        let app = net
+            .w
+            .host_mut(net.mh)
+            .add_app(Box::new(KeystrokeSession::new(
+                (ip("18.26.0.5"), 23),
+                SimDuration::from_millis(500),
+                40,
+            )));
         net.w.poll_soon(net.mh);
         net.w.run_for(SimDuration::from_secs(5));
 
         // Mid-session handoff to visited network B.
-        move_to(&mut net.w, net.mh, net.visited_b, "128.2.0.99/24", ip("128.2.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_b,
+            "128.2.0.99/24",
+            ip("128.2.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(8));
 
         // And back home again, mid-session.
         return_home(&mut net.w, net.mh, net.home_seg, Some(ip("171.64.15.254")));
         net.w.run_for(SimDuration::from_secs(30));
 
-        let sess = net.w.host_mut(net.mh).app_as::<KeystrokeSession>(app).unwrap();
+        let sess = net
+            .w
+            .host_mut(net.mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
         assert!(sess.broken.is_none(), "session broke: {:?}", sess.broken);
         assert!(
             sess.all_echoed(),
@@ -893,14 +974,22 @@ mod tests {
             .hook_as::<MobileHost>()
             .unwrap()
             .policy = Policy::new(PolicyConfig::default());
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
 
         let srv = tcp::listen(net.w.host_mut(net.ch), None, 80);
         let mh = net.mh;
         let conn = net
             .w
-            .host_do(mh, |h, ctx| tcp::connect(h, ctx, (ip("18.26.0.5"), 80), None))
+            .host_do(mh, |h, ctx| {
+                tcp::connect(h, ctx, (ip("18.26.0.5"), 80), None)
+            })
             .unwrap();
         net.w.run_for(SimDuration::from_secs(2));
         // The endpoint is the care-of address: plain Out-DT, no Mobile IP.
@@ -908,7 +997,10 @@ mod tests {
             tcp::local_endpoint(net.w.host_mut(mh), conn).0,
             ip("36.186.0.99")
         );
-        assert_eq!(tcp::state(net.w.host_mut(mh), conn), tcp::TcpState::Established);
+        assert_eq!(
+            tcp::state(net.w.host_mut(mh), conn),
+            tcp::TcpState::Established
+        );
         let accepted = tcp::accept(net.w.host_mut(net.ch), srv).unwrap();
         assert_eq!(
             tcp::remote_endpoint(net.w.host_mut(net.ch), accepted).0,
@@ -917,7 +1009,9 @@ mod tests {
         // Telnet (23) still gets the home address.
         let conn2 = net
             .w
-            .host_do(mh, |h, ctx| tcp::connect(h, ctx, (ip("18.26.0.5"), 23), None))
+            .host_do(mh, |h, ctx| {
+                tcp::connect(h, ctx, (ip("18.26.0.5"), 23), None)
+            })
             .unwrap();
         assert_eq!(
             tcp::local_endpoint(net.w.host_mut(mh), conn2).0,
@@ -930,7 +1024,13 @@ mod tests {
     #[test]
     fn explicit_bind_overrides_heuristics() {
         let mut net = build(HostConfig::conventional("ch"));
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
         let mh = net.mh;
         // Bind explicitly to the home address even for port 80.
@@ -940,7 +1040,10 @@ mod tests {
                 tcp::connect(h, ctx, (ip("18.26.0.5"), 80), Some(ip("171.64.15.9")))
             })
             .unwrap();
-        assert_eq!(tcp::local_endpoint(net.w.host_mut(mh), c).0, ip("171.64.15.9"));
+        assert_eq!(
+            tcp::local_endpoint(net.w.host_mut(mh), c).0,
+            ip("171.64.15.9")
+        );
         // And to the care-of address for port 23.
         let c2 = net
             .w
@@ -948,7 +1051,10 @@ mod tests {
                 tcp::connect(h, ctx, (ip("18.26.0.5"), 23), Some(ip("36.186.0.99")))
             })
             .unwrap();
-        assert_eq!(tcp::local_endpoint(net.w.host_mut(mh), c2).0, ip("36.186.0.99"));
+        assert_eq!(
+            tcp::local_endpoint(net.w.host_mut(mh), c2).0,
+            ip("36.186.0.99")
+        );
     }
 
     #[test]
@@ -959,19 +1065,34 @@ mod tests {
             .hook_as::<MobileHost>()
             .unwrap()
             .policy = Policy::new(PolicyConfig::default().with_privacy());
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
 
-        net.w.host_mut(net.ch).add_app(Box::new(TcpEchoServer::new(80)));
+        net.w
+            .host_mut(net.ch)
+            .add_app(Box::new(TcpEchoServer::new(80)));
         net.w.poll_soon(net.ch);
-        let app = net.w.host_mut(net.mh).add_app(Box::new(KeystrokeSession::new(
-            (ip("18.26.0.5"), 80), // even the "safe DT" port
-            SimDuration::from_millis(100),
-            5,
-        )));
+        let app = net
+            .w
+            .host_mut(net.mh)
+            .add_app(Box::new(KeystrokeSession::new(
+                (ip("18.26.0.5"), 80), // even the "safe DT" port
+                SimDuration::from_millis(100),
+                5,
+            )));
         net.w.poll_soon(net.mh);
         net.w.run_for(SimDuration::from_secs(5));
-        let sess = net.w.host_mut(net.mh).app_as::<KeystrokeSession>(app).unwrap();
+        let sess = net
+            .w
+            .host_mut(net.mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
         assert!(sess.all_echoed());
         // The correspondent never saw the care-of address on any packet it
         // received: every packet it got came from the home address.
@@ -996,7 +1117,13 @@ mod tests {
         net.w.attach(local_ch, net.visited_a, Some("36.186.0.5/24"));
         net.w.compute_routes();
         udp::install(net.w.host_mut(local_ch));
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
 
         // MH pings the local CH from its home address: must go Out-DH
@@ -1007,14 +1134,17 @@ mod tests {
             h.send_ping(ctx, ip("171.64.15.9"), ip("36.186.0.5"), 7)
         });
         net.w.run_for(SimDuration::from_secs(1));
-        assert!(net.w.host(mh)
+        assert!(net
+            .w
+            .host(mh)
             .icmp_log
             .iter()
             .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 7, .. })));
         // Outgoing leg took exactly one wire traversal.
         assert_eq!(
-            net.w.trace.hops(|s| s.dst == ip("36.186.0.5")
-                && s.protocol == IpProtocol::Icmp),
+            net.w
+                .trace
+                .hops(|s| s.dst == ip("36.186.0.5") && s.protocol == IpProtocol::Icmp),
             1
         );
         let hook = net.w.host_mut(mh).hook_as::<MobileHost>().unwrap();
@@ -1027,14 +1157,23 @@ mod tests {
         let mut net = build(HostConfig::conventional("ch"));
         // Sabotage: remove the HA hook so registrations go unanswered.
         net.w.host_mut(net.ha).clear_hook();
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(30));
         let hook = net.w.host_mut(net.mh).hook_as::<MobileHost>().unwrap();
         assert!(!hook.is_registered());
         assert_eq!(hook.registration_state(), RegState::Unregistered);
         assert!(hook.stats.registration_retries >= 1);
         assert_eq!(hook.stats.registration_failures, 1);
-        assert_eq!(hook.stats.registrations_sent, u64::from(hook.config.reg_max_tries));
+        assert_eq!(
+            hook.stats.registrations_sent,
+            u64::from(hook.config.reg_max_tries)
+        );
     }
 
     #[test]
@@ -1047,7 +1186,13 @@ mod tests {
             .unwrap()
             .config
             .reg_lifetime = 10;
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(35));
         // Still registered after several lifetimes.
         assert!(registered(&mut net));
@@ -1058,7 +1203,9 @@ mod tests {
             h.send_ping(ctx, ip("171.64.15.7"), ip("171.64.15.9"), 2)
         });
         net.w.run_for(SimDuration::from_secs(2));
-        assert!(net.w.host(net.server)
+        assert!(net
+            .w
+            .host(net.server)
             .icmp_log
             .iter()
             .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 2, .. })));
@@ -1067,7 +1214,13 @@ mod tests {
     #[test]
     fn returning_home_restores_conventional_operation() {
         let mut net = build(HostConfig::conventional("ch"));
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
         return_home(&mut net.w, net.mh, net.home_seg, Some(ip("171.64.15.254")));
         net.w.run_for(SimDuration::from_secs(2));
@@ -1080,7 +1233,9 @@ mod tests {
             h.send_ping(ctx, ip("171.64.15.7"), ip("171.64.15.9"), 9)
         });
         net.w.run_for(SimDuration::from_secs(1));
-        assert!(net.w.host(net.server)
+        assert!(net
+            .w
+            .host(net.server)
             .icmp_log
             .iter()
             .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 9, .. })));
@@ -1117,22 +1272,42 @@ mod tests {
             dt_ports: vec![],
             ..PolicyConfig::default()
         });
-        move_to(&mut net.w, net.mh, net.visited_a, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited_a,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(2));
 
-        net.w.host_mut(net.ch).add_app(Box::new(TcpEchoServer::new(23)));
+        net.w
+            .host_mut(net.ch)
+            .add_app(Box::new(TcpEchoServer::new(23)));
         net.w.poll_soon(net.ch);
-        let app = net.w.host_mut(net.mh).add_app(Box::new(KeystrokeSession::new(
-            (ip("18.26.0.5"), 23),
-            SimDuration::from_millis(200),
-            10,
-        )));
+        let app = net
+            .w
+            .host_mut(net.mh)
+            .add_app(Box::new(KeystrokeSession::new(
+                (ip("18.26.0.5"), 23),
+                SimDuration::from_millis(200),
+                10,
+            )));
         net.w.poll_soon(net.mh);
         net.w.run_for(SimDuration::from_secs(60));
 
-        let sess = net.w.host_mut(net.mh).app_as::<KeystrokeSession>(app).unwrap();
+        let sess = net
+            .w
+            .host_mut(net.mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
         assert!(sess.broken.is_none(), "{:?}", sess.broken);
-        assert!(sess.all_echoed(), "typed {} echoed {}", sess.typed(), sess.echoed);
+        assert!(
+            sess.all_echoed(),
+            "typed {} echoed {}",
+            sess.typed(),
+            sess.echoed
+        );
         let hook = net.w.host_mut(net.mh).hook_as::<MobileHost>().unwrap();
         assert!(hook.stats.demotions >= 1, "feedback demoted the mode");
         assert_eq!(hook.policy.mode_for(ip("18.26.0.5")), OutMode::DE);

@@ -101,6 +101,18 @@ impl InMode {
     }
 }
 
+impl serde::Serialize for OutMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Serialize for InMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
 impl fmt::Display for OutMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -147,6 +159,12 @@ impl Combination {
                 .into_iter()
                 .map(move |o| Combination::new(i, o))
         })
+    }
+}
+
+impl serde::Serialize for Combination {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
     }
 }
 
@@ -303,7 +321,10 @@ mod tests {
         ];
         assert_eq!(useful.len(), expected.len());
         for (i, o) in expected {
-            assert!(useful.contains(&Combination::new(i, o)), "missing {i:?}/{o:?}");
+            assert!(
+                useful.contains(&Combination::new(i, o)),
+                "missing {i:?}/{o:?}"
+            );
         }
     }
 

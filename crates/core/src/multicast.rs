@@ -204,7 +204,11 @@ mod tests {
             ha,
             HomeAgentConfig::new(ip("171.64.15.1"), "171.64.15.0/24".parse().unwrap(), ha_if),
         );
-        MobileHost::install(&mut w, mh, MobileHostConfig::new("171.64.15.9/24", ip("171.64.15.1")));
+        MobileHost::install(
+            &mut w,
+            mh,
+            MobileHostConfig::new("171.64.15.9/24", ip("171.64.15.1")),
+        );
         for n in [ha, mh, src_home, src_visited] {
             udp::install(w.host_mut(n));
         }
@@ -234,14 +238,27 @@ mod tests {
     #[test]
     fn tunneled_join_delivers_but_crosses_the_backbone() {
         let mut net = build();
-        move_to(&mut net.w, net.mh, net.visited, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(1));
-        let app = net.w.host_mut(net.mh).add_app(Box::new(MulticastListener::new(PORT)));
+        let app = net
+            .w
+            .host_mut(net.mh)
+            .add_app(Box::new(MulticastListener::new(PORT)));
         join_via_home_agent(&mut net.w, net.ha, net.ha_if, ip(GROUP), ip("171.64.15.9"));
         net.w.poll_soon(net.mh);
         let backbone_before = net.w.segment_stats(net.backbone).bytes;
         net.w.run_for(SimDuration::from_secs(10));
-        let listener = net.w.host_mut(net.mh).app_as::<MulticastListener>(app).unwrap();
+        let listener = net
+            .w
+            .host_mut(net.mh)
+            .app_as::<MulticastListener>(app)
+            .unwrap();
         assert_eq!(listener.received, 10, "got every home-segment packet");
         let backbone_bytes = net.w.segment_stats(net.backbone).bytes - backbone_before;
         // Each ~550-byte packet crossed the backbone inside a tunnel.
@@ -254,14 +271,27 @@ mod tests {
     #[test]
     fn local_join_delivers_with_zero_backbone_cost() {
         let mut net = build();
-        move_to(&mut net.w, net.mh, net.visited, "36.186.0.99/24", ip("36.186.0.254"));
+        move_to(
+            &mut net.w,
+            net.mh,
+            net.visited,
+            "36.186.0.99/24",
+            ip("36.186.0.254"),
+        );
         net.w.run_for(SimDuration::from_secs(1));
-        let app = net.w.host_mut(net.mh).add_app(Box::new(MulticastListener::new(PORT)));
+        let app = net
+            .w
+            .host_mut(net.mh)
+            .add_app(Box::new(MulticastListener::new(PORT)));
         join_local(&mut net.w, net.mh, 0, ip(GROUP));
         net.w.poll_soon(net.mh);
         let backbone_before = net.w.segment_stats(net.backbone).bytes;
         net.w.run_for(SimDuration::from_secs(10));
-        let listener = net.w.host_mut(net.mh).app_as::<MulticastListener>(app).unwrap();
+        let listener = net
+            .w
+            .host_mut(net.mh)
+            .app_as::<MulticastListener>(app)
+            .unwrap();
         assert_eq!(listener.received, 10, "got every visited-segment packet");
         let backbone_bytes = net.w.segment_stats(net.backbone).bytes - backbone_before;
         // Only registration chatter (if any) crosses; no multicast does.
@@ -274,11 +304,18 @@ mod tests {
     #[test]
     fn at_home_group_reception_is_native() {
         let mut net = build();
-        let app = net.w.host_mut(net.mh).add_app(Box::new(MulticastListener::new(PORT)));
+        let app = net
+            .w
+            .host_mut(net.mh)
+            .add_app(Box::new(MulticastListener::new(PORT)));
         join_local(&mut net.w, net.mh, 0, ip(GROUP));
         net.w.poll_soon(net.mh);
         net.w.run_for(SimDuration::from_secs(10));
-        let listener = net.w.host_mut(net.mh).app_as::<MulticastListener>(app).unwrap();
+        let listener = net
+            .w
+            .host_mut(net.mh)
+            .app_as::<MulticastListener>(app)
+            .unwrap();
         assert_eq!(listener.received, 10);
     }
 }

@@ -24,10 +24,12 @@
 //!   ("we have not yet implemented this"), implemented here: repeated
 //!   retransmission signals demote the method one step toward Out-IE.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use netsim::{Ipv4Addr, Ipv4Cidr};
 
+use crate::audit::{AuditEvent, AuditTrail, DecisionReason};
 use crate::modes::OutMode;
 
 /// How to pick the first home-address delivery method for a correspondent.
@@ -132,15 +134,14 @@ impl PolicyConfig {
         self
     }
 
-    fn strategy_for(&self, correspondent: Ipv4Addr) -> Strategy {
+    fn strategy_with_source(&self, correspondent: Ipv4Addr) -> (Strategy, DecisionReason) {
         if self.privacy {
-            return Strategy::Fixed(OutMode::IE);
+            return (Strategy::Fixed(OutMode::IE), DecisionReason::Privacy);
         }
-        self.rules
-            .iter()
-            .find(|(p, _)| p.contains(correspondent))
-            .map(|&(_, s)| s)
-            .unwrap_or(self.default_strategy)
+        match self.rules.iter().find(|(p, _)| p.contains(correspondent)) {
+            Some(&(_, s)) => (s, DecisionReason::Rule),
+            None => (self.default_strategy, DecisionReason::Default),
+        }
     }
 }
 
@@ -189,6 +190,8 @@ pub struct Policy {
     /// The static policy configuration (rules, ports, thresholds).
     pub config: PolicyConfig,
     cache: HashMap<Ipv4Addr, MethodEntry>,
+    /// The why-was-this-mode-chosen event trail.
+    pub audit: AuditTrail,
 }
 
 impl Policy {
@@ -197,6 +200,7 @@ impl Policy {
         Policy {
             config,
             cache: HashMap::new(),
+            audit: AuditTrail::new(),
         }
     }
 
@@ -209,19 +213,29 @@ impl Policy {
     /// The mode to use right now for `correspondent`, creating a cache
     /// entry on first contact.
     pub fn mode_for(&mut self, correspondent: Ipv4Addr) -> OutMode {
-        let strategy = self.config.strategy_for(correspondent);
-        self.cache
-            .entry(correspondent)
-            .or_insert_with(|| MethodEntry {
-                mode: strategy.initial(),
-                strategy,
-                fail_signals: 0,
-                success_signals: 0,
-                failed_modes: Vec::new(),
-                demotions: 0,
-                promotions: 0,
-            })
-            .mode
+        let (strategy, source) = self.config.strategy_with_source(correspondent);
+        let (mode, reason) = match self.cache.entry(correspondent) {
+            Entry::Occupied(e) => (e.get().mode, DecisionReason::CacheHit),
+            Entry::Vacant(v) => (
+                v.insert(MethodEntry {
+                    mode: strategy.initial(),
+                    strategy,
+                    fail_signals: 0,
+                    success_signals: 0,
+                    failed_modes: Vec::new(),
+                    demotions: 0,
+                    promotions: 0,
+                })
+                .mode,
+                source,
+            ),
+        };
+        self.audit.record(AuditEvent::Decision {
+            correspondent,
+            mode,
+            reason,
+        });
+        mode
     }
 
     /// Peek at a cache entry.
@@ -232,6 +246,11 @@ impl Policy {
     /// Forget everything (e.g. after moving to a different network, where
     /// the filtering situation may be different).
     pub fn clear_cache(&mut self) {
+        if !self.cache.is_empty() {
+            self.audit.record(AuditEvent::CacheCleared {
+                entries: self.cache.len(),
+            });
+        }
         self.cache.clear();
     }
 
@@ -260,6 +279,11 @@ impl Policy {
                     e.mode = to;
                     e.fail_signals = 0;
                     e.demotions += 1;
+                    self.audit.record(AuditEvent::Demoted {
+                        correspondent,
+                        from,
+                        to,
+                    });
                     return Some(Transition::Demoted { from, to });
                 }
             }
@@ -276,6 +300,11 @@ impl Policy {
                     e.mode = to;
                     e.success_signals = 0;
                     e.promotions += 1;
+                    self.audit.record(AuditEvent::Promoted {
+                        correspondent,
+                        from,
+                        to,
+                    });
                     return Some(Transition::Promoted { from, to });
                 }
                 e.success_signals = 0; // ceiling reached; keep counting fresh
@@ -414,7 +443,7 @@ mod tests {
         let mut p = Policy::new(PolicyConfig::pessimistic());
         let ch = ip("18.26.0.5");
         assert_eq!(p.mode_for(ch), OutMode::IE); // create the cache entry
-        // Climb to DH, fail there, drop to DE.
+                                                 // Climb to DH, fail there, drop to DE.
         for _ in 0..16 {
             p.record_feedback(ch, false);
         }
@@ -457,6 +486,67 @@ mod tests {
         assert_eq!(p.mode_for(ch2), OutMode::DH, "ch2 unaffected");
         p.clear_cache();
         assert_eq!(p.mode_for(ch1), OutMode::DH, "cleared after move");
+    }
+
+    #[test]
+    fn audit_trail_explains_every_decision_and_transition() {
+        let mut p = Policy::new(
+            PolicyConfig::optimistic().with_rule(cidr("171.64.0.0/16"), Strategy::Pessimistic),
+        );
+        let ch = ip("18.26.0.5");
+        assert_eq!(p.mode_for(ch), OutMode::DH); // first contact: default strategy
+        assert_eq!(p.mode_for(ch), OutMode::DH); // second lookup: cache hit
+        p.record_feedback(ch, true);
+        p.record_feedback(ch, true); // demotes DH → DE
+        assert_eq!(p.mode_for(ch), OutMode::DE);
+        assert_eq!(
+            p.audit.decisions_for(ch),
+            vec![OutMode::DH, OutMode::DH, OutMode::DE]
+        );
+        assert_eq!(
+            p.audit.last_decision(ch),
+            Some((OutMode::DE, DecisionReason::CacheHit))
+        );
+        let reasons: Vec<DecisionReason> = p
+            .audit
+            .for_correspondent(ch)
+            .filter_map(|e| match e.event {
+                AuditEvent::Decision { reason, .. } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            reasons,
+            vec![
+                DecisionReason::Default,
+                DecisionReason::CacheHit,
+                DecisionReason::CacheHit
+            ]
+        );
+        let transitions = p.audit.transitions();
+        assert_eq!(transitions.len(), 1);
+        assert!(matches!(
+            transitions[0].event,
+            AuditEvent::Demoted {
+                from: OutMode::DH,
+                to: OutMode::DE,
+                ..
+            }
+        ));
+
+        // A rule-covered correspondent records its source as Rule.
+        p.mode_for(ip("171.64.7.7"));
+        assert_eq!(
+            p.audit.last_decision(ip("171.64.7.7")),
+            Some((OutMode::IE, DecisionReason::Rule))
+        );
+
+        // Clearing the cache leaves a visible mark.
+        p.clear_cache();
+        assert!(p
+            .audit
+            .entries()
+            .any(|e| matches!(e.event, AuditEvent::CacheCleared { entries: 2 })));
     }
 
     #[test]

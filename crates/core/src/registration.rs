@@ -188,7 +188,9 @@ mod tests {
             ..request()
         };
         assert!(r.is_deregistration());
-        assert!(RegistrationRequest::parse(&r.emit()).unwrap().is_deregistration());
+        assert!(RegistrationRequest::parse(&r.emit())
+            .unwrap()
+            .is_deregistration());
     }
 
     #[test]
@@ -211,7 +213,10 @@ mod tests {
     fn parsers_reject_wrong_type_and_truncation() {
         let req = request().emit();
         assert!(RegistrationRequest::parse(&req[..20]).is_err());
-        assert!(RegistrationReply::parse(&req).is_err(), "type 1 is not a reply");
+        assert!(
+            RegistrationReply::parse(&req).is_err(),
+            "type 1 is not a reply"
+        );
         let mut bad = req.clone();
         bad[0] = 9;
         assert!(RegistrationRequest::parse(&bad).is_err());

@@ -224,15 +224,24 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
     if cfg.home_ingress_filter {
         w.router_mut(home_gw)
             .filters
-            .push(FilterRule::ingress_source_filter(1, cidr(addrs::HOME_PREFIX)));
+            .push(FilterRule::ingress_source_filter(
+                1,
+                cidr(addrs::HOME_PREFIX),
+            ));
     }
     if cfg.visited_egress_filter {
         w.router_mut(visited_a_gw)
             .filters
-            .push(FilterRule::egress_source_filter(1, cidr(addrs::VISITED_A_PREFIX)));
+            .push(FilterRule::egress_source_filter(
+                1,
+                cidr(addrs::VISITED_A_PREFIX),
+            ));
         w.router_mut(visited_b_gw)
             .filters
-            .push(FilterRule::egress_source_filter(1, cidr(addrs::VISITED_B_PREFIX)));
+            .push(FilterRule::egress_source_filter(
+                1,
+                cidr(addrs::VISITED_B_PREFIX),
+            ));
     }
 
     // Agents and hooks.
@@ -268,10 +277,11 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         ));
         w.poll_soon(ns);
         // The mobile keeps its TA record current.
-        w.host_mut(mh).add_app(Box::new(crate::dns::TaRegistrar::new(
-            ip(addrs::DNS),
-            addrs::MH_NAME,
-        )));
+        w.host_mut(mh)
+            .add_app(Box::new(crate::dns::TaRegistrar::new(
+                ip(addrs::DNS),
+                addrs::MH_NAME,
+            )));
         w.poll_soon(mh);
         Some(ns)
     } else {
@@ -390,8 +400,9 @@ mod tests {
         let ch_addr = s.ch_addr();
         s.world.trace.clear();
         s.mh_hook().policy_mut().config = PolicyConfig::fixed(crate::modes::OutMode::DH);
-        s.world
-            .host_do(mh, |h, ctx| h.send_ping(ctx, ip(addrs::MH_HOME), ch_addr, 1));
+        s.world.host_do(mh, |h, ctx| {
+            h.send_ping(ctx, ip(addrs::MH_HOME), ch_addr, 1)
+        });
         s.world.run_for(SimDuration::from_secs(1));
         let drops = s.world.trace.drops(|p| p.dst == ch_addr);
         assert!(
@@ -411,8 +422,9 @@ mod tests {
         s.roam_to_a();
         let mh = s.mh;
         let ch_addr = s.ch_addr();
-        s.world
-            .host_do(mh, |h, ctx| h.send_ping(ctx, ip(addrs::MH_HOME), ch_addr, 1));
+        s.world.host_do(mh, |h, ctx| {
+            h.send_ping(ctx, ip(addrs::MH_HOME), ch_addr, 1)
+        });
         s.world.run_for(SimDuration::from_secs(1));
         assert!(s
             .world

@@ -6,7 +6,7 @@
 use mip_core::home_agent::{HomeAgent, HomeAgentConfig};
 use mip_core::mobile_host::{move_to, return_home, MobileHost, MobileHostConfig};
 use mip_core::scenario::{addrs, build, ip, ChKind, ScenarioConfig};
-use mip_core::{BindingSource, MobileAwareCh, OutMode, PolicyConfig};
+use mip_core::{AuditEvent, BindingSource, DecisionReason, MobileAwareCh, OutMode, PolicyConfig};
 use netsim::wire::encap::EncapFormat;
 use netsim::wire::icmp::IcmpMessage;
 use netsim::wire::ipv4::IpProtocol;
@@ -31,7 +31,9 @@ fn every_encapsulation_format_carries_tcp_end_to_end() {
         });
         let ch = s.ch;
         let ch_addr = s.ch_addr();
-        s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+        s.world
+            .host_mut(ch)
+            .add_app(Box::new(TcpEchoServer::new(23)));
         s.world.poll_soon(ch);
         s.roam_to_a();
         let mh = s.mh;
@@ -42,7 +44,11 @@ fn every_encapsulation_format_carries_tcp_end_to_end() {
         )));
         s.world.poll_soon(mh);
         s.world.run_for(SimDuration::from_secs(10));
-        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+        let sess = s
+            .world
+            .host_mut(mh)
+            .app_as::<KeystrokeSession>(app)
+            .unwrap();
         assert!(
             sess.all_echoed() && sess.broken.is_none(),
             "{format:?}: typed {} echoed {} broken {:?}",
@@ -123,12 +129,10 @@ fn home_agent_serves_multiple_mobiles_including_mobile_to_mobile() {
         h.send_ping(ctx, ip("171.64.15.9"), ip("171.64.15.10"), 7)
     });
     w.run_for(SimDuration::from_secs(3));
-    assert!(w
-        .host(mh1)
-        .icmp_log
-        .iter()
-        .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 7, .. })
-            && e.from == ip("171.64.15.10")));
+    assert!(w.host(mh1).icmp_log.iter().any(|e| matches!(
+        e.message,
+        IcmpMessage::EchoReply { seq: 7, .. }
+    ) && e.from == ip("171.64.15.10")));
 }
 
 /// A mobile-aware correspondent holding a stale binding (the mobile moved)
@@ -150,7 +154,12 @@ fn stale_binding_expires_and_is_relearned() {
         .host_mut(ch)
         .hook_as::<MobileAwareCh>()
         .unwrap()
-        .set_binding(ip(addrs::MH_HOME), ip(addrs::COA_A), soon, BindingSource::Manual);
+        .set_binding(
+            ip(addrs::MH_HOME),
+            ip(addrs::COA_A),
+            soon,
+            BindingSource::Manual,
+        );
 
     // The mobile silently moves to B. The CH's binding now points at a
     // dead address.
@@ -162,7 +171,9 @@ fn stale_binding_expires_and_is_relearned() {
     s.world
         .host_do(ch, |h, ctx| h.send_ping(ctx, ch_addr, mh_home, 1));
     s.world.run_for(SimDuration::from_secs(3));
-    assert!(!s.world.host(ch)
+    assert!(!s
+        .world
+        .host(ch)
         .icmp_log
         .iter()
         .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 1, .. })));
@@ -173,7 +184,9 @@ fn stale_binding_expires_and_is_relearned() {
     s.world
         .host_do(ch, |h, ctx| h.send_ping(ctx, ch_addr, mh_home, 2));
     s.world.run_for(SimDuration::from_secs(3));
-    assert!(s.world.host(ch)
+    assert!(s
+        .world
+        .host(ch)
         .icmp_log
         .iter()
         .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 2, .. })));
@@ -244,7 +257,9 @@ fn privacy_mode_never_reveals_the_care_of_address() {
     });
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
     s.roam_to_a();
     let mh = s.mh;
@@ -255,7 +270,11 @@ fn privacy_mode_never_reveals_the_care_of_address() {
     )));
     s.world.poll_soon(mh);
     s.world.run_for(SimDuration::from_secs(10));
-    let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
     assert!(sess.all_echoed());
     let coa = ip(addrs::COA_A);
     for e in s.world.trace.events() {
@@ -286,7 +305,8 @@ fn correspondent_recovers_after_mobile_returns_home() {
     s.world
         .host_do(ch, |h, ctx| h.send_ping(ctx, ch_addr, mh_home, 1));
     s.world.run_for(SimDuration::from_secs(2));
-    assert!(s.world
+    assert!(s
+        .world
         .host_mut(ch)
         .hook_as::<MobileAwareCh>()
         .unwrap()
@@ -306,7 +326,9 @@ fn correspondent_recovers_after_mobile_returns_home() {
     s.world
         .host_do(ch, |h, ctx| h.send_ping(ctx, ch_addr, mh_home, 2));
     s.world.run_for(SimDuration::from_secs(2));
-    assert!(s.world.host(ch)
+    assert!(s
+        .world
+        .host(ch)
         .icmp_log
         .iter()
         .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 2, .. })));
@@ -318,4 +340,105 @@ fn correspondent_recovers_after_mobile_returns_home() {
     // (Tunnels from the roaming phase are in the trace; assert none are
     // recent by checking the reply came without HA involvement instead.)
     drop(after_home);
+}
+
+/// The audit trail explains the optimistic probe-and-fallback sequence
+/// end-to-end, in causal order: handoff, registration, the first Out-DH
+/// decision from the default strategy, the §7.1.2 demotion to Out-DE, and
+/// cache-hit decisions thereafter — all through the query API, no trace
+/// spelunking.
+#[test]
+fn audit_trail_records_cache_hits_and_probe_fallback() {
+    let mut s = build(ScenarioConfig {
+        ch_kind: ChKind::DecapCapable,
+        visited_egress_filter: true,
+        mh_policy: PolicyConfig::optimistic().without_dt_ports(),
+        ..ScenarioConfig::default()
+    });
+    let ch = s.ch;
+    let ch_addr = s.ch_addr();
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
+    s.world.poll_soon(ch);
+    s.roam_to_a();
+    let mh = s.mh;
+    let app = s.world.host_mut(mh).add_app(Box::new(KeystrokeSession::new(
+        (ch_addr, 23),
+        SimDuration::from_millis(200),
+        10,
+    )));
+    s.world.poll_soon(mh);
+    s.world.run_for(SimDuration::from_secs(60));
+
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
+    assert!(
+        sess.all_echoed() && sess.broken.is_none(),
+        "session survived"
+    );
+
+    let audit = s
+        .world
+        .host_mut(mh)
+        .hook_as::<MobileHost>()
+        .unwrap()
+        .audit();
+
+    // Causal order: the handoff precedes the registration exchange.
+    let kinds: Vec<&str> = audit.entries().map(|e| e.event.kind()).collect();
+    let handoff = kinds.iter().position(|k| *k == "handoff").expect("handoff");
+    let reg_sent = kinds
+        .iter()
+        .position(|k| *k == "registration-sent")
+        .expect("registration sent");
+    let reg_ok = kinds
+        .iter()
+        .position(|k| *k == "registration-accepted")
+        .expect("registration accepted");
+    assert!(handoff < reg_sent && reg_sent < reg_ok);
+
+    // First contact: a cache miss resolved from the optimistic default.
+    let first = audit.for_correspondent(ch_addr).next().expect("decisions");
+    assert!(
+        matches!(
+            first.event,
+            AuditEvent::Decision {
+                mode: OutMode::DH,
+                reason: DecisionReason::Default,
+                ..
+            }
+        ),
+        "first decision was {:?}",
+        first.event
+    );
+
+    // The egress filter ate Out-DH; feedback demoted to Out-DE.
+    assert!(
+        audit.transitions().iter().any(|t| matches!(
+            t.event,
+            AuditEvent::Demoted {
+                from: OutMode::DH,
+                to: OutMode::DE,
+                ..
+            }
+        )),
+        "expected a DH→DE demotion"
+    );
+
+    // Decisions ran DH… then DE…, and the current answer is a cache hit.
+    let decisions = audit.decisions_for(ch_addr);
+    assert_eq!(decisions.first(), Some(&OutMode::DH));
+    assert_eq!(decisions.last(), Some(&OutMode::DE));
+    assert_eq!(
+        audit.last_decision(ch_addr),
+        Some((OutMode::DE, DecisionReason::CacheHit))
+    );
+
+    // Timestamps never run backwards.
+    let times: Vec<u64> = audit.entries().map(|e| e.at.0).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
 }

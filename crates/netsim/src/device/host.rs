@@ -28,7 +28,7 @@ use bytes::Bytes;
 
 use super::nic::{ArpIdentity, IfaceAddr, NextHop, Nic, NicRx};
 use super::router::{lpm, RouteEntry};
-use super::{split_token, token, NS_APPS, NS_MOBILITY, TxMeta};
+use super::{split_token, token, TxMeta, NS_APPS, NS_MOBILITY};
 use crate::event::{IfaceNo, NodeId, TimerToken};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, TraceEventKind};
@@ -487,7 +487,9 @@ impl Host {
     /// Temporarily remove a handler so it can be invoked with `&mut Host`
     /// (the take-out pattern). Pair with [`Host::put_handler`].
     pub fn take_handler(&mut self, proto: IpProtocol) -> Option<Box<dyn ProtocolHandler>> {
-        self.handlers.get_mut(&proto.number()).and_then(Option::take)
+        self.handlers
+            .get_mut(&proto.number())
+            .and_then(Option::take)
     }
 
     /// Return a handler taken out with [`Host::take_handler`].
@@ -799,15 +801,24 @@ impl Host {
             ctx.trace_packet(TraceEventKind::Dropped(DropReason::Malformed), &pkt);
             return;
         };
-        if let IcmpMessage::EchoRequest { ident, seq, payload } = &msg {
+        if let IcmpMessage::EchoRequest {
+            ident,
+            seq,
+            payload,
+        } = &msg
+        {
             if self.config.icmp_echo_reply && self.is_local_addr(pkt.dst) {
                 let reply = IcmpMessage::EchoReply {
                     ident: *ident,
                     seq: *seq,
                     payload: payload.clone(),
                 };
-                let mut out =
-                    Ipv4Packet::new(pkt.dst, pkt.src, IpProtocol::Icmp, Bytes::from(reply.emit()));
+                let mut out = Ipv4Packet::new(
+                    pkt.dst,
+                    pkt.src,
+                    IpProtocol::Icmp,
+                    Bytes::from(reply.emit()),
+                );
                 out.ident = self.alloc_ident();
                 self.send_ip(ctx, out, TxMeta::default());
             }

@@ -180,7 +180,10 @@ impl Nic {
 
     /// All configured interface addresses.
     pub fn addrs(&self) -> Vec<Ipv4Addr> {
-        self.ifaces.iter().filter_map(|i| i.addr.map(|a| a.addr)).collect()
+        self.ifaces
+            .iter()
+            .filter_map(|i| i.addr.map(|a| a.addr))
+            .collect()
     }
 
     /// The interface whose on-link prefix contains `dst`, if any.
@@ -237,10 +240,14 @@ impl Nic {
         };
         let frame = EthernetFrame::new(dst_mac, st.mac, EtherType::Ipv4, Bytes::from(pkt.emit()));
         let outcome = ctx.transmit(seg, iface, &frame);
-        if outcome == FaultOutcome::Drop {
-            ctx.trace_packet(TraceEventKind::Dropped(DropReason::LinkFault), pkt);
-        } else {
-            ctx.trace_packet(kind, pkt);
+        match outcome {
+            FaultOutcome::Drop => {
+                ctx.trace_packet(TraceEventKind::Dropped(DropReason::LinkFault), pkt);
+            }
+            FaultOutcome::Corrupt => {
+                ctx.trace_packet(TraceEventKind::Dropped(DropReason::Malformed), pkt);
+            }
+            FaultOutcome::Deliver | FaultOutcome::Duplicate => ctx.trace_packet(kind, pkt),
         }
     }
 
@@ -375,12 +382,8 @@ impl Nic {
             let st = &self.ifaces[iface];
             let Some(seg) = st.segment else { return };
             let reply = ArpPacket::reply(st.mac, arp.tpa, arp.sha, arp.spa);
-            let frame = EthernetFrame::new(
-                arp.sha,
-                st.mac,
-                EtherType::Arp,
-                Bytes::from(reply.emit()),
-            );
+            let frame =
+                EthernetFrame::new(arp.sha, st.mac, EtherType::Arp, Bytes::from(reply.emit()));
             ctx.transmit(seg, iface, &frame);
         }
     }

@@ -21,11 +21,11 @@ use bytes::Bytes;
 use super::nic::{ArpIdentity, NextHop, Nic, NicRx};
 use crate::event::{IfaceNo, NodeId, TimerToken};
 use crate::time::SimDuration;
-use crate::wire::srcroute;
 use crate::trace::{DropReason, TraceEventKind};
 use crate::wire::ethernet::MacAddr;
 use crate::wire::icmp::{IcmpMessage, UnreachableCode};
 use crate::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet};
+use crate::wire::srcroute;
 use crate::world::NetCtx;
 
 /// Whether a filter rule applies to packets entering or leaving the router.
@@ -132,7 +132,10 @@ impl FilterRule {
         FilterRule {
             src_in: src,
             dst_in: dst,
-            ..FilterRule::blank(FilterWhen::Ingress, FilterAction::Deny(DropReason::Firewall))
+            ..FilterRule::blank(
+                FilterWhen::Ingress,
+                FilterAction::Deny(DropReason::Firewall),
+            )
         }
     }
 
@@ -361,12 +364,24 @@ impl Router {
     fn deliver_local(&mut self, ctx: &mut NetCtx, _iface: IfaceNo, pkt: Ipv4Packet) {
         // Routers answer pings; everything else has no listener.
         if pkt.protocol == IpProtocol::Icmp {
-            if let Ok(IcmpMessage::EchoRequest { ident, seq, payload }) =
-                IcmpMessage::parse(&pkt.payload)
+            if let Ok(IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }) = IcmpMessage::parse(&pkt.payload)
             {
                 ctx.trace_packet(TraceEventKind::DeliveredLocal, &pkt);
-                let reply = IcmpMessage::EchoReply { ident, seq, payload };
-                let out = Ipv4Packet::new(pkt.dst, pkt.src, IpProtocol::Icmp, Bytes::from(reply.emit()));
+                let reply = IcmpMessage::EchoReply {
+                    ident,
+                    seq,
+                    payload,
+                };
+                let out = Ipv4Packet::new(
+                    pkt.dst,
+                    pkt.src,
+                    IpProtocol::Icmp,
+                    Bytes::from(reply.emit()),
+                );
                 self.originate(ctx, out);
                 return;
             }
@@ -447,7 +462,12 @@ impl Router {
                 original: quote,
             },
         };
-        let mut out = Ipv4Packet::new(src, offending.src, IpProtocol::Icmp, Bytes::from(msg.emit()));
+        let mut out = Ipv4Packet::new(
+            src,
+            offending.src,
+            IpProtocol::Icmp,
+            Bytes::from(msg.emit()),
+        );
         out.ident = self.ident;
         self.ident = self.ident.wrapping_add(1);
         self.originate(ctx, out);
@@ -494,9 +514,15 @@ mod tests {
         );
         // Legitimate outside traffic passes.
         let normal = pkt("18.26.0.1", "171.64.7.7");
-        assert_eq!(evaluate_filters(&rules, FilterWhen::Ingress, 0, &normal), None);
+        assert_eq!(
+            evaluate_filters(&rules, FilterWhen::Ingress, 0, &normal),
+            None
+        );
         // The same source arriving on the *inside* interface is fine.
-        assert_eq!(evaluate_filters(&rules, FilterWhen::Ingress, 1, &spoofish), None);
+        assert_eq!(
+            evaluate_filters(&rules, FilterWhen::Ingress, 1, &spoofish),
+            None
+        );
     }
 
     #[test]
@@ -511,7 +537,10 @@ mod tests {
         // Packets sourced from the visited network's own space pass —
         // including tunnel packets whose *outer* source is the care-of addr.
         let coa_src = pkt("36.186.0.99", "171.64.15.1");
-        assert_eq!(evaluate_filters(&rules, FilterWhen::Egress, 0, &coa_src), None);
+        assert_eq!(
+            evaluate_filters(&rules, FilterWhen::Egress, 0, &coa_src),
+            None
+        );
     }
 
     #[test]
@@ -523,7 +552,10 @@ mod tests {
             Some(DropReason::TransitPolicy)
         );
         let inbound = pkt("18.26.0.1", "36.186.0.99");
-        assert_eq!(evaluate_filters(&rules, FilterWhen::Ingress, 0, &inbound), None);
+        assert_eq!(
+            evaluate_filters(&rules, FilterWhen::Ingress, 0, &inbound),
+            None
+        );
     }
 
     #[test]
@@ -532,7 +564,12 @@ mod tests {
         // deny everything else inbound.
         let ha = cidr("171.64.15.1/32");
         let rules = [
-            FilterRule::permit(FilterWhen::Ingress, None, Some(ha), Some(IpProtocol::IpInIp)),
+            FilterRule::permit(
+                FilterWhen::Ingress,
+                None,
+                Some(ha),
+                Some(IpProtocol::IpInIp),
+            ),
             FilterRule::firewall_deny(None, Some(cidr("171.64.0.0/16"))),
         ];
         let tunnel = Ipv4Packet::new(
@@ -541,7 +578,10 @@ mod tests {
             IpProtocol::IpInIp,
             Bytes::from_static(b"inner"),
         );
-        assert_eq!(evaluate_filters(&rules, FilterWhen::Ingress, 0, &tunnel), None);
+        assert_eq!(
+            evaluate_filters(&rules, FilterWhen::Ingress, 0, &tunnel),
+            None
+        );
         let other = pkt("36.186.0.99", "171.64.7.7");
         assert_eq!(
             evaluate_filters(&rules, FilterWhen::Ingress, 0, &other),

@@ -31,20 +31,21 @@
 pub mod device;
 pub mod event;
 pub mod link;
+pub mod metrics;
 pub mod time;
 pub mod trace;
 pub mod wire;
 pub mod world;
 
 pub use device::host::{
-    App, EncapLayer, FeedbackEvent, Host, HostConfig, MobilityHook, ProtocolHandler,
-    RouteDecision,
+    App, EncapLayer, FeedbackEvent, Host, HostConfig, MobilityHook, ProtocolHandler, RouteDecision,
 };
 pub use device::nic::IfaceAddr;
 pub use device::router::{FilterAction, FilterRule, FilterWhen, Router, RouterConfig};
 pub use device::TxMeta;
 pub use event::{Event, EventQueue, IfaceNo, NodeId, Timer, TimerToken};
 pub use link::{FaultInjector, LinkConfig, LinkId, SegmentId};
+pub use metrics::{Histogram, MetricsRegistry, NodeMetrics, SegmentMetrics};
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropReason, PacketTrace, TraceEvent, TraceEventKind};
 pub use wire::encap::EncapFormat;

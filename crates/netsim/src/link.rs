@@ -51,6 +51,10 @@ pub enum FaultOutcome {
     Drop,
     /// Deliver two copies.
     Duplicate,
+    /// One bit was flipped in flight. Every CRC catches all single-bit
+    /// errors, so the receiving NIC's FCS check discards the frame: it
+    /// occupies the wire but is never delivered upward.
+    Corrupt,
 }
 
 impl FaultInjector {
@@ -63,6 +67,7 @@ impl FaultInjector {
             let i = rng.gen_range(0..frame.len());
             let bit = 1u8 << rng.gen_range(0..8);
             frame[i] ^= bit;
+            return FaultOutcome::Corrupt;
         }
         if self.duplicate_prob > 0.0 && rng.gen_bool(self.duplicate_prob) {
             return FaultOutcome::Duplicate;
@@ -129,6 +134,9 @@ pub struct LinkStats {
     pub bytes: u64,
     /// Frames eaten by fault injection.
     pub fault_drops: u64,
+    /// Frames corrupted in flight and discarded by the receiver's FCS
+    /// check (they still consumed wire time and count in `frames`/`bytes`).
+    pub crc_drops: u64,
     /// Frames dropped for exceeding the MTU (an upstream bug).
     pub oversize_drops: u64,
 }
@@ -176,6 +184,12 @@ impl Segment {
         self.attachments.contains(&(node, iface))
     }
 
+    /// How long the medium is already committed beyond `now`: the
+    /// sender-side queueing delay a frame offered at `now` would see.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.next_free.since(now)
+    }
+
     /// Transmit `frame` from `from`, scheduling delivery events to every
     /// other attachment. Applies serialization delay, propagation latency
     /// and fault injection. Returns the fault outcome (for link stats and
@@ -211,8 +225,20 @@ impl Segment {
         self.next_free = tx_end;
         let arrival = tx_end + self.config.latency;
 
+        // A corrupted frame monopolizes the medium like any other but every
+        // receiving NIC rejects it on the FCS check — model that as
+        // "no delivery events".
+        if outcome == FaultOutcome::Corrupt {
+            self.stats.crc_drops += 1;
+            return outcome;
+        }
+
         let frame = Bytes::from(bytes);
-        let copies = if outcome == FaultOutcome::Duplicate { 2 } else { 1 };
+        let copies = if outcome == FaultOutcome::Duplicate {
+            2
+        } else {
+            1
+        };
         for _ in 0..copies {
             for &(node, iface) in &self.attachments {
                 if (node, iface) == from {
@@ -257,7 +283,13 @@ mod tests {
         seg.attach(NodeId(0), 0);
         seg.attach(NodeId(1), 0);
         let mut q = EventQueue::new();
-        seg.transmit((NodeId(0), 0), frame(1000), SimTime::ZERO, &mut q, &mut rng());
+        seg.transmit(
+            (NodeId(0), 0),
+            frame(1000),
+            SimTime::ZERO,
+            &mut q,
+            &mut rng(),
+        );
         let ev = q.pop().unwrap();
         // 1000 bytes at 1 byte/µs = 1000 µs + 10 ms latency.
         assert_eq!(ev.at, SimTime(11_000));
@@ -297,8 +329,20 @@ mod tests {
         seg.attach(NodeId(1), 0);
         let mut q = EventQueue::new();
         // Two back-to-back 500-byte frames at t=0: second must wait.
-        seg.transmit((NodeId(0), 0), frame(500), SimTime::ZERO, &mut q, &mut rng());
-        seg.transmit((NodeId(0), 0), frame(500), SimTime::ZERO, &mut q, &mut rng());
+        seg.transmit(
+            (NodeId(0), 0),
+            frame(500),
+            SimTime::ZERO,
+            &mut q,
+            &mut rng(),
+        );
+        seg.transmit(
+            (NodeId(0), 0),
+            frame(500),
+            SimTime::ZERO,
+            &mut q,
+            &mut rng(),
+        );
         let t1 = q.pop().unwrap().at;
         let t2 = q.pop().unwrap().at;
         assert_eq!(t1, SimTime(500));
@@ -335,7 +379,13 @@ mod tests {
         assert_eq!(seg.stats.oversize_drops, 1);
         assert!(q.is_empty());
         // Exactly MTU + header is fine.
-        let out = seg.transmit((NodeId(0), 0), frame(1514), SimTime::ZERO, &mut q, &mut rng());
+        let out = seg.transmit(
+            (NodeId(0), 0),
+            frame(1514),
+            SimTime::ZERO,
+            &mut q,
+            &mut rng(),
+        );
         assert_eq!(out, FaultOutcome::Deliver);
     }
 
@@ -373,7 +423,7 @@ mod tests {
         let mut r = rng();
         let orig = vec![0u8; 100];
         let mut data = orig.clone();
-        assert_eq!(inj.apply(&mut data, &mut r), FaultOutcome::Deliver);
+        assert_eq!(inj.apply(&mut data, &mut r), FaultOutcome::Corrupt);
         let flipped: u32 = orig
             .iter()
             .zip(&data)

@@ -1,0 +1,766 @@
+//! Simulator-wide metrics registry.
+//!
+//! Where [`crate::trace`] records *every packet event* for forensic queries,
+//! this module keeps cheap running *aggregates*: per-node packet and byte
+//! counters (sent / forwarded / delivered, drops broken down by
+//! [`DropReason`], tunnel bytes broken down by [`EncapFormat`]), per-segment
+//! link utilization and queueing, and transport-layer counters (TCP RTT
+//! samples and retransmissions, UDP datagram counts) that the transport
+//! crate feeds in through [`crate::world::NetCtx::metrics`].
+//!
+//! The registry is owned by the [`crate::world::World`] and is **disabled by
+//! default**: every record method starts with one branch on `enabled` and
+//! returns immediately, so a simulation that never calls
+//! [`crate::world::World::enable_metrics`] pays only that branch per event.
+//! Experiments enable it and read the aggregates at the end of a run —
+//! that is what the bench crate's structured `RunReport` JSON is built from.
+
+use serde::Serialize;
+
+use crate::event::NodeId;
+use crate::link::{FaultOutcome, SegmentId};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{DropReason, TraceEventKind};
+use crate::wire::encap::EncapFormat;
+use crate::wire::ipv4::Ipv4Packet;
+
+/// All encapsulation formats, in stable index order (see
+/// [`encap_index`]).
+pub const ENCAP_FORMATS: [EncapFormat; 3] =
+    [EncapFormat::IpInIp, EncapFormat::Minimal, EncapFormat::Gre];
+
+/// Stable array index for an encapsulation format.
+fn encap_index(f: EncapFormat) -> usize {
+    match f {
+        EncapFormat::IpInIp => 0,
+        EncapFormat::Minimal => 1,
+        EncapFormat::Gre => 2,
+    }
+}
+
+/// The encapsulation format of a tunnel packet, judged by its outer
+/// protocol number; `None` for plain (non-tunnel) packets.
+fn encap_format_of(pkt: &Ipv4Packet) -> Option<EncapFormat> {
+    ENCAP_FORMATS
+        .into_iter()
+        .find(|f| f.protocol() == pkt.protocol)
+}
+
+/// A fixed-size log2-bucketed histogram of `u64` samples (microseconds, in
+/// every current use). Bucket `i` holds samples whose value has `i`
+/// significant bits, i.e. `[2^(i-1), 2^i)`; bucket 0 holds zeros. Constant
+/// memory, O(1) record, good-enough percentiles for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; 65],
+    sum: u64,
+    n: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::EMPTY
+    }
+}
+
+impl Histogram {
+    /// A histogram with no samples.
+    pub const EMPTY: Histogram = Histogram {
+        counts: [0; 65],
+        sum: 0,
+        n: 0,
+        min: u64::MAX,
+        max: 0,
+    };
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[(64 - v.leading_zeros()) as usize] += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.n += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Approximate percentile (`p` in 0..=100): the upper bound of the
+    /// bucket containing the `p`-th sample. `None` when empty.
+    pub fn percentile(&self, p: u8) -> Option<u64> {
+        if self.n == 0 {
+            return None;
+        }
+        let rank = (self.n - 1) * u64::from(p.min(100)) / 100;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > rank {
+                // Upper bound of bucket i, clamped to the observed max.
+                let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Some(hi.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl serde::Serialize for Histogram {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("count".into(), self.n.to_value()),
+            ("sum".into(), self.sum.to_value()),
+            ("mean".into(), self.mean().to_value()),
+            ("min".into(), self.min().unwrap_or(0).to_value()),
+            ("max".into(), self.max().unwrap_or(0).to_value()),
+            ("p50".into(), self.percentile(50).unwrap_or(0).to_value()),
+            ("p99".into(), self.percentile(99).unwrap_or(0).to_value()),
+        ])
+    }
+}
+
+/// TCP counters for one node (fed by the transport crate).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TcpMetrics {
+    /// Data/control segments handed to IP, including retransmissions.
+    pub segments_sent: u64,
+    /// Of those, how many were retransmissions.
+    pub retransmissions: u64,
+    /// Segments received and accepted by a connection.
+    pub segments_received: u64,
+    /// Smoothed-RTT inputs: one sample per measured round trip, in µs.
+    pub rtt_us: Histogram,
+}
+
+/// UDP counters for one node (fed by the transport crate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UdpMetrics {
+    /// Datagrams sent.
+    pub datagrams_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Datagrams delivered to a bound socket.
+    pub datagrams_received: u64,
+    /// Payload bytes delivered to a bound socket.
+    pub bytes_received: u64,
+}
+
+/// Running counters for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMetrics {
+    /// Packets originated here and handed to a link.
+    pub packets_sent: u64,
+    /// Packets transited (router forwarding or agent re-tunnelling).
+    pub packets_forwarded: u64,
+    /// Packets delivered to a local protocol here.
+    pub packets_delivered: u64,
+    /// Wire bytes of sent packets.
+    pub bytes_sent: u64,
+    /// Wire bytes of forwarded packets.
+    pub bytes_forwarded: u64,
+    /// Wire bytes of locally delivered packets.
+    pub bytes_delivered: u64,
+    /// Drops at this node, indexed by [`DropReason::index`].
+    drops: [u64; DropReason::ALL.len()],
+    /// Wire bytes of sent/forwarded *tunnel* packets, by encap format
+    /// (indexed per [`ENCAP_FORMATS`] order).
+    encap_bytes: [u64; ENCAP_FORMATS.len()],
+    /// TCP counters (zero unless the transport crate runs on this node).
+    pub tcp: TcpMetrics,
+    /// UDP counters (zero unless the transport crate runs on this node).
+    pub udp: UdpMetrics,
+}
+
+const EMPTY_NODE: NodeMetrics = NodeMetrics {
+    packets_sent: 0,
+    packets_forwarded: 0,
+    packets_delivered: 0,
+    bytes_sent: 0,
+    bytes_forwarded: 0,
+    bytes_delivered: 0,
+    drops: [0; DropReason::ALL.len()],
+    encap_bytes: [0; ENCAP_FORMATS.len()],
+    tcp: TcpMetrics {
+        segments_sent: 0,
+        retransmissions: 0,
+        segments_received: 0,
+        rtt_us: Histogram::EMPTY,
+    },
+    udp: UdpMetrics {
+        datagrams_sent: 0,
+        bytes_sent: 0,
+        datagrams_received: 0,
+        bytes_received: 0,
+    },
+};
+
+impl Default for NodeMetrics {
+    fn default() -> Self {
+        EMPTY_NODE
+    }
+}
+
+impl NodeMetrics {
+    /// Drops at this node for one reason.
+    pub fn drop_count(&self, reason: DropReason) -> u64 {
+        self.drops[reason.index()]
+    }
+
+    /// Total drops at this node, all reasons.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// Every (reason, count) pair with a nonzero count.
+    pub fn drops_by_reason(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropReason::ALL
+            .into_iter()
+            .map(|r| (r, self.drops[r.index()]))
+            .filter(|&(_, n)| n > 0)
+    }
+
+    /// Sent/forwarded tunnel-packet wire bytes for one encap format.
+    pub fn encap_bytes(&self, format: EncapFormat) -> u64 {
+        self.encap_bytes[encap_index(format)]
+    }
+}
+
+impl serde::Serialize for NodeMetrics {
+    fn to_value(&self) -> serde::Value {
+        let drops: Vec<(String, serde::Value)> = self
+            .drops_by_reason()
+            .map(|(r, n)| (r.to_string(), n.to_value()))
+            .collect();
+        let encap: Vec<(String, serde::Value)> = ENCAP_FORMATS
+            .into_iter()
+            .map(|f| (format!("{f:?}"), self.encap_bytes(f).to_value()))
+            .filter(|(_, v)| *v != serde::Value::U64(0))
+            .collect();
+        serde::Value::Object(vec![
+            ("packets_sent".into(), self.packets_sent.to_value()),
+            (
+                "packets_forwarded".into(),
+                self.packets_forwarded.to_value(),
+            ),
+            (
+                "packets_delivered".into(),
+                self.packets_delivered.to_value(),
+            ),
+            ("bytes_sent".into(), self.bytes_sent.to_value()),
+            ("bytes_forwarded".into(), self.bytes_forwarded.to_value()),
+            ("bytes_delivered".into(), self.bytes_delivered.to_value()),
+            ("drops".into(), serde::Value::Object(drops)),
+            ("encap_bytes".into(), serde::Value::Object(encap)),
+            (
+                "tcp".into(),
+                serde::Value::Object(vec![
+                    ("segments_sent".into(), self.tcp.segments_sent.to_value()),
+                    (
+                        "retransmissions".into(),
+                        self.tcp.retransmissions.to_value(),
+                    ),
+                    (
+                        "segments_received".into(),
+                        self.tcp.segments_received.to_value(),
+                    ),
+                    ("rtt_us".into(), self.tcp.rtt_us.to_value()),
+                ]),
+            ),
+            (
+                "udp".into(),
+                serde::Value::Object(vec![
+                    ("datagrams_sent".into(), self.udp.datagrams_sent.to_value()),
+                    ("bytes_sent".into(), self.udp.bytes_sent.to_value()),
+                    (
+                        "datagrams_received".into(),
+                        self.udp.datagrams_received.to_value(),
+                    ),
+                    ("bytes_received".into(), self.udp.bytes_received.to_value()),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Running counters for one segment (link).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SegmentMetrics {
+    /// Frames that occupied the wire (including corrupted ones).
+    pub frames: u64,
+    /// Bytes that occupied the wire.
+    pub bytes: u64,
+    /// Frames that never made it onto the wire (fault drop or oversize).
+    pub wire_drops: u64,
+    /// Frames corrupted in flight and rejected by the receivers' FCS.
+    pub crc_drops: u64,
+    /// Cumulative time the medium spent serializing frames — divide by
+    /// elapsed simulated time for utilization.
+    pub busy: SimDuration,
+    /// Sender-side queueing delay seen by each frame (µs): how long the
+    /// medium was already committed when the frame was offered.
+    pub queue_wait_us: Histogram,
+}
+
+impl SegmentMetrics {
+    /// Fraction of `elapsed` the medium spent busy (0 when `elapsed` is 0).
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.as_micros() == 0 {
+            0.0
+        } else {
+            self.busy.as_micros() as f64 / elapsed.as_micros() as f64
+        }
+    }
+}
+
+impl serde::Serialize for SegmentMetrics {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("frames".into(), self.frames.to_value()),
+            ("bytes".into(), self.bytes.to_value()),
+            ("wire_drops".into(), self.wire_drops.to_value()),
+            ("crc_drops".into(), self.crc_drops.to_value()),
+            ("busy_us".into(), self.busy.as_micros().to_value()),
+            ("queue_wait_us".into(), self.queue_wait_us.to_value()),
+        ])
+    }
+}
+
+/// The registry: one [`NodeMetrics`] per node and one [`SegmentMetrics`]
+/// per segment, lazily grown as ids are first seen.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    nodes: Vec<NodeMetrics>,
+    segments: Vec<SegmentMetrics>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new(enabled: bool) -> MetricsRegistry {
+        MetricsRegistry {
+            enabled,
+            nodes: Vec::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Is recording on?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn recording on or off (already-recorded counts are kept).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Zero every counter.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.segments.clear();
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeMetrics {
+        if self.nodes.len() <= id.0 {
+            self.nodes.resize(id.0 + 1, NodeMetrics::default());
+        }
+        &mut self.nodes[id.0]
+    }
+
+    fn segment_mut(&mut self, id: SegmentId) -> &mut SegmentMetrics {
+        if self.segments.len() <= id.0 {
+            self.segments.resize(id.0 + 1, SegmentMetrics::default());
+        }
+        &mut self.segments[id.0]
+    }
+
+    /// Counters for one node (zeros if it never recorded anything).
+    pub fn node(&self, id: NodeId) -> &NodeMetrics {
+        self.nodes.get(id.0).unwrap_or(&EMPTY_NODE)
+    }
+
+    /// Counters for one segment (zeros if it never recorded anything).
+    pub fn segment(&self, id: SegmentId) -> &SegmentMetrics {
+        static EMPTY_SEGMENT: SegmentMetrics = SegmentMetrics {
+            frames: 0,
+            bytes: 0,
+            wire_drops: 0,
+            crc_drops: 0,
+            busy: SimDuration::ZERO,
+            queue_wait_us: Histogram::EMPTY,
+        };
+        self.segments.get(id.0).unwrap_or(&EMPTY_SEGMENT)
+    }
+
+    /// Node ids that have recorded at least one event, in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Segment ids that have recorded at least one event, in id order.
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        (0..self.segments.len()).map(SegmentId)
+    }
+
+    /// Drops across all nodes, summed by reason (nonzero reasons only).
+    pub fn total_drops_by_reason(&self) -> Vec<(DropReason, u64)> {
+        let mut totals = [0u64; DropReason::ALL.len()];
+        for n in &self.nodes {
+            for r in DropReason::ALL {
+                totals[r.index()] += n.drop_count(r);
+            }
+        }
+        DropReason::ALL
+            .into_iter()
+            .map(|r| (r, totals[r.index()]))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    // ---- recording (each entry point starts with the enabled check) -------
+
+    /// Record one packet event at `node`. Called from
+    /// [`crate::world::NetCtx::trace_packet`], the choke point every
+    /// send / forward / delivery / drop already flows through.
+    #[inline]
+    pub fn record_packet(&mut self, node: NodeId, kind: TraceEventKind, pkt: &Ipv4Packet) {
+        if !self.enabled {
+            return;
+        }
+        let wire_len = pkt.wire_len() as u64;
+        let tunnel = encap_format_of(pkt);
+        let m = self.node_mut(node);
+        match kind {
+            TraceEventKind::Sent => {
+                m.packets_sent += 1;
+                m.bytes_sent += wire_len;
+            }
+            TraceEventKind::Forwarded => {
+                m.packets_forwarded += 1;
+                m.bytes_forwarded += wire_len;
+            }
+            TraceEventKind::DeliveredLocal => {
+                m.packets_delivered += 1;
+                m.bytes_delivered += wire_len;
+            }
+            TraceEventKind::Dropped(reason) => {
+                m.drops[reason.index()] += 1;
+            }
+        }
+        if matches!(kind, TraceEventKind::Sent | TraceEventKind::Forwarded) {
+            if let Some(f) = tunnel {
+                m.encap_bytes[encap_index(f)] += wire_len;
+            }
+        }
+    }
+
+    /// Record one frame offered to `seg`. Called from
+    /// [`crate::world::NetCtx::transmit`]; `queue_wait` is how long the
+    /// medium was already committed when the frame arrived, and
+    /// `serialize` the time the frame will hold it.
+    #[inline]
+    pub fn record_transmit(
+        &mut self,
+        seg: SegmentId,
+        wire_len: usize,
+        queue_wait: SimDuration,
+        serialize: SimDuration,
+        outcome: FaultOutcome,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let m = self.segment_mut(seg);
+        match outcome {
+            FaultOutcome::Drop => {
+                m.wire_drops += 1;
+                return;
+            }
+            FaultOutcome::Corrupt => m.crc_drops += 1,
+            FaultOutcome::Deliver | FaultOutcome::Duplicate => {}
+        }
+        m.frames += 1;
+        m.bytes += wire_len as u64;
+        m.busy = m.busy + serialize;
+        m.queue_wait_us.record(queue_wait.as_micros());
+    }
+
+    /// Record a TCP segment transmission at `node`.
+    #[inline]
+    pub fn record_tcp_segment_sent(&mut self, node: NodeId, retransmission: bool) {
+        if !self.enabled {
+            return;
+        }
+        let m = &mut self.node_mut(node).tcp;
+        m.segments_sent += 1;
+        if retransmission {
+            m.retransmissions += 1;
+        }
+    }
+
+    /// Record a TCP segment accepted by a connection at `node`.
+    #[inline]
+    pub fn record_tcp_segment_received(&mut self, node: NodeId) {
+        if !self.enabled {
+            return;
+        }
+        self.node_mut(node).tcp.segments_received += 1;
+    }
+
+    /// Record one measured TCP round-trip time at `node`.
+    #[inline]
+    pub fn record_tcp_rtt(&mut self, node: NodeId, rtt: SimDuration) {
+        if !self.enabled {
+            return;
+        }
+        self.node_mut(node).tcp.rtt_us.record(rtt.as_micros());
+    }
+
+    /// Record a UDP datagram sent from `node`.
+    #[inline]
+    pub fn record_udp_sent(&mut self, node: NodeId, payload_bytes: usize) {
+        if !self.enabled {
+            return;
+        }
+        let m = &mut self.node_mut(node).udp;
+        m.datagrams_sent += 1;
+        m.bytes_sent += payload_bytes as u64;
+    }
+
+    /// Record a UDP datagram delivered to a bound socket at `node`.
+    #[inline]
+    pub fn record_udp_received(&mut self, node: NodeId, payload_bytes: usize) {
+        if !self.enabled {
+            return;
+        }
+        let m = &mut self.node_mut(node).udp;
+        m.datagrams_received += 1;
+        m.bytes_received += payload_bytes as u64;
+    }
+
+    /// A serializable snapshot of every counter, labelling nodes with
+    /// `names` (by `NodeId` index) where provided and taking `now` so
+    /// segment utilization can be derived by consumers.
+    pub fn snapshot(&self, names: &[String], now: SimTime) -> serde::Value {
+        let nodes: Vec<(String, serde::Value)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let label = names.get(i).cloned().unwrap_or_else(|| format!("node{i}"));
+                (label, m.to_value())
+            })
+            .collect();
+        let segments: Vec<(String, serde::Value)> = self
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut v = match m.to_value() {
+                    serde::Value::Object(fields) => fields,
+                    _ => unreachable!("segment snapshot is an object"),
+                };
+                v.push((
+                    "utilization".into(),
+                    m.utilization(now.since(SimTime::ZERO)).to_value(),
+                ));
+                (format!("segment{i}"), serde::Value::Object(v))
+            })
+            .collect();
+        let drops: Vec<(String, serde::Value)> = self
+            .total_drops_by_reason()
+            .into_iter()
+            .map(|(r, n)| (r.to_string(), n.to_value()))
+            .collect();
+        serde::Value::Object(vec![
+            ("sim_time_us".into(), now.as_micros().to_value()),
+            ("nodes".into(), serde::Value::Object(nodes)),
+            ("segments".into(), serde::Value::Object(segments)),
+            ("total_drops".into(), serde::Value::Object(drops)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::encap::encapsulate;
+    use crate::wire::ipv4::IpProtocol;
+    use bytes::Bytes;
+
+    fn ip(s: &str) -> crate::wire::ipv4::Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn pkt() -> Ipv4Packet {
+        Ipv4Packet::new(
+            ip("1.1.1.1"),
+            ip("2.2.2.2"),
+            IpProtocol::Udp,
+            Bytes::from_static(b"hi"),
+        )
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut reg = MetricsRegistry::new(false);
+        reg.record_packet(NodeId(3), TraceEventKind::Sent, &pkt());
+        reg.record_udp_sent(NodeId(3), 100);
+        assert_eq!(reg.node(NodeId(3)).packets_sent, 0);
+        assert_eq!(reg.node(NodeId(3)).udp.datagrams_sent, 0);
+        assert_eq!(reg.node_ids().count(), 0, "no allocation while disabled");
+    }
+
+    #[test]
+    fn packet_counters_by_kind_and_reason() {
+        let mut reg = MetricsRegistry::new(true);
+        let p = pkt();
+        reg.record_packet(NodeId(0), TraceEventKind::Sent, &p);
+        reg.record_packet(NodeId(1), TraceEventKind::Forwarded, &p);
+        reg.record_packet(NodeId(2), TraceEventKind::DeliveredLocal, &p);
+        reg.record_packet(NodeId(1), TraceEventKind::Dropped(DropReason::NoRoute), &p);
+        reg.record_packet(NodeId(1), TraceEventKind::Dropped(DropReason::NoRoute), &p);
+        assert_eq!(reg.node(NodeId(0)).packets_sent, 1);
+        assert_eq!(reg.node(NodeId(0)).bytes_sent, p.wire_len() as u64);
+        assert_eq!(reg.node(NodeId(1)).packets_forwarded, 1);
+        assert_eq!(reg.node(NodeId(2)).packets_delivered, 1);
+        assert_eq!(reg.node(NodeId(1)).drop_count(DropReason::NoRoute), 2);
+        assert_eq!(reg.node(NodeId(1)).total_drops(), 2);
+        assert_eq!(reg.total_drops_by_reason(), vec![(DropReason::NoRoute, 2)]);
+    }
+
+    #[test]
+    fn tunnel_bytes_split_by_format() {
+        let mut reg = MetricsRegistry::new(true);
+        let inner = pkt();
+        for f in ENCAP_FORMATS {
+            let outer = encapsulate(f, ip("9.9.9.9"), ip("8.8.8.8"), &inner, 0).unwrap();
+            reg.record_packet(NodeId(0), TraceEventKind::Sent, &outer);
+            assert_eq!(reg.node(NodeId(0)).encap_bytes(f), outer.wire_len() as u64);
+        }
+        // Plain packets count toward no format.
+        reg.record_packet(NodeId(0), TraceEventKind::Sent, &inner);
+        let total: u64 = ENCAP_FORMATS
+            .iter()
+            .map(|&f| reg.node(NodeId(0)).encap_bytes(f))
+            .sum();
+        assert!(total < reg.node(NodeId(0)).bytes_sent);
+    }
+
+    #[test]
+    fn transmit_counters_follow_outcomes() {
+        let mut reg = MetricsRegistry::new(true);
+        let seg = SegmentId(0);
+        let us = SimDuration::from_micros;
+        reg.record_transmit(seg, 100, us(0), us(80), FaultOutcome::Deliver);
+        reg.record_transmit(seg, 100, us(80), us(80), FaultOutcome::Corrupt);
+        reg.record_transmit(seg, 100, us(0), us(80), FaultOutcome::Drop);
+        let m = reg.segment(seg);
+        assert_eq!(m.frames, 2, "dropped frame never occupied the wire");
+        assert_eq!(m.bytes, 200);
+        assert_eq!(m.crc_drops, 1);
+        assert_eq!(m.wire_drops, 1);
+        assert_eq!(m.busy, us(160));
+        assert_eq!(m.queue_wait_us.count(), 2);
+        assert_eq!(m.queue_wait_us.max(), Some(80));
+        assert!((m.utilization(us(1600)) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transport_counters() {
+        let mut reg = MetricsRegistry::new(true);
+        reg.record_tcp_segment_sent(NodeId(0), false);
+        reg.record_tcp_segment_sent(NodeId(0), true);
+        reg.record_tcp_segment_received(NodeId(0));
+        reg.record_tcp_rtt(NodeId(0), SimDuration::from_millis(30));
+        reg.record_udp_sent(NodeId(1), 512);
+        reg.record_udp_received(NodeId(2), 512);
+        let t = &reg.node(NodeId(0)).tcp;
+        assert_eq!(
+            (t.segments_sent, t.retransmissions, t.segments_received),
+            (2, 1, 1)
+        );
+        assert_eq!(t.rtt_us.count(), 1);
+        assert_eq!(t.rtt_us.mean(), 30_000.0);
+        assert_eq!(reg.node(NodeId(1)).udp.datagrams_sent, 1);
+        assert_eq!(reg.node(NodeId(2)).udp.bytes_received, 512);
+    }
+
+    #[test]
+    fn histogram_stats_and_percentiles() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(50), None);
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        let p50 = h.percentile(50).unwrap();
+        assert!(p50 <= 100, "p50 was {p50}");
+        assert!(h.percentile(100).unwrap() >= 512);
+        // Degenerate distribution: every percentile is the single value.
+        let mut one = Histogram::default();
+        one.record(42);
+        assert_eq!(one.percentile(0), Some(42));
+        assert_eq!(one.percentile(100), Some(42));
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let mut reg = MetricsRegistry::new(true);
+        reg.record_packet(NodeId(0), TraceEventKind::Sent, &pkt());
+        reg.record_transmit(
+            SegmentId(0),
+            64,
+            SimDuration::ZERO,
+            SimDuration::from_micros(51),
+            FaultOutcome::Deliver,
+        );
+        let v = reg.snapshot(&["alice".to_string()], SimTime(1_000));
+        let json = serde_json::to_string(&v).unwrap();
+        assert!(json.contains("\"alice\""));
+        assert!(json.contains("\"packets_sent\":1"));
+        assert!(json.contains("\"segment0\""));
+        assert!(json.contains("\"utilization\""));
+        assert!(json.contains("\"sim_time_us\":1000"));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut reg = MetricsRegistry::new(true);
+        reg.record_packet(NodeId(0), TraceEventKind::Sent, &pkt());
+        reg.clear();
+        assert_eq!(reg.node(NodeId(0)).packets_sent, 0);
+        assert!(reg.enabled(), "clear keeps the enabled flag");
+    }
+}

@@ -6,6 +6,12 @@
 //! That is enough to measure everything the paper's figures illustrate —
 //! path hop counts, per-direction latency, bytes on the wire, and exactly
 //! *which router dropped which packet and why* (Figure 2).
+//!
+//! Long-running simulations can bound the memory the trace consumes with
+//! [`PacketTrace::with_capacity`]: the trace becomes a ring buffer keeping
+//! the most recent events and counting the ones it had to shed.
+
+use std::collections::{HashMap, VecDeque};
 
 use crate::event::NodeId;
 use crate::time::SimTime;
@@ -40,6 +46,27 @@ pub enum DropReason {
     Malformed,
 }
 
+impl DropReason {
+    /// Every reason, in stable [`DropReason::index`] order.
+    pub const ALL: [DropReason; 10] = [
+        DropReason::SourceAddressFilter,
+        DropReason::TransitPolicy,
+        DropReason::Firewall,
+        DropReason::TtlExpired,
+        DropReason::NoRoute,
+        DropReason::MtuExceeded,
+        DropReason::LinkFault,
+        DropReason::ArpFailure,
+        DropReason::NoListener,
+        DropReason::Malformed,
+    ];
+
+    /// Dense index for counter arrays (`ALL[r.index()] == r`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl std::fmt::Display for DropReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -67,10 +94,19 @@ pub struct PacketSummary {
     pub dst: Ipv4Addr,
     /// The IP protocol of the payload.
     pub protocol: IpProtocol,
+    /// The IP identification field — stable across hops for one packet, so
+    /// it lets measurements pair a delivery with the transmission that
+    /// actually carried it (retransmissions get fresh idents).
+    pub ident: u16,
     /// On-wire length of the packet, bytes.
     pub wire_len: usize,
     /// `(src, dst, protocol)` of the inner packet, when this is a tunnel.
     pub inner: Option<(Ipv4Addr, Ipv4Addr, IpProtocol)>,
+    /// The remaining final destination of a loose source route, when the
+    /// packet carries an unexhausted LSRR option. The wire `dst` of such a
+    /// packet is rewritten at every waypoint; this field is the address the
+    /// conversation is actually aimed at.
+    pub sr_final: Option<Ipv4Addr>,
 }
 
 impl PacketSummary {
@@ -83,22 +119,44 @@ impl PacketSummary {
         } else {
             None
         };
+        let sr_final = if pkt.options.is_empty() {
+            None
+        } else {
+            crate::wire::srcroute::SourceRoute::parse(&pkt.options)
+                .and_then(|r| r.final_destination())
+        };
         PacketSummary {
             src: pkt.src,
             dst: pkt.dst,
             protocol: pkt.protocol,
+            ident: pkt.ident,
             wire_len: pkt.wire_len(),
             inner,
+            sr_final,
         }
     }
 
     /// The addresses of the *logical* conversation: the inner header if
-    /// encapsulated, the outer one otherwise.
+    /// encapsulated, the source route's final destination if source-routed,
+    /// the outer header otherwise.
     pub fn logical_endpoints(&self) -> (Ipv4Addr, Ipv4Addr) {
-        match self.inner {
-            Some((s, d, _)) => (s, d),
-            None => (self.src, self.dst),
+        match (self.inner, self.sr_final) {
+            (Some((s, d, _)), _) => (s, d),
+            (None, Some(f)) => (self.src, f),
+            (None, None) => (self.src, self.dst),
         }
+    }
+
+    /// Identity of the concrete packet: the header fields that survive
+    /// forwarding unchanged. Source-routed packets get their dst rewritten
+    /// at every waypoint, so the key uses the route's final destination.
+    fn flow_key(&self) -> (Ipv4Addr, Ipv4Addr, IpProtocol, u16) {
+        (
+            self.src,
+            self.sr_final.unwrap_or(self.dst),
+            self.protocol,
+            self.ident,
+        )
     }
 }
 
@@ -131,8 +189,14 @@ pub struct TraceEvent {
 /// Collects [`TraceEvent`]s. Owned by the [`crate::world::World`].
 #[derive(Debug, Default)]
 pub struct PacketTrace {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     enabled: bool,
+    /// `Some(n)` = ring buffer holding at most `n` events.
+    capacity: Option<usize>,
+    /// Events shed from the front of the ring since the last [`clear`].
+    ///
+    /// [`clear`]: PacketTrace::clear
+    dropped_events: u64,
 }
 
 /// Where trace records get written. Kept as a struct rather than a trait so
@@ -140,11 +204,26 @@ pub struct PacketTrace {
 pub type TraceSink = PacketTrace;
 
 impl PacketTrace {
-    /// An empty trace; records only while enabled.
+    /// An empty, unbounded trace; records only while enabled.
     pub fn new(enabled: bool) -> PacketTrace {
         PacketTrace {
-            events: Vec::new(),
+            events: VecDeque::new(),
             enabled,
+            capacity: None,
+            dropped_events: 0,
+        }
+    }
+
+    /// An enabled trace that keeps only the `capacity` most recent events,
+    /// shedding the oldest (and counting them in
+    /// [`PacketTrace::dropped_events`]) once full. `capacity` of 0 counts
+    /// everything it sheds and keeps nothing.
+    pub fn with_capacity(capacity: usize) -> PacketTrace {
+        PacketTrace {
+            events: VecDeque::with_capacity(capacity),
+            enabled: true,
+            capacity: Some(capacity),
+            dropped_events: 0,
         }
     }
 
@@ -153,25 +232,51 @@ impl PacketTrace {
         self.enabled = on;
     }
 
+    /// The ring-buffer bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Events shed by the ring buffer since the last [`PacketTrace::clear`].
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
     /// Record one observation (no-op while disabled).
     pub fn record(&mut self, at: SimTime, node: NodeId, kind: TraceEventKind, pkt: &Ipv4Packet) {
-        if self.enabled {
-            self.events.push(TraceEvent {
-                at,
-                node,
-                kind,
-                packet: PacketSummary::of(pkt),
-            });
+        if !self.enabled {
+            return;
         }
+        if let Some(cap) = self.capacity {
+            while self.events.len() >= cap {
+                if self.events.pop_front().is_none() {
+                    break; // cap == 0
+                }
+                self.dropped_events += 1;
+            }
+            if cap == 0 {
+                self.dropped_events += 1;
+                return;
+            }
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            node,
+            kind,
+            packet: PacketSummary::of(pkt),
+        });
     }
 
-    /// Forget everything recorded so far.
+    /// Forget everything recorded so far (including the shed-event count).
     pub fn clear(&mut self) {
         self.events.clear();
+        self.dropped_events = 0;
     }
 
-    /// Every recorded event, in order.
-    pub fn events(&self) -> &[TraceEvent] {
+    /// Every retained event, in order. (A deque rather than a slice so the
+    /// bounded ring-buffer mode never has to shuffle memory; it iterates,
+    /// `len()`s and `is_empty()`s the same way.)
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
         &self.events
     }
 
@@ -228,18 +333,55 @@ impl PacketTrace {
             .sum()
     }
 
-    /// Time from first Sent to first DeliveredLocal among matching events,
-    /// i.e. one-way delivery latency of the first matching packet.
+    /// One-way delivery latency of the first matching packet that arrived:
+    /// time from the transmission that actually carried it to its local
+    /// delivery.
+    ///
+    /// The delivery is paired with the `Sent` event whose header identity
+    /// (src, dst, protocol, IP ident) matches — so when a first
+    /// transmission is dropped and a retransmission (with a fresh ident)
+    /// gets through, the measured latency is the successful attempt's
+    /// one-way time, not the loss plus the retransmit timeout. When no
+    /// identity match exists (e.g. the send was recorded pre-encapsulation
+    /// under a different outer header), it falls back to the most recent
+    /// matching `Sent` before the delivery, which still favours the
+    /// retransmission over the lost original.
     pub fn first_delivery_latency<F>(&self, pred: F) -> Option<crate::time::SimDuration>
     where
         F: Fn(&PacketSummary) -> bool,
     {
-        let mut sent: Option<SimTime> = None;
+        let mut last_sent: Option<SimTime> = None;
+        let mut sent_at: HashMap<(Ipv4Addr, Ipv4Addr, IpProtocol, u16), SimTime> = HashMap::new();
+        // Earliest transmission that carried each logical flow *inside a
+        // tunnel*. When an agent decapsulates and re-originates the inner
+        // packet (a `Sent` event at the agent), the delivery must still be
+        // charged from the original sender, not from the agent's re-send.
+        let mut tunnel_sent: HashMap<(Ipv4Addr, Ipv4Addr, IpProtocol), SimTime> = HashMap::new();
         for e in self.matching(pred) {
             match e.kind {
-                TraceEventKind::Sent if sent.is_none() => sent = Some(e.at),
+                TraceEventKind::Sent => {
+                    last_sent = Some(e.at);
+                    sent_at.entry(e.packet.flow_key()).or_insert(e.at);
+                    if let Some(inner) = e.packet.inner {
+                        tunnel_sent.entry(inner).or_insert(e.at);
+                    }
+                }
                 TraceEventKind::DeliveredLocal => {
-                    if let Some(s) = sent {
+                    // A delivery may have two plausible origins: a Sent
+                    // event with the same flow identity (possibly an
+                    // agent's decapsulated re-send) and a Sent event that
+                    // carried this flow inside a tunnel. Charge from the
+                    // earliest — that is the transmission the sender made.
+                    let logical = (e.packet.src, e.packet.dst, e.packet.protocol);
+                    let paired = [
+                        sent_at.get(&e.packet.flow_key()).copied(),
+                        tunnel_sent.get(&logical).copied(),
+                    ]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                    .or(last_sent);
+                    if let Some(s) = paired {
                         return Some(e.at.since(s));
                     }
                 }
@@ -285,16 +427,29 @@ mod tests {
         assert_eq!(s.logical_endpoints(), (ip("171.64.15.9"), ip("18.26.0.1")));
         let plain = PacketSummary::of(&inner);
         assert_eq!(plain.inner, None);
-        assert_eq!(plain.logical_endpoints(), (ip("171.64.15.9"), ip("18.26.0.1")));
+        assert_eq!(
+            plain.logical_endpoints(),
+            (ip("171.64.15.9"), ip("18.26.0.1"))
+        );
     }
 
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = PacketTrace::new(false);
-        t.record(SimTime::ZERO, NodeId(0), TraceEventKind::Sent, &pkt("1.1.1.1", "2.2.2.2"));
+        t.record(
+            SimTime::ZERO,
+            NodeId(0),
+            TraceEventKind::Sent,
+            &pkt("1.1.1.1", "2.2.2.2"),
+        );
         assert!(t.events().is_empty());
         t.set_enabled(true);
-        t.record(SimTime::ZERO, NodeId(0), TraceEventKind::Sent, &pkt("1.1.1.1", "2.2.2.2"));
+        t.record(
+            SimTime::ZERO,
+            NodeId(0),
+            TraceEventKind::Sent,
+            &pkt("1.1.1.1", "2.2.2.2"),
+        );
         assert_eq!(t.events().len(), 1);
     }
 
@@ -324,5 +479,120 @@ mod tests {
         assert_eq!(dropped, vec![(NodeId(1), DropReason::SourceAddressFilter)]);
         t.clear();
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn latency_pairs_delivery_with_the_transmission_that_carried_it() {
+        // First copy (ident 1) sent at t=0 and lost; retransmission
+        // (ident 2) sent at t=50_000, delivered at t=51_200. The one-way
+        // latency is 1.2 ms — not 51.2 ms from the doomed first send.
+        let mut t = PacketTrace::new(true);
+        let mut first = pkt("1.1.1.1", "2.2.2.2");
+        first.ident = 1;
+        let mut retx = pkt("1.1.1.1", "2.2.2.2");
+        retx.ident = 2;
+        t.record(SimTime(0), NodeId(0), TraceEventKind::Sent, &first);
+        t.record(
+            SimTime(400),
+            NodeId(1),
+            TraceEventKind::Dropped(DropReason::LinkFault),
+            &first,
+        );
+        t.record(SimTime(50_000), NodeId(0), TraceEventKind::Sent, &retx);
+        t.record(
+            SimTime(51_200),
+            NodeId(2),
+            TraceEventKind::DeliveredLocal,
+            &retx,
+        );
+        let lat = t
+            .first_delivery_latency(|s| s.dst == ip("2.2.2.2"))
+            .unwrap();
+        assert_eq!(lat, SimDuration::from_micros(1_200));
+    }
+
+    #[test]
+    fn latency_pairs_by_ident_across_interleaved_packets() {
+        // Pipelined sends: p1 (ident 1) at t=0, p2 (ident 2) at t=100.
+        // p1 arrives at t=900 — after p2's send. Ident pairing still
+        // charges p1's full 900 µs rather than 800 µs from p2's send.
+        let mut t = PacketTrace::new(true);
+        let mut p1 = pkt("1.1.1.1", "2.2.2.2");
+        p1.ident = 1;
+        let mut p2 = pkt("1.1.1.1", "2.2.2.2");
+        p2.ident = 2;
+        t.record(SimTime(0), NodeId(0), TraceEventKind::Sent, &p1);
+        t.record(SimTime(100), NodeId(0), TraceEventKind::Sent, &p2);
+        t.record(SimTime(900), NodeId(2), TraceEventKind::DeliveredLocal, &p1);
+        let lat = t
+            .first_delivery_latency(|s| s.dst == ip("2.2.2.2"))
+            .unwrap();
+        assert_eq!(lat, SimDuration::from_micros(900));
+    }
+
+    #[test]
+    fn latency_charges_tunnel_deliveries_from_the_original_sender() {
+        // Reverse tunnel: the mobile sends an encapsulated packet at t=0;
+        // the home agent decapsulates and re-originates the inner packet
+        // (a Sent event at the agent, t=600); the server receives it at
+        // t=900. End-to-end latency is 900 µs, not the 300 µs final leg.
+        let mut t = PacketTrace::new(true);
+        let inner = pkt("171.64.15.9", "18.26.0.1");
+        let outer = encapsulate(
+            EncapFormat::IpInIp,
+            ip("36.186.0.99"),
+            ip("171.64.15.1"),
+            &inner,
+            0,
+        )
+        .unwrap();
+        t.record(SimTime(0), NodeId(0), TraceEventKind::Sent, &outer);
+        t.record(SimTime(600), NodeId(1), TraceEventKind::Sent, &inner);
+        t.record(
+            SimTime(900),
+            NodeId(2),
+            TraceEventKind::DeliveredLocal,
+            &inner,
+        );
+        let lat = t
+            .first_delivery_latency(|s| s.logical_endpoints().1 == ip("18.26.0.1"))
+            .unwrap();
+        assert_eq!(lat, SimDuration::from_micros(900));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent_and_counts_shed_events() {
+        let mut t = PacketTrace::with_capacity(3);
+        assert_eq!(t.capacity(), Some(3));
+        for i in 0..5u64 {
+            t.record(
+                SimTime(i),
+                NodeId(0),
+                TraceEventKind::Sent,
+                &pkt("1.1.1.1", "2.2.2.2"),
+            );
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped_events(), 2);
+        let times: Vec<u64> = t.events().iter().map(|e| e.at.0).collect();
+        assert_eq!(times, vec![2, 3, 4], "oldest events shed first");
+        // Aggregates now see only the window.
+        assert_eq!(t.hops(|_| true), 3);
+        t.clear();
+        assert_eq!(t.dropped_events(), 0);
+        assert_eq!(t.capacity(), Some(3), "clear keeps the bound");
+    }
+
+    #[test]
+    fn zero_capacity_ring_counts_everything() {
+        let mut t = PacketTrace::with_capacity(0);
+        t.record(
+            SimTime(0),
+            NodeId(0),
+            TraceEventKind::Sent,
+            &pkt("1.1.1.1", "2.2.2.2"),
+        );
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped_events(), 1);
     }
 }

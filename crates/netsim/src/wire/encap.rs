@@ -233,8 +233,8 @@ mod tests {
 
     fn inner() -> Ipv4Packet {
         let mut p = Ipv4Packet::new(
-            ip("171.64.15.9"),  // MH home address
-            ip("18.26.0.1"),    // correspondent
+            ip("171.64.15.9"), // MH home address
+            ip("18.26.0.1"),   // correspondent
             IpProtocol::Tcp,
             Bytes::from_static(b"inner transport payload"),
         );
@@ -246,19 +246,33 @@ mod tests {
     #[test]
     fn ipinip_roundtrip_preserves_inner_exactly() {
         let i = inner();
-        let outer = encapsulate(EncapFormat::IpInIp, ip("36.186.0.99"), ip("171.64.15.1"), &i, 7)
-            .unwrap();
+        let outer = encapsulate(
+            EncapFormat::IpInIp,
+            ip("36.186.0.99"),
+            ip("171.64.15.1"),
+            &i,
+            7,
+        )
+        .unwrap();
         assert_eq!(outer.protocol, IpProtocol::IpInIp);
-        assert_eq!(outer.wire_len(), i.wire_len() + EncapFormat::IpInIp.overhead());
+        assert_eq!(
+            outer.wire_len(),
+            i.wire_len() + EncapFormat::IpInIp.overhead()
+        );
         assert_eq!(decapsulate(&outer).unwrap(), i);
     }
 
     #[test]
     fn minimal_roundtrip_preserves_addresses_and_payload() {
         let i = inner();
-        let outer =
-            encapsulate(EncapFormat::Minimal, ip("36.186.0.99"), ip("171.64.15.1"), &i, 7)
-                .unwrap();
+        let outer = encapsulate(
+            EncapFormat::Minimal,
+            ip("36.186.0.99"),
+            ip("171.64.15.1"),
+            &i,
+            7,
+        )
+        .unwrap();
         assert_eq!(
             outer.wire_len(),
             i.wire_len() + EncapFormat::Minimal.overhead()
@@ -284,8 +298,14 @@ mod tests {
     #[test]
     fn gre_roundtrip() {
         let i = inner();
-        let outer =
-            encapsulate(EncapFormat::Gre, ip("36.186.0.99"), ip("171.64.15.1"), &i, 7).unwrap();
+        let outer = encapsulate(
+            EncapFormat::Gre,
+            ip("36.186.0.99"),
+            ip("171.64.15.1"),
+            &i,
+            7,
+        )
+        .unwrap();
         assert_eq!(outer.wire_len(), i.wire_len() + EncapFormat::Gre.overhead());
         assert_eq!(decapsulate(&outer).unwrap(), i);
     }
@@ -327,11 +347,22 @@ mod tests {
     fn nested_encapsulation_unwraps_layer_by_layer() {
         // MH→HA reverse tunnel carrying an already-tunnelled packet is legal.
         let i = inner();
-        let mid =
-            encapsulate(EncapFormat::IpInIp, ip("36.186.0.99"), ip("18.26.0.1"), &i, 1).unwrap();
-        let out =
-            encapsulate(EncapFormat::IpInIp, ip("36.186.0.99"), ip("171.64.15.1"), &mid, 2)
-                .unwrap();
+        let mid = encapsulate(
+            EncapFormat::IpInIp,
+            ip("36.186.0.99"),
+            ip("18.26.0.1"),
+            &i,
+            1,
+        )
+        .unwrap();
+        let out = encapsulate(
+            EncapFormat::IpInIp,
+            ip("36.186.0.99"),
+            ip("171.64.15.1"),
+            &mid,
+            2,
+        )
+        .unwrap();
         let once = decapsulate(&out).unwrap();
         assert_eq!(once, mid);
         assert_eq!(decapsulate(&once).unwrap(), i);

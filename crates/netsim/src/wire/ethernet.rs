@@ -192,7 +192,10 @@ mod tests {
     #[test]
     fn distinct_indices_give_distinct_macs() {
         assert_ne!(MacAddr::from_index(1), MacAddr::from_index(2));
-        assert_eq!(MacAddr::from_index(0x0a0b0c), MacAddr([0x02, 0, 0, 0x0a, 0x0b, 0x0c]));
+        assert_eq!(
+            MacAddr::from_index(0x0a0b0c),
+            MacAddr([0x02, 0, 0, 0x0a, 0x0b, 0x0c])
+        );
     }
 
     #[test]

@@ -101,8 +101,16 @@ impl IcmpMessage {
     pub fn emit(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(32);
         match self {
-            IcmpMessage::EchoRequest { ident, seq, payload }
-            | IcmpMessage::EchoReply { ident, seq, payload } => {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }
+            | IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
                 let ty = if matches!(self, IcmpMessage::EchoRequest { .. }) {
                     8
                 } else {
@@ -175,9 +183,17 @@ impl IcmpMessage {
                 let seq = u16::from_be_bytes([data[6], data[7]]);
                 let payload = Bytes::copy_from_slice(&data[8..]);
                 Ok(if ty == 8 {
-                    IcmpMessage::EchoRequest { ident, seq, payload }
+                    IcmpMessage::EchoRequest {
+                        ident,
+                        seq,
+                        payload,
+                    }
                 } else {
-                    IcmpMessage::EchoReply { ident, seq, payload }
+                    IcmpMessage::EchoReply {
+                        ident,
+                        seq,
+                        payload,
+                    }
                 })
             }
             3 => {
@@ -308,7 +324,10 @@ mod tests {
         wire[2..4].copy_from_slice(&ck.to_be_bytes());
         assert!(matches!(
             IcmpMessage::parse(&wire),
-            Err(ParseError::BadField { what: "icmp type", .. })
+            Err(ParseError::BadField {
+                what: "icmp type",
+                ..
+            })
         ));
     }
 }

@@ -389,7 +389,9 @@ impl Ipv4Packet {
             });
         }
         if !checksum_valid(&data[..ihl], 0) {
-            return Err(ParseError::BadChecksum { what: "ipv4 header" });
+            return Err(ParseError::BadChecksum {
+                what: "ipv4 header",
+            });
         }
         let total_len = usize::from(u16::from_be_bytes([data[2], data[3]]));
         if total_len < ihl || data.len() < total_len {
@@ -525,7 +527,11 @@ impl Reassembler {
             buf.total_len = Some(off + pkt.payload.len());
         }
         // Ignore exact duplicates.
-        if !buf.pieces.iter().any(|(o, p)| *o == off && p.len() == pkt.payload.len()) {
+        if !buf
+            .pieces
+            .iter()
+            .any(|(o, p)| *o == off && p.len() == pkt.payload.len())
+        {
             buf.pieces.push((off, pkt.payload));
         }
         let total = buf.total_len?;
@@ -652,7 +658,9 @@ mod tests {
         wire[8] ^= 0xff; // flip TTL → checksum mismatch
         assert_eq!(
             Ipv4Packet::parse(&wire),
-            Err(ParseError::BadChecksum { what: "ipv4 header" })
+            Err(ParseError::BadChecksum {
+                what: "ipv4 header"
+            })
         );
     }
 
@@ -667,7 +675,10 @@ mod tests {
         wire[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Packet::parse(&wire),
-            Err(ParseError::BadField { what: "ip version", .. })
+            Err(ParseError::BadField {
+                what: "ip version",
+                ..
+            })
         ));
     }
 

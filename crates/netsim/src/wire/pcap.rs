@@ -28,8 +28,10 @@ impl<W: Write> PcapWriter<W> {
     /// Append one frame observed at simulated time `at`.
     pub fn write_frame(&mut self, at: SimTime, frame: &[u8]) -> io::Result<()> {
         let us = at.as_micros();
-        self.out.write_all(&((us / 1_000_000) as u32).to_le_bytes())?;
-        self.out.write_all(&((us % 1_000_000) as u32).to_le_bytes())?;
+        self.out
+            .write_all(&((us / 1_000_000) as u32).to_le_bytes())?;
+        self.out
+            .write_all(&((us % 1_000_000) as u32).to_le_bytes())?;
         self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
         self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
         self.out.write_all(frame)?;
@@ -59,7 +61,8 @@ mod tests {
         let mut w = PcapWriter::new(Vec::new()).unwrap();
         let t = SimTime::ZERO + SimDuration::from_micros(1_500_042);
         w.write_frame(t, &[0xaa; 60]).unwrap();
-        w.write_frame(t + SimDuration::from_millis(1), &[0xbb; 14]).unwrap();
+        w.write_frame(t + SimDuration::from_millis(1), &[0xbb; 14])
+            .unwrap();
         assert_eq!(w.frames_written(), 2);
         let buf = w.finish().unwrap();
 

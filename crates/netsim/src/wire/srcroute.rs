@@ -38,6 +38,14 @@ impl SourceRoute {
         self.hops.get(ix).copied()
     }
 
+    /// The route's final destination — the last slot not yet consumed —
+    /// if any legs remain. `None` once the route is exhausted (the
+    /// packet's destination field then holds the true destination).
+    pub fn final_destination(&self) -> Option<Ipv4Addr> {
+        let ix = (usize::from(self.pointer) - 4) / 4;
+        self.hops.get(ix..).and_then(|rest| rest.last().copied())
+    }
+
     /// Record `here` (the processing node's address) in the current slot
     /// and advance the pointer — what a source-routing hop does after
     /// rewriting the destination (RFC 791 §3.1).

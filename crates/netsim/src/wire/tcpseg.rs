@@ -185,8 +185,8 @@ impl TcpSegment {
         let mut i = TCP_HEADER_LEN;
         while i < hlen {
             match data[i] {
-                0 => break,    // end of options
-                1 => i += 1,   // no-op
+                0 => break,  // end of options
+                1 => i += 1, // no-op
                 2 if i + 4 <= hlen => {
                     mss = Some(u16::from_be_bytes([data[i + 2], data[i + 3]]));
                     i += 4;

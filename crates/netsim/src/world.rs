@@ -13,6 +13,7 @@ use crate::device::router::{Router, RouterConfig};
 use crate::device::{token, NS_APPS};
 use crate::event::{Event, EventKind, EventQueue, IfaceNo, NodeId, Timer, TimerToken};
 use crate::link::{FaultOutcome, LinkConfig, LinkStats, Segment, SegmentId};
+use crate::metrics::MetricsRegistry;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{PacketTrace, TraceEventKind};
 use crate::wire::ethernet::{EthernetFrame, MacAddr};
@@ -94,13 +95,28 @@ pub struct NetCtx<'a> {
     segments: &'a mut Vec<Segment>,
     rng: &'a mut StdRng,
     trace: &'a mut PacketTrace,
+    metrics: &'a mut MetricsRegistry,
     pcap: &'a mut Option<crate::wire::pcap::PcapWriter<Box<dyn std::io::Write>>>,
 }
 
 impl NetCtx<'_> {
     /// Put a frame on a segment from this node's `iface`.
-    pub fn transmit(&mut self, seg: SegmentId, iface: IfaceNo, frame: &EthernetFrame) -> FaultOutcome {
+    pub fn transmit(
+        &mut self,
+        seg: SegmentId,
+        iface: IfaceNo,
+        frame: &EthernetFrame,
+    ) -> FaultOutcome {
         let bytes = frame.emit();
+        // Snapshot link-metric inputs before the transmit mutates the
+        // segment's committed-until time.
+        let (queue_wait, serialize) = if self.metrics.enabled() {
+            let s = &self.segments[seg.0];
+            (s.backlog(self.now), s.config.serialize_time(bytes.len()))
+        } else {
+            (SimDuration::ZERO, SimDuration::ZERO)
+        };
+        let wire_len = bytes.len();
         let outcome = self.segments[seg.0].transmit(
             (self.node, iface),
             Bytes::from(bytes.clone()),
@@ -108,6 +124,8 @@ impl NetCtx<'_> {
             self.queue,
             self.rng,
         );
+        self.metrics
+            .record_transmit(seg, wire_len, queue_wait, serialize, outcome);
         if outcome != FaultOutcome::Drop {
             if let Some(pcap) = self.pcap.as_mut() {
                 // Capture what was put on the wire (post fault injection is
@@ -140,9 +158,18 @@ impl NetCtx<'_> {
         self.rng
     }
 
-    /// Record a trace event for `pkt` at this node.
+    /// Record a trace event for `pkt` at this node. Also feeds the metrics
+    /// registry: this is the one choke point every send / forward /
+    /// delivery / drop flows through.
     pub fn trace_packet(&mut self, kind: TraceEventKind, pkt: &Ipv4Packet) {
         self.trace.record(self.now, self.node, kind, pkt);
+        self.metrics.record_packet(self.node, kind, pkt);
+    }
+
+    /// The world's metrics registry — how the transport layer records TCP
+    /// and UDP counters against the node being dispatched.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        self.metrics
     }
 }
 
@@ -155,6 +182,9 @@ pub struct World {
     rng: StdRng,
     /// The packet trace; enabled by default.
     pub trace: PacketTrace,
+    /// Aggregate counters; disabled by default (near-zero cost), enabled
+    /// with [`World::enable_metrics`].
+    pub metrics: MetricsRegistry,
     next_mac: u32,
     pcap: Option<crate::wire::pcap::PcapWriter<Box<dyn std::io::Write>>>,
 }
@@ -169,6 +199,7 @@ impl World {
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
             trace: PacketTrace::new(true),
+            metrics: MetricsRegistry::new(false),
             next_mac: 1,
             pcap: None,
         }
@@ -177,6 +208,24 @@ impl World {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Start recording aggregate metrics (packet/byte counters per node,
+    /// drops by reason, link utilization, transport counters). Reading them
+    /// back goes through [`World::metrics`].
+    pub fn enable_metrics(&mut self) {
+        self.metrics.set_enabled(true);
+    }
+
+    /// Human-readable node names indexed by `NodeId`, for labelling
+    /// metrics snapshots and reports.
+    pub fn node_names(&self) -> Vec<String> {
+        (0..self.nodes.len())
+            .map(|i| match &self.nodes[i] {
+                Some(n) => n.name().to_string(),
+                None => format!("node{i}"),
+            })
+            .collect()
     }
 
     /// Capture every transmitted frame into a pcap stream (e.g. a
@@ -314,6 +363,7 @@ impl World {
                 segments: &mut self.segments,
                 rng: &mut self.rng,
                 trace: &mut self.trace,
+                metrics: &mut self.metrics,
                 pcap: &mut self.pcap,
             };
             match &mut node {
@@ -364,6 +414,7 @@ impl World {
                     segments: &mut self.segments,
                     rng: &mut self.rng,
                     trace: &mut self.trace,
+                    metrics: &mut self.metrics,
                     pcap: &mut self.pcap,
                 };
                 n.on_frame(&mut ctx, iface, &frame);
@@ -380,6 +431,7 @@ impl World {
                     segments: &mut self.segments,
                     rng: &mut self.rng,
                     trace: &mut self.trace,
+                    metrics: &mut self.metrics,
                     pcap: &mut self.pcap,
                 };
                 n.on_timer(&mut ctx, t.token);
@@ -415,7 +467,10 @@ impl World {
                 return;
             }
         }
-        panic!("run_until_idle: event limit {limit} exceeded at t={}", self.now);
+        panic!(
+            "run_until_idle: event limit {limit} exceeded at t={}",
+            self.now
+        );
     }
 
     /// Events currently queued.
@@ -499,14 +554,18 @@ impl World {
                     continue;
                 }
                 // Expand via every router on segment s.
-                let Some(routers) = seg_routers.get(&s) else { continue };
+                let Some(routers) = seg_routers.get(&s) else {
+                    continue;
+                };
                 for &(rid, _, raddr) in routers {
                     if rid == me {
                         continue;
                     }
                     let rnic = self.nodes[rid.0].as_ref().unwrap().nic();
                     for j in 0..rnic.iface_count() {
-                        let Some(next) = rnic.segment(j) else { continue };
+                        let Some(next) = rnic.segment(j) else {
+                            continue;
+                        };
                         if next.0 == s || rnic.addr(j).is_none() {
                             continue;
                         }
@@ -610,12 +669,10 @@ mod tests {
             .icmp_log
             .iter()
             .any(|e| matches!(e.message, IcmpMessage::EchoRequest { seq: 1, .. })));
-        assert!(w
-            .host(alice)
-            .icmp_log
-            .iter()
-            .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 1, .. })
-                && e.from == ip("10.0.2.10")));
+        assert!(w.host(alice).icmp_log.iter().any(|e| matches!(
+            e.message,
+            IcmpMessage::EchoReply { seq: 1, .. }
+        ) && e.from == ip("10.0.2.10")));
     }
 
     #[test]
@@ -627,7 +684,9 @@ mod tests {
         w.attach(a, lan, Some("10.0.1.1/24"));
         w.attach(b, lan, Some("10.0.1.2/24"));
         // No compute_routes: on-link resolution needs no routes at all.
-        w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.1.1"), ip("10.0.1.2"), 5));
+        w.host_do(a, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.1"), ip("10.0.1.2"), 5)
+        });
         w.run_until_idle(1_000);
         assert!(w
             .host(a)
@@ -695,14 +754,13 @@ mod tests {
         w.run_until_idle(1_000);
         let drops = w.trace.drops(|s| s.dst == ip("99.99.99.99"));
         assert!(drops.iter().any(|(_, r)| *r == DropReason::NoRoute));
-        assert!(w
-            .host(alice)
-            .icmp_log
-            .iter()
-            .any(|e| matches!(
-                e.message,
-                IcmpMessage::DestUnreachable { code: crate::wire::icmp::UnreachableCode::Net, .. }
-            )));
+        assert!(w.host(alice).icmp_log.iter().any(|e| matches!(
+            e.message,
+            IcmpMessage::DestUnreachable {
+                code: crate::wire::icmp::UnreachableCode::Net,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -711,7 +769,9 @@ mod tests {
         // Boundary filter: packets arriving on lanA's router iface (0) with
         // sources claiming lanB are spoofed.
         let inside: Ipv4Cidr = "10.0.2.0/24".parse().unwrap();
-        w.router_mut(r).filters.push(FilterRule::ingress_source_filter(0, inside));
+        w.router_mut(r)
+            .filters
+            .push(FilterRule::ingress_source_filter(0, inside));
         // Alice spoofs bob's network as source (the Figure 2 situation).
         w.host_do(alice, |h, ctx| {
             let p = Ipv4Packet::new(
@@ -728,7 +788,9 @@ mod tests {
         assert_eq!(drops[0].1, DropReason::SourceAddressFilter);
         assert_eq!(w.trace.deliveries(|s| s.dst == ip("10.0.2.10")), 0);
         // Honest traffic still flows.
-        w.host_do(alice, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 9));
+        w.host_do(alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 9)
+        });
         w.run_until_idle(10_000);
         assert!(w
             .host(bob)
@@ -745,7 +807,9 @@ mod tests {
         let b = w.add_host(HostConfig::conventional("b"));
         w.attach(a, lan, Some("10.0.1.1/24"));
         let b_if = w.attach(b, lan, Some("10.0.1.2/24"));
-        w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.1.1"), ip("10.0.1.2"), 1));
+        w.host_do(a, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.1"), ip("10.0.1.2"), 1)
+        });
         w.detach(b, b_if); // unplug before the frame arrives
         w.run_until_idle(1_000);
         assert!(w.host(b).icmp_log.is_empty());
@@ -763,7 +827,9 @@ mod tests {
         w.attach(fixed_b, lan_b, Some("10.0.2.1/24"));
         let r_if = w.attach(roamer, lan_a, Some("10.0.1.99/24"));
 
-        w.host_do(roamer, |h, ctx| h.send_ping(ctx, ip("10.0.1.99"), ip("10.0.1.1"), 1));
+        w.host_do(roamer, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.99"), ip("10.0.1.1"), 1)
+        });
         w.run_until_idle(1_000);
         assert_eq!(w.host(roamer).icmp_log.len(), 1);
 
@@ -771,20 +837,22 @@ mod tests {
         w.reattach(roamer, r_if, lan_b);
         w.host_mut(roamer)
             .set_iface_addr(r_if, Some(IfaceAddr::parse("10.0.2.99/24")));
-        w.host_do(roamer, |h, ctx| h.send_ping(ctx, ip("10.0.2.99"), ip("10.0.2.1"), 2));
+        w.host_do(roamer, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.2.99"), ip("10.0.2.1"), 2)
+        });
         w.run_until_idle(1_000);
-        assert!(w
-            .host(roamer)
-            .icmp_log
-            .iter()
-            .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 2, .. })
-                && e.from == ip("10.0.2.1")));
+        assert!(w.host(roamer).icmp_log.iter().any(|e| matches!(
+            e.message,
+            IcmpMessage::EchoReply { seq: 2, .. }
+        ) && e.from == ip("10.0.2.1")));
     }
 
     #[test]
     fn trace_hop_counts_measure_path_length() {
         let (mut w, alice, _, _) = two_lan_world();
-        w.host_do(alice, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 3));
+        w.host_do(alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 3)
+        });
         w.run_until_idle(10_000);
         // Request: alice Sent + router Forwarded = 2 wire traversals.
         let hops = w
@@ -794,11 +862,65 @@ mod tests {
     }
 
     #[test]
+    fn metrics_registry_agrees_with_link_stats_and_trace() {
+        let (mut w, alice, bob, r) = two_lan_world();
+        w.enable_metrics();
+        w.host_do(alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1);
+        });
+        w.run_until_idle(10_000);
+
+        // Per-segment frames/bytes must match the LinkStats the segments
+        // themselves keep (ARP included).
+        for seg in [SegmentId(0), SegmentId(1)] {
+            let stats = w.segment_stats(seg);
+            let m = w.metrics.segment(seg);
+            assert_eq!(m.frames, stats.frames, "segment {} frames", seg.0);
+            assert_eq!(m.bytes, stats.bytes, "segment {} bytes", seg.0);
+            assert_eq!(m.wire_drops, stats.fault_drops + stats.oversize_drops);
+            assert_eq!(m.crc_drops, stats.crc_drops);
+            assert!(m.frames > 0);
+            assert!(m.busy.as_micros() > 0);
+        }
+
+        // Per-node counters must match what the trace derived.
+        let icmp = |s: &crate::trace::PacketSummary| s.protocol == IpProtocol::Icmp;
+        let sent_per_trace = w
+            .trace
+            .matching(icmp)
+            .filter(|e| matches!(e.kind, TraceEventKind::Sent))
+            .count() as u64;
+        let alice_m = w.metrics.node(alice);
+        let bob_m = w.metrics.node(bob);
+        assert_eq!(alice_m.packets_sent + bob_m.packets_sent, sent_per_trace);
+        assert_eq!(alice_m.packets_delivered, 1, "the echo reply");
+        assert_eq!(bob_m.packets_delivered, 1, "the echo request");
+        // The router forwarded request + reply and dropped nothing.
+        let r_m = w.metrics.node(r);
+        assert_eq!(r_m.packets_forwarded, 2);
+        assert_eq!(r_m.total_drops(), 0);
+        assert!(w.metrics.total_drops_by_reason().is_empty());
+    }
+
+    #[test]
+    fn disabled_metrics_stay_empty() {
+        let (mut w, alice, _, _) = two_lan_world();
+        w.host_do(alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1);
+        });
+        w.run_until_idle(10_000);
+        assert_eq!(w.metrics.node(alice).packets_sent, 0);
+        assert_eq!(w.metrics.node_ids().count(), 0, "no allocations either");
+    }
+
+    #[test]
     fn deterministic_given_same_seed() {
         let run = |seed| {
             let (mut w, alice, _, _) = two_lan_world();
             let _ = seed;
-            w.host_do(alice, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1));
+            w.host_do(alice, |h, ctx| {
+                h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1)
+            });
             w.run_until_idle(10_000);
             (w.now(), w.trace.events().len())
         };
@@ -824,7 +946,9 @@ mod tests {
         w.attach(b, lan_b, Some("10.0.2.10/24"));
         w.compute_routes();
 
-        w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1));
+        w.host_do(a, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1)
+        });
         w.run_until_idle(10_000);
         assert!(w
             .host(a)

@@ -15,14 +15,12 @@ fn arp_entries_expire_and_are_relearned() {
     let b = w.add_host(HostConfig::conventional("b"));
     w.attach(a, lan, Some("10.0.0.1/24"));
     w.attach(b, lan, Some("10.0.0.2/24"));
-    w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 1));
+    w.host_do(a, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 1)
+    });
     w.run_until_idle(1_000);
     let now = w.now();
-    assert!(w
-        .host(a)
-        .nic()
-        .arp_lookup(0, ip("10.0.0.2"), now)
-        .is_some());
+    assert!(w.host(a).nic().arp_lookup(0, ip("10.0.0.2"), now).is_some());
     // After the 60 s ARP TTL the entry is stale...
     w.run_for(SimDuration::from_secs(61));
     let later = w.now();
@@ -32,13 +30,14 @@ fn arp_entries_expire_and_are_relearned() {
         .arp_lookup(0, ip("10.0.0.2"), later)
         .is_none());
     // ...but traffic re-resolves transparently.
-    w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 2));
+    w.host_do(a, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 2)
+    });
     w.run_until_idle(1_000);
-    assert!(w
-        .host(a)
-        .icmp_log
-        .iter()
-        .any(|e| matches!(e.message, netsim::wire::icmp::IcmpMessage::EchoReply { seq: 2, .. })));
+    assert!(w.host(a).icmp_log.iter().any(|e| matches!(
+        e.message,
+        netsim::wire::icmp::IcmpMessage::EchoReply { seq: 2, .. }
+    )));
 }
 
 #[test]
@@ -55,21 +54,31 @@ fn gratuitous_arp_redirects_traffic_between_stations() {
     w.attach(thief, lan, Some("10.0.0.3/24"));
 
     // Normal resolution first.
-    w.host_do(client, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 1));
+    w.host_do(client, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 1)
+    });
     w.run_until_idle(1_000);
     assert_eq!(w.host(victim).icmp_log.len(), 1);
 
     // The thief usurps the address (what a home agent does when the mobile
     // leaves) and intercepts it so the stack accepts the packets.
     w.host_mut(thief).add_intercept(ip("10.0.0.2"));
-    w.host_do(thief, |h, ctx| h.send_gratuitous_arp(ctx, 0, ip("10.0.0.2")));
+    w.host_do(thief, |h, ctx| {
+        h.send_gratuitous_arp(ctx, 0, ip("10.0.0.2"))
+    });
     w.run_until_idle(1_000);
 
-    w.host_do(client, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 2));
+    w.host_do(client, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 2)
+    });
     w.run_until_idle(1_000);
     // Victim never saw ping 2; the thief's node received the frame (it has
     // no hook, so the packet dies as NoListener — visible in the trace).
-    assert_eq!(w.host(victim).icmp_log.len(), 1, "victim no longer receives");
+    assert_eq!(
+        w.host(victim).icmp_log.len(),
+        1,
+        "victim no longer receives"
+    );
     let thief_id = thief;
     assert!(w.trace.events().iter().any(|e| e.node == thief_id
         && matches!(
@@ -80,15 +89,18 @@ fn gratuitous_arp_redirects_traffic_between_stations() {
 
     // And the victim can reclaim its address the same way (the mobile host
     // returning home).
-    w.host_do(victim, |h, ctx| h.send_gratuitous_arp(ctx, 0, ip("10.0.0.2")));
+    w.host_do(victim, |h, ctx| {
+        h.send_gratuitous_arp(ctx, 0, ip("10.0.0.2"))
+    });
     w.run_until_idle(1_000);
-    w.host_do(client, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 3));
+    w.host_do(client, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 3)
+    });
     w.run_until_idle(1_000);
-    assert!(w
-        .host(victim)
-        .icmp_log
-        .iter()
-        .any(|e| matches!(e.message, netsim::wire::icmp::IcmpMessage::EchoRequest { seq: 3, .. })));
+    assert!(w.host(victim).icmp_log.iter().any(|e| matches!(
+        e.message,
+        netsim::wire::icmp::IcmpMessage::EchoRequest { seq: 3, .. }
+    )));
 }
 
 #[test]
@@ -123,23 +135,37 @@ fn proxy_arp_answers_only_for_registered_addresses() {
     w.host_mut(proxy).add_proxy_arp(ip("10.0.0.50"));
 
     // Proxied address resolves (to the proxy's MAC)...
-    w.host_do(client, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.50"), 1));
+    w.host_do(client, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.50"), 1)
+    });
     w.run_until_idle(1_000);
     let now = w.now();
     let proxied = w.host(client).nic().arp_lookup(0, ip("10.0.0.50"), now);
     assert_eq!(proxied, Some(w.host(proxy).nic().mac(0)));
 
     // ...a random unproxied address does not.
-    w.host_do(client, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.51"), 2));
+    w.host_do(client, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.51"), 2)
+    });
     w.run_until_idle(1_000);
     let now = w.now();
-    assert!(w.host(client).nic().arp_lookup(0, ip("10.0.0.51"), now).is_none());
+    assert!(w
+        .host(client)
+        .nic()
+        .arp_lookup(0, ip("10.0.0.51"), now)
+        .is_none());
 
     // Withdrawing the proxy stops the answering (after cache expiry).
     w.host_mut(proxy).remove_proxy_arp(ip("10.0.0.50"));
     w.run_for(SimDuration::from_secs(61));
-    w.host_do(client, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.50"), 3));
+    w.host_do(client, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.50"), 3)
+    });
     w.run_until_idle(1_000);
     let now = w.now();
-    assert!(w.host(client).nic().arp_lookup(0, ip("10.0.0.50"), now).is_none());
+    assert!(w
+        .host(client)
+        .nic()
+        .arp_lookup(0, ip("10.0.0.50"), now)
+        .is_none());
 }

@@ -118,7 +118,9 @@ fn serialization_delay_shapes_bulk_traffic() {
     // Warm the ARP cache first so the burst measures pure serialization
     // (otherwise the burst queues behind an unresolved neighbour and the
     // pending cap drops part of it).
-    w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 0));
+    w.host_do(a, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 0)
+    });
     w.run_until_idle(10_000);
     let t0 = w.now();
     w.host_do(a, |h, ctx| {
@@ -180,14 +182,16 @@ fn multicast_is_scoped_to_membership_and_segment() {
         w.trace
             .events()
             .iter()
-            .filter(|e| {
-                e.node == n && matches!(e.kind, netsim::TraceEventKind::DeliveredLocal)
-            })
+            .filter(|e| e.node == n && matches!(e.kind, netsim::TraceEventKind::DeliveredLocal))
             .count()
     };
     assert_eq!(delivered_at(member), 1, "member got the group packet");
     assert_eq!(delivered_at(bystander), 0, "non-member ignored it");
-    assert_eq!(delivered_at(elsewhere), 0, "no multicast routing off-segment");
+    assert_eq!(
+        delivered_at(elsewhere),
+        0,
+        "no multicast routing off-segment"
+    );
 }
 
 #[test]
@@ -292,7 +296,9 @@ fn route_computation_prefers_low_latency_paths() {
     w.attach(b, lan_b, Some("10.0.2.10/24"));
     w.compute_routes();
 
-    w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1));
+    w.host_do(a, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1)
+    });
     w.run_until_idle(100_000);
     let latency = w
         .trace
@@ -300,10 +306,7 @@ fn route_computation_prefers_low_latency_paths() {
         .unwrap();
     // Via rm: ~10 ms (+ per-hop ARP exchanges on first contact).
     // Via the slow link it would exceed 100 ms before ARP.
-    assert!(
-        latency.as_millis() < 60,
-        "took the slow path: {latency}"
-    );
+    assert!(latency.as_millis() < 60, "took the slow path: {latency}");
     // And the request transited rm (4 wire legs, not 3).
     assert_eq!(
         w.trace
@@ -339,7 +342,9 @@ fn transit_policy_blocks_through_traffic_but_not_local() {
         .push(FilterRule::no_transit(0, cidr("36.186.0.0/24")));
 
     // Through-traffic dies at r_in...
-    w.host_do(src, |h, ctx| h.send_ping(ctx, ip("10.9.0.10"), ip("10.8.0.10"), 1));
+    w.host_do(src, |h, ctx| {
+        h.send_ping(ctx, ip("10.9.0.10"), ip("10.8.0.10"), 1)
+    });
     w.run_until_idle(100_000);
     assert!(w
         .trace
@@ -347,7 +352,9 @@ fn transit_policy_blocks_through_traffic_but_not_local() {
         .iter()
         .any(|(_, r)| *r == DropReason::TransitPolicy));
     // ...but traffic into the stub is welcome.
-    w.host_do(src, |h, ctx| h.send_ping(ctx, ip("10.9.0.10"), ip("36.186.0.7"), 2));
+    w.host_do(src, |h, ctx| {
+        h.send_ping(ctx, ip("10.9.0.10"), ip("36.186.0.7"), 2)
+    });
     w.run_until_idle(100_000);
     assert!(w
         .host(local)
@@ -367,7 +374,9 @@ fn pcap_capture_of_simulated_traffic_is_wireshark_shaped() {
     let b = w.add_host(HostConfig::conventional("b"));
     w.attach(a, lan, Some("10.0.0.1/24"));
     w.attach(b, lan, Some("10.0.0.2/24"));
-    w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 1));
+    w.host_do(a, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 1)
+    });
     w.run_until_idle(10_000);
 
     let mut pcap = PcapWriter::new(Vec::new()).unwrap();
@@ -408,13 +417,17 @@ fn world_pcap_capture_records_all_wire_frames() {
     w.attach(b, lan, Some("10.0.0.2/24"));
     let sink: Box<dyn std::io::Write> = Box::new(std::io::Cursor::new(Vec::new()));
     w.capture_pcap(sink).unwrap();
-    w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 1));
+    w.host_do(a, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 1)
+    });
     w.run_until_idle(10_000);
     let frames = w.finish_pcap().unwrap();
     // ARP request + reply + echo request + echo reply = 4 frames.
     assert_eq!(frames, 4, "tap saw every wire frame");
     // Capture is off afterwards; more traffic writes nothing.
-    w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 2));
+    w.host_do(a, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), 2)
+    });
     w.run_until_idle(10_000);
     assert_eq!(w.finish_pcap().unwrap(), 0);
 }
@@ -423,23 +436,23 @@ fn world_pcap_capture_records_all_wire_frames() {
 fn routers_answer_pings() {
     let (mut w, a, _b) = narrow_middle();
     // r1's lan_a-side address.
-    w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.1.1"), 1));
+    w.host_do(a, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.1.1"), 1)
+    });
     w.run_until_idle(10_000);
-    assert!(w
-        .host(a)
-        .icmp_log
-        .iter()
-        .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 1, .. })
-            && e.from == ip("10.0.1.1")));
+    assert!(w.host(a).icmp_log.iter().any(|e| matches!(
+        e.message,
+        IcmpMessage::EchoReply { seq: 1, .. }
+    ) && e.from == ip("10.0.1.1")));
     // And the far router across the topology.
-    w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.1"), 2));
+    w.host_do(a, |h, ctx| {
+        h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.1"), 2)
+    });
     w.run_until_idle(10_000);
-    assert!(w
-        .host(a)
-        .icmp_log
-        .iter()
-        .any(|e| matches!(e.message, IcmpMessage::EchoReply { seq: 2, .. })
-            && e.from == ip("10.0.2.1")));
+    assert!(w.host(a).icmp_log.iter().any(|e| matches!(
+        e.message,
+        IcmpMessage::EchoReply { seq: 2, .. }
+    ) && e.from == ip("10.0.2.1")));
 }
 
 #[test]
@@ -459,9 +472,12 @@ fn ttl_protects_against_routing_loops() {
     // Sane base routes first (so ICMP errors can come back), then the
     // poison: r1 sends 99.0.0.0/8 to r2, r2 sends it straight back.
     w.compute_routes();
-    w.host_mut(a).add_route("0.0.0.0/0".parse().unwrap(), 0, Some(ip("10.0.1.1")));
-    w.router_mut(r1).add_route("99.0.0.0/8".parse().unwrap(), 1, Some(ip("192.168.0.2")));
-    w.router_mut(r2).add_route("99.0.0.0/8".parse().unwrap(), 0, Some(ip("192.168.0.1")));
+    w.host_mut(a)
+        .add_route("0.0.0.0/0".parse().unwrap(), 0, Some(ip("10.0.1.1")));
+    w.router_mut(r1)
+        .add_route("99.0.0.0/8".parse().unwrap(), 1, Some(ip("192.168.0.2")));
+    w.router_mut(r2)
+        .add_route("99.0.0.0/8".parse().unwrap(), 0, Some(ip("192.168.0.1")));
 
     w.host_do(a, |h, ctx| {
         let mut p = Ipv4Packet::new(
@@ -505,7 +521,9 @@ fn corrupted_frames_vanish_like_on_real_wires() {
     w.attach(a, lan, Some("10.0.0.1/24"));
     w.attach(b, lan, Some("10.0.0.2/24"));
     for seq in 0..5 {
-        w.host_do(a, |h, ctx| h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), seq));
+        w.host_do(a, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.0.1"), ip("10.0.0.2"), seq)
+        });
         w.run_for(SimDuration2::from_millis(100));
     }
     w.run_until_idle(100_000);

@@ -570,12 +570,14 @@ impl App for KeystrokeSession {
             self.broken = Some(e);
             return;
         }
-        if self.typed < self.keystrokes && tcp::state(host, conn) == tcp::TcpState::Established
-            && ctx.now >= self.next_at {
-                tcp::send(host, ctx, conn, b"k");
-                self.typed += 1;
-                self.next_at = ctx.now + self.interval;
-            }
+        if self.typed < self.keystrokes
+            && tcp::state(host, conn) == tcp::TcpState::Established
+            && ctx.now >= self.next_at
+        {
+            tcp::send(host, ctx, conn, b"k");
+            self.typed += 1;
+            self.next_at = ctx.now + self.interval;
+        }
         if self.typed < self.keystrokes {
             let due = self.next_at;
             self.alarm.ensure(host, ctx, due);
@@ -783,7 +785,12 @@ mod tests {
         w.run_for(SimDuration::from_secs(5));
         let sess = w.host_mut(a).app_as::<KeystrokeSession>(app).unwrap();
         assert!(sess.broken.is_none());
-        assert!(sess.all_echoed(), "typed {} echoed {}", sess.typed(), sess.echoed);
+        assert!(
+            sess.all_echoed(),
+            "typed {} echoed {}",
+            sess.typed(),
+            sess.echoed
+        );
     }
 
     #[test]

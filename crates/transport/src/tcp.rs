@@ -199,7 +199,10 @@ impl TcpLayer {
                 self.next_ephemeral + 1
             };
             let p = self.next_ephemeral;
-            let in_use = self.conns.iter().any(|c| c.local.1 == p && c.state != TcpState::Closed)
+            let in_use = self
+                .conns
+                .iter()
+                .any(|c| c.local.1 == p && c.state != TcpState::Closed)
                 || self.listeners.iter().any(|l| l.open && l.port == p);
             if !in_use {
                 return p;
@@ -264,12 +267,18 @@ impl TcpLayer {
             ack: if flags.ack { c.rcv_nxt } else { 0 },
             flags,
             window: WINDOW,
-            mss: if flags.syn { Some(DEFAULT_MSS as u16) } else { None },
+            mss: if flags.syn {
+                Some(DEFAULT_MSS as u16)
+            } else {
+                None
+            },
             payload,
         };
         let data_len = seg.payload.len();
         let carries = data_len > 0 || flags.syn || flags.fin;
         c.stats.segs_sent += 1;
+        let node = ctx.node;
+        ctx.metrics().record_tcp_segment_sent(node, retransmission);
         if retransmission {
             c.stats.segs_retransmitted += 1;
             c.rtt_probe = None; // Karn: never sample a retransmitted range
@@ -327,7 +336,10 @@ impl TcpLayer {
             let c = &self.conns[ix];
             if !matches!(
                 c.state,
-                TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::LastAck
+                TcpState::Established
+                    | TcpState::CloseWait
+                    | TcpState::FinWait1
+                    | TcpState::LastAck
             ) {
                 return;
             }
@@ -337,13 +349,7 @@ impl TcpLayer {
             let unsent = c.send_buf.len().saturating_sub(offset);
             if unsent > 0 && in_flight_segs < MAX_IN_FLIGHT_SEGS && c.fin_seq.is_none() {
                 let len = unsent.min(mss);
-                let chunk: Vec<u8> = c
-                    .send_buf
-                    .iter()
-                    .skip(offset)
-                    .take(len)
-                    .copied()
-                    .collect();
+                let chunk: Vec<u8> = c.send_buf.iter().skip(offset).take(len).copied().collect();
                 let seq = c.snd_nxt;
                 self.conns[ix].snd_nxt = seq.wrapping_add(len as u32);
                 let mut flags = TcpFlags::ack();
@@ -394,9 +400,7 @@ impl TcpLayer {
                     let flags = TcpFlags::fin_ack();
                     self.emit(ix, host, ctx, seq, flags, Bytes::new(), true);
                 } else {
-                    let len = (c.in_flight() as usize)
-                        .min(c.mss)
-                        .min(c.send_buf.len());
+                    let len = (c.in_flight() as usize).min(c.mss).min(c.send_buf.len());
                     if len == 0 {
                         return;
                     }
@@ -417,20 +421,23 @@ impl TcpLayer {
         c.timer_gen += 1;
     }
 
-    fn update_rtt(&mut self, ix: usize, ack: u32, now: SimTime) {
+    fn update_rtt(&mut self, ix: usize, ack: u32, ctx: &mut NetCtx) {
         let c = &mut self.conns[ix];
         if let Some((probe_end, sent_at)) = c.rtt_probe {
             if seq_le(probe_end, ack) {
                 c.rtt_probe = None;
-                let rtt = now.since(sent_at).as_micros();
+                let rtt = ctx.now.since(sent_at).as_micros();
                 c.stats.rtt_samples += 1;
+                let node = ctx.node;
+                ctx.metrics()
+                    .record_tcp_rtt(node, SimDuration::from_micros(rtt));
                 let (srtt, rttvar) = match c.srtt_us {
                     None => (rtt, rtt / 2),
                     Some((s, v)) => {
                         let err = s.abs_diff(rtt);
                         (
-                            (7 * s + rtt) / 8,   // srtt ← 7/8·srtt + 1/8·rtt
-                            (3 * v + err) / 4,   // rttvar ← 3/4·var + 1/4·|err|
+                            (7 * s + rtt) / 8, // srtt ← 7/8·srtt + 1/8·rtt
+                            (3 * v + err) / 4, // rttvar ← 3/4·var + 1/4·|err|
                         )
                     }
                 };
@@ -465,12 +472,13 @@ impl TcpLayer {
             c.snd_una = ack;
             c.retries = 0;
         }
-        self.update_rtt(ix, ack, ctx.now);
+        self.update_rtt(ix, ack, ctx);
 
         // FIN acknowledged?
         let fin_acked = {
             let c = &self.conns[ix];
-            c.fin_seq.is_some_and(|f| seq_lt(f, c.snd_nxt) && seq_le(f.wrapping_add(1), c.snd_una))
+            c.fin_seq
+                .is_some_and(|f| seq_lt(f, c.snd_nxt) && seq_le(f.wrapping_add(1), c.snd_una))
         };
         if fin_acked {
             let c = &mut self.conns[ix];
@@ -698,7 +706,9 @@ impl ProtocolHandler for TcpLayer {
             TcpState::Closed => {}
             TcpState::Established if self.conns[ix].in_flight() == 0 => {
                 // Idle connection: this is the keepalive timer.
-                let Some(ka) = self.conns[ix].keepalive else { return };
+                let Some(ka) = self.conns[ix].keepalive else {
+                    return;
+                };
                 let c = &mut self.conns[ix];
                 c.keepalive_fails += 1;
                 if c.keepalive_fails > KEEPALIVE_LIMIT {
@@ -734,6 +744,8 @@ impl ProtocolHandler for TcpLayer {
 
 impl TcpLayer {
     fn on_conn_segment(&mut self, ix: usize, seg: &TcpSegment, host: &mut Host, ctx: &mut NetCtx) {
+        let node = ctx.node;
+        ctx.metrics().record_tcp_segment_received(node);
         // Any sign of life from the peer resets keepalive accounting.
         self.conns[ix].keepalive_fails = 0;
         if seg.flags.rst {
@@ -819,10 +831,7 @@ fn layer(host: &mut Host) -> &mut TcpLayer {
 }
 
 /// Run `f` with the layer taken out of the host (so it can send).
-fn with_layer<R>(
-    host: &mut Host,
-    f: impl FnOnce(&mut TcpLayer, &mut Host) -> R,
-) -> R {
+fn with_layer<R>(host: &mut Host, f: impl FnOnce(&mut TcpLayer, &mut Host) -> R) -> R {
     let mut h = host
         .take_handler(IpProtocol::Tcp)
         .expect("tcp::install not called on this host");
@@ -847,7 +856,10 @@ pub fn listen(host: &mut Host, addr: Option<Ipv4Addr>, port: u16) -> ListenerHan
 
 /// Pop an established connection off the listener's queue.
 pub fn accept(host: &mut Host, lh: ListenerHandle) -> Option<TcpHandle> {
-    layer(host).listeners[lh.0].accept_q.pop_front().map(TcpHandle)
+    layer(host).listeners[lh.0]
+        .accept_q
+        .pop_front()
+        .map(TcpHandle)
 }
 
 /// Open a connection to `dst`. `bind_addr` is the explicit local binding
@@ -1073,13 +1085,12 @@ mod tests {
     fn data_sent_before_establishment_flows_after() {
         let (mut w, a, b) = lan_pair(FaultInjector::default());
         let srv = listen(w.host_mut(b), None, 80);
-        let ch = w
-            .host_do(a, |h, ctx| {
-                let ch = connect(h, ctx, (ip("10.0.0.2"), 80), None).unwrap();
-                // Queue immediately, before the handshake completes.
-                assert!(send(h, ctx, ch, b"GET / HTTP/1.0\r\n\r\n"));
-                ch
-            });
+        let ch = w.host_do(a, |h, ctx| {
+            let ch = connect(h, ctx, (ip("10.0.0.2"), 80), None).unwrap();
+            // Queue immediately, before the handshake completes.
+            assert!(send(h, ctx, ch, b"GET / HTTP/1.0\r\n\r\n"));
+            ch
+        });
         w.run_until_idle(10_000);
         let sh = accept(w.host_mut(b), srv).unwrap();
         assert_eq!(recv(w.host_mut(b), sh), b"GET / HTTP/1.0\r\n\r\n");
@@ -1128,6 +1139,41 @@ mod tests {
         assert_eq!(got, data, "data must arrive intact despite 15% loss");
         let st = stats(w.host_mut(a), ch);
         assert!(st.segs_retransmitted > 0, "loss must cause retransmissions");
+    }
+
+    #[test]
+    fn metrics_registry_agrees_with_tcp_stats() {
+        let (mut w, a, b) = lan_pair(FaultInjector {
+            drop_prob: 0.15,
+            ..Default::default()
+        });
+        w.enable_metrics();
+        let srv = listen(w.host_mut(b), None, 9);
+        let ch = w
+            .host_do(a, |h, ctx| connect(h, ctx, (ip("10.0.0.2"), 9), None))
+            .unwrap();
+        w.run_for(SimDuration::from_secs(30));
+        let sh = accept(w.host_mut(b), srv).expect("handshake survives loss");
+
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 251) as u8).collect();
+        w.host_do(a, |h, ctx| assert!(send(h, ctx, ch, &data)));
+        w.run_for(SimDuration::from_secs(120));
+        assert_eq!(recv(w.host_mut(b), sh), data);
+
+        // The registry's per-node TCP counters are recorded at the same
+        // choke points as the per-connection stats; with a single
+        // connection per host they must agree exactly.
+        let st_a = stats(w.host_mut(a), ch);
+        let st_b = stats(w.host_mut(b), sh);
+        for (node, st) in [(a, &st_a), (b, &st_b)] {
+            let m = &w.metrics.node(node).tcp;
+            assert_eq!(m.segments_sent, st.segs_sent);
+            assert_eq!(m.retransmissions, st.segs_retransmitted);
+            assert_eq!(m.rtt_us.count(), st.rtt_samples);
+        }
+        assert!(st_a.segs_retransmitted > 0, "want loss in this scenario");
+        assert!(w.metrics.node(a).tcp.segments_received > 0);
+        assert!(w.metrics.node(a).tcp.rtt_us.mean() > 0.0);
     }
 
     #[test]
@@ -1318,10 +1364,7 @@ mod tests {
         // connection stays up.
         w.run_for(SimDuration::from_secs(60));
         assert_eq!(state(w.host_mut(a), ch), TcpState::Established);
-        assert!(
-            stats(w.host_mut(a), ch).segs_sent >= 10,
-            "probes were sent"
-        );
+        assert!(stats(w.host_mut(a), ch).segs_sent >= 10, "probes were sent");
 
         // Now the peer silently vanishes (its address stops existing — the
         // Out-DT half-death). Within ~4 intervals the prober notices.
@@ -1376,7 +1419,9 @@ mod tests {
         // b listens only on an address it does NOT own locally... rather:
         // bind the listener to b's address; a connect to it succeeds, but a
         // connect to b via... give b a second (virtual) address instead.
-        let vif = w.host_mut(b).add_iface(netsim::wire::ethernet::MacAddr::from_index(777));
+        let vif = w
+            .host_mut(b)
+            .add_iface(netsim::wire::ethernet::MacAddr::from_index(777));
         w.host_mut(b)
             .set_iface_addr(vif, Some(netsim::IfaceAddr::parse("10.0.0.200/32")));
         let _srv = listen(w.host_mut(b), Some(ip("10.0.0.200")), 23);

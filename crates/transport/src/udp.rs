@@ -84,16 +84,20 @@ impl UdpLayer {
 }
 
 impl ProtocolHandler for UdpLayer {
-    fn on_packet(&mut self, pkt: &Ipv4Packet, _iface: IfaceNo, _host: &mut Host, _ctx: &mut NetCtx) {
+    fn on_packet(&mut self, pkt: &Ipv4Packet, _iface: IfaceNo, _host: &mut Host, ctx: &mut NetCtx) {
         let Ok(dgram) = UdpDatagram::parse(&pkt.payload, pkt.src, pkt.dst) else {
             return;
         };
         match self.demux(pkt.dst, dgram.dst_port) {
-            Some(sock) => sock.rx.push_back(Received {
-                from: (pkt.src, dgram.src_port),
-                to: pkt.dst,
-                payload: dgram.payload,
-            }),
+            Some(sock) => {
+                let node = ctx.node;
+                ctx.metrics().record_udp_received(node, dgram.payload.len());
+                sock.rx.push_back(Received {
+                    from: (pkt.src, dgram.src_port),
+                    to: pkt.dst,
+                    payload: dgram.payload,
+                });
+            }
             None => self.unmatched += 1,
         }
     }
@@ -165,8 +169,16 @@ pub fn send_to(
         },
         None => return false,
     };
-    let dgram = UdpDatagram::new(src_port, dst.1, payload.into());
-    let mut pkt = Ipv4Packet::new(src, dst.0, IpProtocol::Udp, Bytes::from(dgram.emit(src, dst.0)));
+    let payload: Bytes = payload.into();
+    let node = ctx.node;
+    ctx.metrics().record_udp_sent(node, payload.len());
+    let dgram = UdpDatagram::new(src_port, dst.1, payload);
+    let mut pkt = Ipv4Packet::new(
+        src,
+        dst.0,
+        IpProtocol::Udp,
+        Bytes::from(dgram.emit(src, dst.0)),
+    );
     pkt.ident = host.alloc_ident();
     host.send_ip(ctx, pkt, TxMeta::default());
     true
@@ -240,6 +252,38 @@ mod tests {
     }
 
     #[test]
+    fn metrics_registry_counts_datagrams_and_bytes() {
+        let (mut w, a, b) = lan_pair();
+        w.enable_metrics();
+        let sb = bind(w.host_mut(b), None, 7777);
+        let sa = bind(w.host_mut(a), None, 0);
+        w.host_do(a, |h, ctx| {
+            assert!(send_to(h, ctx, sa, (ip("10.0.0.2"), 7777), &b"hello"[..]));
+        });
+        w.run_until_idle(1_000);
+        let from = recv(w.host_mut(b), sb).unwrap().from;
+        w.host_do(b, |h, ctx| {
+            assert!(send_to(h, ctx, sb, from, &b"pong"[..]));
+        });
+        w.run_until_idle(1_000);
+        assert!(recv(w.host_mut(a), sa).is_some());
+
+        let (ma, mb) = (&w.metrics.node(a).udp, &w.metrics.node(b).udp);
+        assert_eq!((ma.datagrams_sent, ma.bytes_sent), (1, 5));
+        assert_eq!((ma.datagrams_received, ma.bytes_received), (1, 4));
+        assert_eq!((mb.datagrams_sent, mb.bytes_sent), (1, 4));
+        assert_eq!((mb.datagrams_received, mb.bytes_received), (1, 5));
+
+        // A datagram for a dead port is counted as sent but not received.
+        w.host_do(a, |h, ctx| {
+            send_to(h, ctx, sa, (ip("10.0.0.2"), 9), &b"x"[..]);
+        });
+        w.run_until_idle(1_000);
+        assert_eq!(w.metrics.node(a).udp.datagrams_sent, 2);
+        assert_eq!(w.metrics.node(b).udp.datagrams_received, 1);
+    }
+
+    #[test]
     fn unmatched_port_is_counted_not_delivered() {
         let (mut w, a, b) = lan_pair();
         let sa = bind(w.host_mut(a), None, 0);
@@ -286,7 +330,9 @@ mod tests {
         let (mut w, a, _b) = lan_pair();
         let s1 = bind(w.host_mut(a), None, 2222);
         close(w.host_mut(a), s1);
-        let ok = w.host_do(a, |h, ctx| send_to(h, ctx, s1, (ip("10.0.0.2"), 1), &b"x"[..]));
+        let ok = w.host_do(a, |h, ctx| {
+            send_to(h, ctx, s1, (ip("10.0.0.2"), 1), &b"x"[..])
+        });
         assert!(!ok);
         let s2 = bind(w.host_mut(a), None, 2222); // port reusable
         assert_eq!(local_addr(w.host_mut(a), s2).1, 2222);

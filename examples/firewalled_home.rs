@@ -26,11 +26,16 @@ fn main() {
     });
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
 
     s.roam_to_a();
-    println!("away at {} behind an egress-filtering gateway", addrs::COA_A);
+    println!(
+        "away at {} behind an egress-filtering gateway",
+        addrs::COA_A
+    );
 
     // An optimistic session: starts at Out-DH, which the filter eats.
     let mh = s.mh;
@@ -47,11 +52,20 @@ fn main() {
         .trace
         .events()
         .iter()
-        .filter(|e| matches!(e.kind, TraceEventKind::Dropped(DropReason::SourceAddressFilter)))
+        .filter(|e| {
+            matches!(
+                e.kind,
+                TraceEventKind::Dropped(DropReason::SourceAddressFilter)
+            )
+        })
         .count();
     println!("boundary routers silently dropped {filter_drops} Out-DH packets (Figure 2)");
 
-    let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
     let ok = sess.all_echoed() && sess.broken.is_none();
     println!(
         "session: typed={} echoed={} survived={}",
@@ -77,7 +91,9 @@ fn main() {
     });
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(80)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(80)));
     s.world.poll_soon(ch);
     s.roam_to_a();
     let mh = s.mh;
@@ -102,7 +118,11 @@ fn main() {
         .iter()
         .filter(|e| e.node == ch && matches!(e.kind, TraceEventKind::DeliveredLocal))
         .any(|e| e.packet.src == coa);
-    let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
     println!(
         "privacy mode: session ok={} care-of address leaked to CH={}",
         sess.all_echoed(),

@@ -40,7 +40,9 @@ fn main() {
     // 2. The correspondent runs a TCP echo service on port 23.
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
 
     // 3. The laptop leaves home: plugs into visited network A, obtains the
@@ -65,7 +67,11 @@ fn main() {
 
     // 5. Mid-session handoff to visited network B...
     s.roam_to_b();
-    println!("handoff to visited B ({}), still registered: {}", addrs::COA_B, s.mh_registered());
+    println!(
+        "handoff to visited B ({}), still registered: {}",
+        addrs::COA_B,
+        s.mh_registered()
+    );
     s.world.run_for(SimDuration::from_secs(4));
 
     // 6. ...and back home, still mid-session.
@@ -74,7 +80,11 @@ fn main() {
     s.world.run_for(SimDuration::from_secs(30));
 
     // 7. The session never noticed.
-    let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
     println!(
         "session outcome: typed={} echoed={} broken={:?}",
         sess.typed(),
@@ -96,7 +106,10 @@ fn main() {
         hook.stats.recv_by(InMode::DH),
         hook.stats.recv_by(InMode::DT),
     );
-    println!("handoffs={} registrations={}", hook.stats.handoffs, hook.stats.registrations_sent);
+    println!(
+        "handoffs={} registrations={}",
+        hook.stats.handoffs, hook.stats.registrations_sent
+    );
     if let Some(path) = &pcap_path {
         let frames = s.world.finish_pcap().expect("flush pcap");
         println!("wrote {frames} frames to {path}");

@@ -24,20 +24,27 @@ fn main() {
     });
 
     // Institution A offers guest addresses by DHCP.
-    let dhcp_host = s.world.add_host(mobility4x4::netsim::HostConfig::conventional("dhcp-a"));
-    s.world.attach(dhcp_host, s.visited_a, Some("36.186.0.2/24"));
+    let dhcp_host = s
+        .world
+        .add_host(mobility4x4::netsim::HostConfig::conventional("dhcp-a"));
+    s.world
+        .attach(dhcp_host, s.visited_a, Some("36.186.0.2/24"));
     mobility4x4::transport::udp::install(s.world.host_mut(dhcp_host));
-    s.world.host_mut(dhcp_host).add_app(Box::new(DhcpServer::new(
-        "36.186.0.0/24".parse().unwrap(),
-        ip(addrs::VISITED_A_GW),
-        120,
-    )));
+    s.world
+        .host_mut(dhcp_host)
+        .add_app(Box::new(DhcpServer::new(
+            "36.186.0.0/24".parse().unwrap(),
+            ip(addrs::VISITED_A_GW),
+            120,
+        )));
     s.world.poll_soon(dhcp_host);
 
     // The echo service the session talks to.
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
 
     // Morning at home: open the session and type a bit.
@@ -61,7 +68,10 @@ fn main() {
         .unwrap()
         .lease
         .expect("DHCP lease granted");
-    println!("DHCP at institution A: got {} (gw {})", lease.addr, lease.gateway);
+    println!(
+        "DHCP at institution A: got {} (gw {})",
+        lease.addr, lease.gateway
+    );
     report(&mut s, app, "visiting institution A");
 
     // Laptop sleeps: nothing transmits for two minutes; the TCP connection
@@ -79,7 +89,11 @@ fn main() {
     s.world.run_for(SimDuration::from_secs(30));
     report(&mut s, app, "home again");
 
-    let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
     assert!(sess.all_echoed() && sess.broken.is_none());
     let hook = s.world.host_mut(mh).hook_as::<MobileHost>().unwrap();
     assert!(matches!(hook.registration_state(), RegState::Unregistered));
@@ -88,7 +102,11 @@ fn main() {
 
 fn report(s: &mut mobility4x4::mip_core::scenario::Scenario, app: usize, when: &str) {
     let mh = s.mh;
-    let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
     let (typed, echoed, broken) = (sess.typed(), sess.echoed, sess.broken);
     let hook = s.world.host_mut(mh).hook_as::<MobileHost>().unwrap();
     println!(

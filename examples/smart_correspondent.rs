@@ -52,7 +52,15 @@ fn main() {
     println!("== mechanism 1: ICMP redirect from the home agent ==");
     let series = rtt_series(&mut s, 5);
     for (i, rtt) in series.iter().enumerate() {
-        println!("  ping {}: {rtt:.2} ms{}", i + 1, if i == 0 { "  <- triangle, triggers redirect" } else { "  <- In-DE direct" });
+        println!(
+            "  ping {}: {rtt:.2} ms{}",
+            i + 1,
+            if i == 0 {
+                "  <- triangle, triggers redirect"
+            } else {
+                "  <- In-DE direct"
+            }
+        );
     }
     let ch = s.ch;
     let hook = s.world.host_mut(ch).hook_as::<MobileAwareCh>().unwrap();
@@ -102,7 +110,10 @@ fn main() {
     assert_eq!(res.ta, Some(ip(addrs::COA_A)));
     let series = rtt_series(&mut s, 3);
     for (i, rtt) in series.iter().enumerate() {
-        println!("  ping {}: {rtt:.2} ms  <- In-DE from the very first packet", i + 1);
+        println!(
+            "  ping {}: {rtt:.2} ms  <- In-DE from the very first packet",
+            i + 1
+        );
     }
     assert!(series[0] < 130.0, "no triangle even on the first packet");
     println!("ok: both §3.2 learning mechanisms optimize the route");

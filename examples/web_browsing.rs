@@ -29,11 +29,17 @@ fn main() {
     s.world
         .host_mut(ch)
         .add_app(Box::new(RequestResponseServer::new(80, 16_000)));
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
 
     s.roam_to_a();
-    println!("away at {}, registered: {}", addrs::COA_A, s.mh_registered());
+    println!(
+        "away at {}, registered: {}",
+        addrs::COA_A,
+        s.mh_registered()
+    );
 
     let mh = s.mh;
     // The browser: 8 transfers of 16 kB with small gaps.
@@ -73,7 +79,11 @@ fn main() {
 
     // Browser report.
     let outcomes = {
-        let b = s.world.host_mut(mh).app_as::<HttpLikeClient>(browser).unwrap();
+        let b = s
+            .world
+            .host_mut(mh)
+            .app_as::<HttpLikeClient>(browser)
+            .unwrap();
         b.outcomes.clone()
     };
     let mut completed = 0;
@@ -82,11 +92,19 @@ fn main() {
         match o {
             TransferOutcome::Completed { bytes, .. } => {
                 completed += 1;
-                println!("  transfer {}: {} bytes in {}", i + 1, bytes, o.duration().unwrap());
+                println!(
+                    "  transfer {}: {} bytes in {}",
+                    i + 1,
+                    bytes,
+                    o.duration().unwrap()
+                );
             }
             TransferOutcome::Failed { error, .. } => {
                 failed += 1;
-                println!("  transfer {}: FAILED ({error:?}) — user clicks Reload (§4)", i + 1);
+                println!(
+                    "  transfer {}: FAILED ({error:?}) — user clicks Reload (§4)",
+                    i + 1
+                );
             }
         }
     }
@@ -95,7 +113,11 @@ fn main() {
 
     // Telnet report: untouched by the move.
     let (sess_ok, conn) = {
-        let t = s.world.host_mut(mh).app_as::<KeystrokeSession>(telnet).unwrap();
+        let t = s
+            .world
+            .host_mut(mh)
+            .app_as::<KeystrokeSession>(telnet)
+            .unwrap();
         (t.all_echoed() && t.broken.is_none(), t.conn())
     };
     let endpoint = conn.map(|c| tcp::local_endpoint(s.world.host_mut(mh), c));

@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the criterion API shape
+//! the workspace uses (`criterion_group!` / `criterion_main!`, benchmark
+//! groups, `Bencher::iter`). Methodology: per sample, the routine runs in
+//! a batch sized so one batch takes roughly `batch_target`; the reported
+//! figure is the **median** per-iteration time across `sample_size`
+//! samples (median, not mean, to shed scheduler noise). No statistical
+//! regression analysis or HTML reports — results print as one line per
+//! benchmark, machine-grepable:
+//!
+//! ```text
+//! bench: figures/fig01_basic_mobile_ip ... median 1.234 ms/iter (10 samples)
+//! ```
+//!
+//! A substring filter works like upstream: `cargo bench -- fig02` runs
+//! only matching benchmarks.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness state: owns the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // First non-flag CLI argument is a substring filter (cargo bench
+        // passes harness flags like `--bench`; skip anything dash-prefixed).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let filter = self.filter.clone();
+        run_one(&id, 20, filter.as_deref(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    /// Ends the group (drop-based in this shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, filter: Option<&str>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(needle) = filter {
+        if !id.contains(needle) {
+            return;
+        }
+    }
+
+    // Calibrate: run once to size batches at ~25ms or at least one iter.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let batch_target = Duration::from_millis(25);
+    let iters_per_sample = (batch_target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    println!(
+        "bench: {id} ... median {} ({sample_size} samples, {iters_per_sample} iters/sample)",
+        human(median)
+    );
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_groups_run() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        g.finish();
+        // calibration + 2 samples
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+        };
+        let mut ran = false;
+        c.bench_function("abc", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(12.0).contains("ns"));
+        assert!(human(12_000.0).contains("us"));
+        assert!(human(12_000_000.0).contains("ms"));
+    }
+}

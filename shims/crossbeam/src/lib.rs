@@ -1,0 +1,71 @@
+//! Offline stand-in for `crossbeam` (scoped threads only).
+//!
+//! Delegates to `std::thread::scope`, which has provided the same
+//! structured-concurrency guarantee since Rust 1.63. The API shape is
+//! crossbeam's: `scope(|s| ...)` returns a `Result` that is `Err` when any
+//! spawned thread panicked, and `Scope::spawn` passes the scope to the
+//! closure so threads can spawn siblings.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// Scope handle passed to [`scope`]'s closure and to every spawned thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope so it can
+    /// spawn further siblings.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller.
+///
+/// Returns `Err` with the panic payload when a spawned thread (or the
+/// closure itself) panicked, mirroring crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Module alias matching `crossbeam::thread::scope` imports.
+pub mod thread_shim {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let mut results = vec![0u32; 4];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

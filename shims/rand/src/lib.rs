@@ -1,0 +1,208 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the small surface it uses: `rand::rngs::StdRng` seeded with
+//! `SeedableRng::seed_from_u64`, plus `Rng::{gen_bool, gen_range, gen}`.
+//!
+//! The generator is SplitMix64 (Steele et al., "Fast splittable
+//! pseudorandom number generators") — not cryptographic, but statistically
+//! solid and, critically for the simulator, **deterministic per seed**:
+//! identical seeds replay identical fault/timing sequences. The stream
+//! differs from upstream `StdRng` (ChaCha12), which only matters to tests
+//! asserting exact draw sequences; none in this workspace do.
+
+/// Core of every random number generator: a source of random u32/u64s.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+mod sealed {
+    /// Integer types `gen_range`/`gen` can produce.
+    pub trait UniformInt: Copy + PartialOrd {
+        fn from_u64_mod(v: u64, span: u64) -> Self;
+        fn from_u64(v: u64) -> Self;
+        fn to_u64(self) -> u64;
+        fn span(low: Self, high_exclusive: Self) -> u64;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl UniformInt for $t {
+                fn from_u64_mod(v: u64, span: u64) -> $t {
+                    (v % span) as $t
+                }
+                fn from_u64(v: u64) -> $t {
+                    v as $t
+                }
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+                fn span(low: $t, high_exclusive: $t) -> u64 {
+                    (high_exclusive as i128 - low as i128) as u64
+                }
+            }
+        )*};
+    }
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+use sealed::UniformInt;
+
+/// A half-open or inclusive range `gen_range` can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range using `next` as entropy.
+    fn sample(self, next: u64) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, next: u64) -> T {
+        let span = T::span(self.start, self.end);
+        assert!(span > 0, "cannot sample empty range");
+        offset(self.start, T::from_u64_mod(next, span))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, next: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        let span = T::span(lo, hi).wrapping_add(1);
+        if span == 0 {
+            // Full-width inclusive range: every draw is in range.
+            return T::from_u64(next);
+        }
+        offset(lo, T::from_u64_mod(next, span))
+    }
+}
+
+fn offset<T: UniformInt>(low: T, delta: T) -> T {
+    T::from_u64(low.to_u64().wrapping_add(delta.to_u64()))
+}
+
+/// Values `Rng::gen` can produce.
+pub trait Standard {
+    /// Produces a value from 64 random bits.
+    fn from_random_bits(bits: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn from_random_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_random_bits(bits: u64) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_random_bits(bits: u64) -> $t {
+                bits as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns true with probability `p` (panics unless `0 <= p <= 1`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p must be in [0,1]");
+        <f64 as Standard>::from_random_bits(self.next_u64()) < p
+    }
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// A value with the "standard" distribution (uniform bits).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_random_bits(self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(0..8);
+            assert!((0..8).contains(&v));
+            let u: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&u));
+            let w: u8 = r.gen_range(1..=255);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_balance() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+}

@@ -32,8 +32,14 @@ fn four_conversations_four_modes_one_host() {
         mh_policy: PolicyConfig {
             // Default pessimistic with DT ports; rule: CH2's /32 runs DE.
             ..PolicyConfig::default()
-                .with_rule("18.26.0.6/32".parse().unwrap(), Strategy::Fixed(OutMode::DE))
-                .with_rule("18.26.0.5/32".parse().unwrap(), Strategy::Fixed(OutMode::IE))
+                .with_rule(
+                    "18.26.0.6/32".parse().unwrap(),
+                    Strategy::Fixed(OutMode::DE),
+                )
+                .with_rule(
+                    "18.26.0.5/32".parse().unwrap(),
+                    Strategy::Fixed(OutMode::IE),
+                )
         },
         ..ScenarioConfig::default()
     });
@@ -50,11 +56,15 @@ fn four_conversations_four_modes_one_host() {
     // Services.
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world
         .host_mut(ch)
         .add_app(Box::new(RequestResponseServer::new(80, 8_000)));
-    s.world.host_mut(ch2).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch2)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
     s.world.poll_soon(ch2);
 
@@ -92,16 +102,28 @@ fn four_conversations_four_modes_one_host() {
 
     // All four conversations succeeded.
     {
-        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(telnet_ie).unwrap();
+        let sess = s
+            .world
+            .host_mut(mh)
+            .app_as::<KeystrokeSession>(telnet_ie)
+            .unwrap();
         assert!(sess.all_echoed() && sess.broken.is_none(), "IE telnet");
     }
     {
-        let web = s.world.host_mut(mh).app_as::<HttpLikeClient>(web_dt).unwrap();
+        let web = s
+            .world
+            .host_mut(mh)
+            .app_as::<HttpLikeClient>(web_dt)
+            .unwrap();
         assert!(web.done(), "web transfers finished");
         assert!(web.outcomes.iter().all(|o| o.completed()), "web all ok");
     }
     {
-        let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(telnet_de).unwrap();
+        let sess = s
+            .world
+            .host_mut(mh)
+            .app_as::<KeystrokeSession>(telnet_de)
+            .unwrap();
         assert!(sess.all_echoed() && sess.broken.is_none(), "DE telnet");
     }
     let echo_replies = s
@@ -109,8 +131,9 @@ fn four_conversations_four_modes_one_host() {
         .host(mh)
         .icmp_log
         .iter()
-        .filter(|e| matches!(e.message, IcmpMessage::EchoReply { .. })
-            && e.from == ip("36.186.0.5"))
+        .filter(|e| {
+            matches!(e.message, IcmpMessage::EchoReply { .. }) && e.from == ip("36.186.0.5")
+        })
         .count();
     assert_eq!(echo_replies, 5, "on-link pings all answered");
 

@@ -9,9 +9,7 @@ use mobility4x4::mip_core::mobile_host::{move_to, MobileHost, MobileHostConfig};
 use mobility4x4::mip_core::scenario::{addrs, build, ip, ChKind, ScenarioConfig};
 use mobility4x4::mip_core::{MobileAwareCh, OutMode, PolicyConfig};
 use mobility4x4::netsim::wire::icmp::IcmpMessage;
-use mobility4x4::netsim::{
-    HostConfig, LinkConfig, RouterConfig, SimDuration, World,
-};
+use mobility4x4::netsim::{HostConfig, LinkConfig, RouterConfig, SimDuration, World};
 use mobility4x4::transport::apps::{BulkSender, KeystrokeSession, SinkServer, TcpEchoServer};
 use mobility4x4::transport::{tcp, udp};
 
@@ -40,7 +38,9 @@ fn full_service_roaming_lifecycle() {
     // Echo service at the correspondent.
     let ch = s.ch;
     let ch_addr = s.ch_addr();
-    s.world.host_mut(ch).add_app(Box::new(TcpEchoServer::new(23)));
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
     s.world.poll_soon(ch);
 
     // Leave home via DHCP.
@@ -83,10 +83,20 @@ fn full_service_roaming_lifecycle() {
     )));
     s.world.poll_soon(mh);
     s.world.run_for(SimDuration::from_secs(3));
-    move_to(&mut s.world, mh, s.visited_b, addrs::COA_B_CIDR, ip(addrs::VISITED_B_GW));
+    move_to(
+        &mut s.world,
+        mh,
+        s.visited_b,
+        addrs::COA_B_CIDR,
+        ip(addrs::VISITED_B_GW),
+    );
     s.world.run_for(SimDuration::from_secs(30));
 
-    let sess = s.world.host_mut(mh).app_as::<KeystrokeSession>(app).unwrap();
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
     assert!(
         sess.broken.is_none() && sess.all_echoed(),
         "typed {} echoed {} broken {:?}",
@@ -241,7 +251,10 @@ fn bulk_transfer_survives_loss_and_handoff() {
         .expect("transfer finished");
     assert!(outcome.completed(), "{outcome:?}");
     let sink = s.world.host_mut(ch).app_as::<SinkServer>(0).unwrap();
-    assert_eq!(sink.bytes_received, 300_000, "every byte arrived exactly once");
+    assert_eq!(
+        sink.bytes_received, 300_000,
+        "every byte arrived exactly once"
+    );
 }
 
 /// The mobile host is reachable at its home address in ALL locations, and
@@ -264,9 +277,10 @@ fn reachability_is_continuous_across_the_journey() {
         s.world
             .host_do(ch, |h, ctx| h.send_ping(ctx, ch_addr, mh_home, this_seq));
         s.world.run_for(SimDuration::from_secs(3));
-        let answered = s.world.host(ch).icmp_log.iter().any(
-            |e| matches!(e.message, IcmpMessage::EchoReply { seq: rs, .. } if rs == this_seq),
-        );
+        let answered =
+            s.world.host(ch).icmp_log.iter().any(
+                |e| matches!(e.message, IcmpMessage::EchoReply { seq: rs, .. } if rs == this_seq),
+            );
         assert!(answered, "unreachable while {where_}");
     };
 

@@ -25,12 +25,7 @@ fn all_sixteen_cells_match_figure_10() {
         grid.table
     );
     // Structural spot checks.
-    let count = |class: CellClass| {
-        grid.cells
-            .iter()
-            .filter(|c| c.paper_class == class)
-            .count()
-    };
+    let count = |class: CellClass| grid.cells.iter().filter(|c| c.paper_class == class).count();
     assert_eq!(count(CellClass::Useful), 7);
     assert_eq!(count(CellClass::ValidButUnused), 3);
     assert_eq!(count(CellClass::Broken), 6);

@@ -309,3 +309,105 @@ proptest! {
         prop_assert!(r.hops.iter().all(|&h| h == Ipv4Addr(0x7f00_0001)));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One packet, three observers: the trace, the metrics registry, and
+    /// the links' own stats must tell the same byte-for-byte story for a
+    /// random mix of packets — deliverable or not.
+    #[test]
+    fn trace_metrics_and_link_stats_agree_on_random_traffic(
+        mix in proptest::collection::vec(
+            (0usize..1200, any::<u8>(), any::<bool>(), any::<u16>()),
+            1..24,
+        ),
+    ) {
+        use mobility4x4::netsim::device::TxMeta;
+        use mobility4x4::netsim::trace::TraceEventKind;
+        use mobility4x4::netsim::{HostConfig, LinkConfig, World};
+
+        let mut w = World::new(1);
+        let lan = w.add_segment(LinkConfig::lan());
+        let a = w.add_host(HostConfig::conventional("a"));
+        let b = w.add_host(HostConfig::conventional("b"));
+        w.attach(a, lan, Some("10.0.0.1/24"));
+        w.attach(b, lan, Some("10.0.0.2/24"));
+        w.compute_routes();
+        w.enable_metrics();
+
+        let src = "10.0.0.1".parse::<Ipv4Addr>().unwrap();
+        for &(len, proto, to_bob, ident) in &mix {
+            let dst = if to_bob {
+                "10.0.0.2".parse::<Ipv4Addr>().unwrap()
+            } else {
+                // Nobody answers ARP for this address.
+                "10.0.0.77".parse::<Ipv4Addr>().unwrap()
+            };
+            let mut p = Ipv4Packet::new(
+                src,
+                dst,
+                IpProtocol::from_number(proto),
+                Bytes::from(vec![0u8; len]),
+            );
+            p.ident = ident;
+            w.host_do(a, |h, ctx| h.send_ip(ctx, p.clone(), TxMeta::default()));
+        }
+        w.run_until_idle(5_000_000);
+
+        // Segment view: registry mirrors the link's own stats exactly.
+        let stats = w.segment_stats(lan);
+        let seg_m = w.metrics.segment(lan);
+        prop_assert_eq!(seg_m.frames, stats.frames);
+        prop_assert_eq!(seg_m.bytes, stats.bytes);
+        prop_assert_eq!(seg_m.wire_drops, stats.fault_drops + stats.oversize_drops);
+        prop_assert_eq!(seg_m.crc_drops, stats.crc_drops);
+
+        // Node view: registry totals equal what the packet trace recorded,
+        // event for event and byte for byte.
+        let all = |_: &mobility4x4::netsim::trace::PacketSummary| true;
+        let count = |kind: TraceEventKind| {
+            w.trace.matching(all).filter(|e| e.kind == kind).count() as u64
+        };
+        let bytes_of = |kind: TraceEventKind| {
+            w.trace
+                .matching(all)
+                .filter(|e| e.kind == kind)
+                .map(|e| e.packet.wire_len as u64)
+                .sum::<u64>()
+        };
+        let totals = w
+            .metrics
+            .node_ids()
+            .map(|n| w.metrics.node(n).clone())
+            .fold((0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64), |acc, m| {
+                (
+                    acc.0 + m.packets_sent,
+                    acc.1 + m.bytes_sent,
+                    acc.2 + m.packets_delivered,
+                    acc.3 + m.bytes_delivered,
+                    acc.4 + m.packets_forwarded,
+                    acc.5 + m.bytes_forwarded,
+                    acc.6 + m.total_drops(),
+                )
+            });
+        prop_assert_eq!(totals.0, count(TraceEventKind::Sent));
+        prop_assert_eq!(totals.1, bytes_of(TraceEventKind::Sent));
+        prop_assert_eq!(totals.2, count(TraceEventKind::DeliveredLocal));
+        prop_assert_eq!(totals.3, bytes_of(TraceEventKind::DeliveredLocal));
+        prop_assert_eq!(totals.4, count(TraceEventKind::Forwarded));
+        prop_assert_eq!(totals.5, bytes_of(TraceEventKind::Forwarded));
+        let dropped = w
+            .trace
+            .matching(all)
+            .filter(|e| matches!(e.kind, TraceEventKind::Dropped(_)))
+            .count() as u64;
+        prop_assert_eq!(totals.6, dropped);
+        // And bytes_on_wire (the measurement the figures use) is exactly
+        // the sent+forwarded byte total.
+        prop_assert_eq!(
+            (totals.1 + totals.5) as usize,
+            w.trace.bytes_on_wire(all)
+        );
+    }
+}
