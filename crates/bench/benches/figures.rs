@@ -184,14 +184,20 @@ fn bench_micro(c: &mut Criterion) {
 
 // ---- metrics registry overhead -----------------------------------------
 
-/// The same end-to-end workload with the metrics registry off (the
-/// default) and on. The disabled run is the cost every simulation pays
-/// for the registry existing at all — it should be within noise of the
-/// pre-registry event loop, and far under the enabled run.
+/// The same end-to-end workload at three observability levels: packet
+/// tracing off entirely, tracing on with the metrics registry off (the
+/// default), and both on. The fully-disabled run is the cost every
+/// simulation pays for the instrumentation existing at all — the
+/// enabled-guard early returns should keep it within noise of the others'
+/// recording-free portions.
 fn bench_metrics_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("metrics_overhead");
     g.sample_size(10);
-    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+    for (label, metrics, tracing) in [
+        ("tracing_disabled", false, false),
+        ("disabled", false, true),
+        ("enabled", true, true),
+    ] {
         g.bench_function(format!("ping_world_metrics_{label}"), |b| {
             b.iter(|| {
                 let mut w = netsim::World::new(1);
@@ -209,9 +215,10 @@ fn bench_metrics_overhead(c: &mut Criterion) {
                 w.attach(r2, lan_b, Some("10.0.2.1/24"));
                 w.attach(bb, lan_b, Some("10.0.2.10/24"));
                 w.compute_routes();
-                if enabled {
+                if metrics {
                     w.enable_metrics();
                 }
+                w.trace.set_enabled(tracing);
                 for seq in 0..32u16 {
                     w.host_do(a, |h, ctx| {
                         h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), seq)

@@ -21,7 +21,7 @@ use netsim::wire::encap::{encapsulate, EncapFormat};
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
 use netsim::wire::tcpseg::TcpSegment;
 use netsim::wire::udp::UdpDatagram;
-use netsim::{Host, NetCtx};
+use netsim::{Host, NetCtx, TransformKind};
 
 /// Rebuild `pkt` with new addresses, recomputing the TCP/UDP checksum over
 /// the new pseudo-header (what the sending transport would have emitted had
@@ -87,7 +87,7 @@ impl MobilityHook for ForcedChDelivery {
         pkt: Ipv4Packet,
         _meta: TxMeta,
         host: &mut Host,
-        _ctx: &mut NetCtx,
+        ctx: &mut NetCtx,
     ) -> RouteDecision {
         if pkt.dst != self.home && pkt.dst != self.coa {
             return RouteDecision::Continue(pkt); // not mobile-bound traffic
@@ -114,6 +114,11 @@ impl MobilityHook for ForcedChDelivery {
                 match encapsulate(self.encap, inner.src, self.coa, &inner, ident) {
                     Some(mut outer) => {
                         outer.ttl = netsim::wire::ipv4::DEFAULT_TTL;
+                        ctx.trace_transform(
+                            TransformKind::Encapsulated(self.encap),
+                            Some(&inner),
+                            &outer,
+                        );
                         RouteDecision::Continue(outer)
                     }
                     None => RouteDecision::Continue(inner),

@@ -17,11 +17,15 @@
 use std::fs;
 use std::path::PathBuf;
 
-use netsim::World;
+use netsim::{Lifecycle, World};
 use parking_lot::Mutex;
 use serde::{Serialize, Value};
 
 use crate::Table;
+
+/// Per-snapshot cap on the packet spans a report embeds; drop chains are
+/// always kept in full (see [`Lifecycle::report_value`]).
+const LIFECYCLE_SPAN_CAP: usize = 512;
 
 struct Collector {
     enabled: bool,
@@ -52,16 +56,24 @@ pub fn observe_world(world: &mut World) {
     }
 }
 
-/// Attach a labelled snapshot of `world`'s metrics registry to the next
-/// emitted report. No-op unless [`enable`] was called and the world's
-/// metrics are enabled.
+/// Attach a labelled snapshot of `world` to the next emitted report: its
+/// metrics registry plus the reconstructed packet-lifecycle spans and flow
+/// summaries of its trace (when the trace recorded anything). No-op unless
+/// [`enable`] was called and the world's metrics are enabled.
 pub fn record_world(label: &str, world: &World) {
     let mut c = COLLECTOR.lock();
     if !c.enabled || !world.metrics.enabled() {
         return;
     }
-    let snap = world.metrics.snapshot(&world.node_names(), world.now());
-    c.snapshots.push((label.to_string(), snap));
+    let mut snap = vec![(
+        "metrics".to_string(),
+        world.metrics.snapshot(&world.node_names(), world.now()),
+    )];
+    if !world.trace.events().is_empty() {
+        let lc = Lifecycle::reconstruct(&world.trace, &world.node_names());
+        snap.push(("lifecycle".into(), lc.report_value(LIFECYCLE_SPAN_CAP)));
+    }
+    c.snapshots.push((label.to_string(), Value::Object(snap)));
 }
 
 /// Attach any serializable value (audit trails, sweep parameters, …) to
@@ -84,11 +96,14 @@ fn report_dir() -> PathBuf {
 
 /// Build the report value for `name` from the given tables plus every
 /// snapshot recorded since the last emit (which this call drains).
+/// Snapshots are emitted sorted by label so report bytes are stable run to
+/// run regardless of the order an experiment recorded them in.
 pub fn build(name: &str, tables: &[Table]) -> Value {
-    let snapshots = std::mem::take(&mut COLLECTOR.lock().snapshots);
+    let mut snapshots = std::mem::take(&mut COLLECTOR.lock().snapshots);
+    snapshots.sort_by(|(a, _), (b, _)| a.cmp(b));
     Value::Object(vec![
         ("name".into(), Value::Str(name.to_string())),
-        ("schema".into(), Value::Str("run-report/v1".into())),
+        ("schema".into(), Value::Str("run-report/v2".into())),
         (
             "tables".into(),
             Value::Array(tables.iter().map(|t| t.to_value()).collect()),
@@ -135,7 +150,7 @@ mod tests {
         let v = build("demo", &[t]);
         let json = serde_json::to_string(&v).unwrap();
         assert!(json.contains("\"name\":\"demo\""));
-        assert!(json.contains("\"schema\":\"run-report/v1\""));
+        assert!(json.contains("\"schema\":\"run-report/v2\""));
         assert!(json.contains("\"tables\":["));
     }
 
@@ -148,11 +163,22 @@ mod tests {
         record_value("param", &42u64);
         let v = build("snap-test", &[]);
         let json = serde_json::to_string(&v).unwrap();
-        assert!(json.contains("\"before\":{"), "{json}");
+        assert!(json.contains("\"before\":{\"metrics\":{"), "{json}");
         assert!(json.contains("\"param\":42"), "{json}");
         // Drained: a second build sees an empty snapshot set.
         let v2 = build("snap-test", &[]);
         let json2 = serde_json::to_string(&v2).unwrap();
         assert!(json2.contains("\"snapshots\":{}"), "{json2}");
+    }
+
+    #[test]
+    fn snapshots_emit_sorted_by_label() {
+        enable();
+        record_value("zz-last", &1u64);
+        record_value("aa-first", &2u64);
+        let json = serde_json::to_string(&build("order-test", &[])).unwrap();
+        let a = json.find("\"aa-first\"").expect("aa-first present");
+        let z = json.find("\"zz-last\"").expect("zz-last present");
+        assert!(a < z, "labels sorted regardless of recording order: {json}");
     }
 }

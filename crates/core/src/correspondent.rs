@@ -22,7 +22,7 @@ use netsim::device::TxMeta;
 use netsim::wire::encap::{encapsulate, EncapFormat};
 use netsim::wire::icmp::IcmpMessage;
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
-use netsim::{Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, World};
+use netsim::{Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, TransformKind, World};
 
 /// Where a cache entry came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +192,7 @@ impl MobilityHook for MobileAwareCh {
         match encapsulate(self.encap, pkt.src, binding.care_of, &pkt, ident) {
             Some(mut outer) => {
                 outer.ttl = netsim::wire::ipv4::DEFAULT_TTL;
+                ctx.trace_transform(TransformKind::Encapsulated(self.encap), Some(&pkt), &outer);
                 self.stats.sent_in_de += 1;
                 RouteDecision::Continue(outer)
             }

@@ -25,7 +25,9 @@ use netsim::device::nic::NextHop;
 use netsim::device::TxMeta;
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
 use netsim::wire::udp::UdpDatagram;
-use netsim::{Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, TraceEventKind, World};
+use netsim::{
+    Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, TraceEventKind, TransformKind, World,
+};
 use transport::udp;
 
 use crate::registration::{RegistrationReply, RegistrationRequest, REGISTRATION_PORT};
@@ -119,6 +121,7 @@ impl ForeignAgent {
     fn deliver_final_hop(&mut self, pkt: Ipv4Packet, host: &mut Host, ctx: &mut NetCtx) {
         let home = pkt.dst;
         self.stats.packets_delivered += 1;
+        ctx.trace_transform(TransformKind::Relayed, Some(&pkt), &pkt);
         host.nic_mut().send_ip(
             ctx,
             self.config.visited_iface,

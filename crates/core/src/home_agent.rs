@@ -32,7 +32,7 @@ use netsim::wire::encap::{encapsulate, EncapFormat};
 use netsim::wire::icmp::IcmpMessage;
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet};
 use netsim::wire::udp::UdpDatagram;
-use netsim::{Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, World};
+use netsim::{Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, TransformKind, World};
 
 use crate::registration::{RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT};
 
@@ -290,6 +290,7 @@ impl HomeAgent {
         let mut outer = encapsulate(format, self.config.addr, binding.care_of, &pkt, ident)
             .expect("non-minimal encapsulation is infallible");
         outer.ttl = netsim::wire::ipv4::DEFAULT_TTL; // fresh tunnel TTL
+        ctx.trace_transform(TransformKind::Encapsulated(format), Some(&pkt), &outer);
         self.stats.packets_tunneled += 1;
         self.stats.bytes_tunneled += outer.wire_len() as u64;
         host.send_ip(

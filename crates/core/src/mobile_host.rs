@@ -36,7 +36,8 @@ use netsim::wire::ethernet::MacAddr;
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
 use netsim::wire::udp::UdpDatagram;
 use netsim::{
-    FeedbackEvent, Host, IfaceAddr, IfaceNo, NetCtx, NodeId, SegmentId, SimDuration, SimTime, World,
+    FeedbackEvent, Host, IfaceAddr, IfaceNo, NetCtx, NodeId, SegmentId, SimDuration, SimTime,
+    TransformKind, World,
 };
 
 use crate::audit::{AuditEvent, AuditTrail};
@@ -463,6 +464,7 @@ impl MobileHost {
         outer_dst: Ipv4Addr,
         pkt: Ipv4Packet,
         host: &mut Host,
+        ctx: &mut NetCtx,
     ) -> Ipv4Packet {
         let ident = host.alloc_ident();
         let mut outer = encapsulate(self.config.encap, outer_src, outer_dst, &pkt, ident)
@@ -471,6 +473,8 @@ impl MobileHost {
                     .expect("IP-in-IP carries anything")
             });
         outer.ttl = netsim::wire::ipv4::DEFAULT_TTL;
+        let format = EncapFormat::from_protocol(outer.protocol).unwrap_or(self.config.encap);
+        ctx.trace_transform(TransformKind::Encapsulated(format), Some(&pkt), &outer);
         outer
     }
 
@@ -535,13 +539,13 @@ impl MobilityHook for MobileHost {
             OutMode::DE => {
                 self.count_out(OutMode::DE);
                 let dst = pkt.dst;
-                let outer = self.encap_with_fallback(care_of, dst, pkt, host);
+                let outer = self.encap_with_fallback(care_of, dst, pkt, host, ctx);
                 RouteDecision::Continue(outer)
             }
             OutMode::IE => {
                 self.count_out(OutMode::IE);
                 let ha = self.config.home_agent;
-                let outer = self.encap_with_fallback(care_of, ha, pkt, host);
+                let outer = self.encap_with_fallback(care_of, ha, pkt, host, ctx);
                 RouteDecision::Continue(outer)
             }
         }

@@ -31,7 +31,7 @@ use super::router::{lpm, RouteEntry};
 use super::{split_token, token, TxMeta, NS_APPS, NS_MOBILITY};
 use crate::event::{IfaceNo, NodeId, TimerToken};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{DropReason, TraceEventKind};
+use crate::trace::{DropReason, TraceEventKind, TransformKind};
 use crate::wire::encap::{self, EncapFormat};
 use crate::wire::ethernet::MacAddr;
 use crate::wire::icmp::IcmpMessage;
@@ -553,6 +553,12 @@ impl Host {
 
     /// Send a locally-originated (or hook-emitted) IP packet.
     pub fn send_ip(&mut self, ctx: &mut NetCtx, mut pkt: Ipv4Packet, meta: TxMeta) {
+        // A retransmission is causally a clone of an earlier transmission:
+        // link it (pre-encapsulation, so the chain matches the original's
+        // shape) before the mobility hook may wrap it.
+        if meta.retransmission {
+            ctx.trace_transform(TransformKind::Retransmission, None, &pkt);
+        }
         // The paper's route-override: consult the mobility policy first.
         if !meta.skip_override && !self.hook_taken {
             if let Some(mut h) = self.hook.take() {
@@ -700,6 +706,7 @@ impl Host {
             };
             match encap::decapsulate(&pkt) {
                 Ok(inner) => {
+                    ctx.trace_transform(TransformKind::Decapsulated(format), Some(&pkt), &inner);
                     layers.push(EncapLayer {
                         outer_src: pkt.src,
                         outer_dst: pkt.dst,
@@ -740,6 +747,7 @@ impl Host {
             let here = pkt.dst;
             let mut onward = pkt.clone();
             if crate::wire::srcroute::process_at_hop(&mut onward, here) {
+                ctx.trace_transform(TransformKind::SourceRouteHop, Some(&pkt), &onward);
                 self.send_ip(
                     ctx,
                     onward,

@@ -30,6 +30,7 @@
 
 pub mod device;
 pub mod event;
+pub mod lifecycle;
 pub mod link;
 pub mod metrics;
 pub mod time;
@@ -44,10 +45,13 @@ pub use device::nic::IfaceAddr;
 pub use device::router::{FilterAction, FilterRule, FilterWhen, Router, RouterConfig};
 pub use device::TxMeta;
 pub use event::{Event, EventQueue, IfaceNo, NodeId, Timer, TimerToken};
+pub use lifecycle::{FlowSummary, Lifecycle, PacketLifecycle, PacketOutcome};
 pub use link::{FaultInjector, LinkConfig, LinkId, SegmentId};
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics, SegmentMetrics};
 pub use time::{SimDuration, SimTime};
-pub use trace::{DropReason, PacketTrace, TraceEvent, TraceEventKind};
+pub use trace::{
+    DropReason, FlowId, PacketId, PacketTrace, TraceEvent, TraceEventKind, TransformKind,
+};
 pub use wire::encap::EncapFormat;
 pub use wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet};
 pub use world::{NetCtx, World};

@@ -141,6 +141,14 @@ pub struct LinkStats {
     pub oversize_drops: u64,
 }
 
+serde::impl_serialize!(LinkStats {
+    frames,
+    bytes,
+    fault_drops,
+    crc_drops,
+    oversize_drops
+});
+
 /// A broadcast domain. Two attachments = point-to-point wire.
 #[derive(Debug)]
 pub struct Segment {

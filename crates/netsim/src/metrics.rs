@@ -190,6 +190,9 @@ pub struct NodeMetrics {
     pub bytes_delivered: u64,
     /// Drops at this node, indexed by [`DropReason::index`].
     drops: [u64; DropReason::ALL.len()],
+    /// Transform events at this node (encapsulations, decapsulations,
+    /// source-route rewrites, relays, retransmission clones).
+    pub transforms: u64,
     /// Wire bytes of sent/forwarded *tunnel* packets, by encap format
     /// (indexed per [`ENCAP_FORMATS`] order).
     encap_bytes: [u64; ENCAP_FORMATS.len()],
@@ -207,6 +210,7 @@ const EMPTY_NODE: NodeMetrics = NodeMetrics {
     bytes_forwarded: 0,
     bytes_delivered: 0,
     drops: [0; DropReason::ALL.len()],
+    transforms: 0,
     encap_bytes: [0; ENCAP_FORMATS.len()],
     tcp: TcpMetrics {
         segments_sent: 0,
@@ -257,7 +261,7 @@ impl serde::Serialize for NodeMetrics {
     fn to_value(&self) -> serde::Value {
         let drops: Vec<(String, serde::Value)> = self
             .drops_by_reason()
-            .map(|(r, n)| (r.to_string(), n.to_value()))
+            .map(|(r, n)| (r.tag().to_string(), n.to_value()))
             .collect();
         let encap: Vec<(String, serde::Value)> = ENCAP_FORMATS
             .into_iter()
@@ -278,6 +282,7 @@ impl serde::Serialize for NodeMetrics {
             ("bytes_forwarded".into(), self.bytes_forwarded.to_value()),
             ("bytes_delivered".into(), self.bytes_delivered.to_value()),
             ("drops".into(), serde::Value::Object(drops)),
+            ("transforms".into(), self.transforms.to_value()),
             ("encap_bytes".into(), serde::Value::Object(encap)),
             (
                 "tcp".into(),
@@ -473,6 +478,10 @@ impl MetricsRegistry {
             }
             TraceEventKind::Dropped(reason) => {
                 m.drops[reason.index()] += 1;
+            }
+            // Not a wire event: the packet changed shape inside the node.
+            TraceEventKind::Transformed(_) => {
+                m.transforms += 1;
             }
         }
         if matches!(kind, TraceEventKind::Sent | TraceEventKind::Forwarded) {

@@ -10,13 +10,22 @@
 //! Long-running simulations can bound the memory the trace consumes with
 //! [`PacketTrace::with_capacity`]: the trace becomes a ring buffer keeping
 //! the most recent events and counting the ones it had to shed.
+//!
+//! Beyond the flat event log, the trace assigns **causal identity**: every
+//! packet injected into the world gets a stable [`PacketId`], every logical
+//! conversation a [`FlowId`], and every transform (encapsulation,
+//! decapsulation, source-route rewrite, agent relay, retransmission) links
+//! the new packet to its parent — so the events form a causal tree a
+//! [`crate::lifecycle`] reconstruction can walk, rather than a log that
+//! needs heuristic pairing.
 
 use std::collections::{HashMap, VecDeque};
 
 use crate::event::NodeId;
 use crate::time::SimTime;
-use crate::wire::encap;
+use crate::wire::encap::{self, EncapFormat};
 use crate::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
+use serde::{Serialize, Value};
 
 /// Why a packet was dropped. The first three are the network policies the
 /// paper names in §3.1.
@@ -65,6 +74,33 @@ impl DropReason {
     pub fn index(self) -> usize {
         self as usize
     }
+
+    /// Stable machine-readable tag (run reports, trace files).
+    pub fn tag(self) -> &'static str {
+        match self {
+            DropReason::SourceAddressFilter => "source-address-filter",
+            DropReason::TransitPolicy => "transit-policy",
+            DropReason::Firewall => "firewall",
+            DropReason::TtlExpired => "ttl-expired",
+            DropReason::NoRoute => "no-route",
+            DropReason::MtuExceeded => "mtu-exceeded",
+            DropReason::LinkFault => "link-fault",
+            DropReason::ArpFailure => "arp-failure",
+            DropReason::NoListener => "no-listener",
+            DropReason::Malformed => "malformed",
+        }
+    }
+
+    /// Inverse of [`DropReason::tag`].
+    pub fn from_tag(s: &str) -> Option<DropReason> {
+        DropReason::ALL.into_iter().find(|r| r.tag() == s)
+    }
+}
+
+impl Serialize for DropReason {
+    fn to_value(&self) -> Value {
+        Value::Str(self.tag().into())
+    }
 }
 
 impl std::fmt::Display for DropReason {
@@ -82,6 +118,115 @@ impl std::fmt::Display for DropReason {
             DropReason::Malformed => "malformed",
         };
         f.write_str(s)
+    }
+}
+
+/// Stable identity of one concrete packet for its whole life: assigned on
+/// the first trace event that observes it and preserved across every hop.
+/// Transforms (encapsulation, decapsulation, …) produce a **new** id whose
+/// parent is the packet that went in, so ids form a causal tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl std::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl Serialize for PacketId {
+    fn to_value(&self) -> Value {
+        Value::U64(self.0)
+    }
+}
+
+/// Stable identity of one logical conversation: the pair of logical
+/// endpoints (looking through tunnels and source routes) plus the innermost
+/// protocol, direction-insensitive so both halves of an exchange share it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl Serialize for FlowId {
+    fn to_value(&self) -> Value {
+        Value::U64(self.0)
+    }
+}
+
+/// How one packet begat another. Recorded as a
+/// [`TraceEventKind::Transformed`] event on the *child* packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformKind {
+    /// The parent was wrapped in a tunnel header; the child is the outer
+    /// packet (Figures 3–7's encapsulated modes).
+    Encapsulated(EncapFormat),
+    /// A tunnel layer was peeled; the child is the inner packet.
+    Decapsulated(EncapFormat),
+    /// A loose-source-route waypoint rewrote the destination (Out-DT's
+    /// LSR variant).
+    SourceRouteHop,
+    /// An agent relayed the packet onward unchanged (foreign agent final
+    /// hop).
+    Relayed,
+    /// A transport retransmitted the same data as a fresh packet.
+    Retransmission,
+}
+
+impl TransformKind {
+    /// Stable machine-readable tag (run reports, trace files).
+    pub fn tag(self) -> &'static str {
+        match self {
+            TransformKind::Encapsulated(_) => "encapsulated",
+            TransformKind::Decapsulated(_) => "decapsulated",
+            TransformKind::SourceRouteHop => "source-route-hop",
+            TransformKind::Relayed => "relayed",
+            TransformKind::Retransmission => "retransmission",
+        }
+    }
+
+    /// The encapsulation format involved, for the tunnel transforms.
+    pub fn format(self) -> Option<EncapFormat> {
+        match self {
+            TransformKind::Encapsulated(f) | TransformKind::Decapsulated(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Inverse of [`TransformKind::tag`] + [`TransformKind::format`].
+    pub fn from_tag(tag: &str, format: Option<&str>) -> Option<TransformKind> {
+        let f = || format.and_then(EncapFormat::from_tag).unwrap_or_default();
+        match tag {
+            "encapsulated" => Some(TransformKind::Encapsulated(f())),
+            "decapsulated" => Some(TransformKind::Decapsulated(f())),
+            "source-route-hop" => Some(TransformKind::SourceRouteHop),
+            "relayed" => Some(TransformKind::Relayed),
+            "retransmission" => Some(TransformKind::Retransmission),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransformKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.format() {
+            Some(fmt) => write!(f, "{} ({})", self.tag(), fmt.tag()),
+            None => f.write_str(self.tag()),
+        }
+    }
+}
+
+impl Serialize for TransformKind {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("transform".to_string(), Value::Str(self.tag().into()))];
+        if let Some(fmt) = self.format() {
+            fields.push(("format".into(), Value::Str(fmt.tag().into())));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -150,7 +295,7 @@ impl PacketSummary {
     /// Identity of the concrete packet: the header fields that survive
     /// forwarding unchanged. Source-routed packets get their dst rewritten
     /// at every waypoint, so the key uses the route's final destination.
-    fn flow_key(&self) -> (Ipv4Addr, Ipv4Addr, IpProtocol, u16) {
+    fn flow_key(&self) -> PacketKey {
         (
             self.src,
             self.sr_final.unwrap_or(self.dst),
@@ -158,6 +303,61 @@ impl PacketSummary {
             self.ident,
         )
     }
+
+    /// The innermost protocol: the tunnelled payload's when encapsulated.
+    pub fn logical_protocol(&self) -> IpProtocol {
+        match self.inner {
+            Some((_, _, p)) => p,
+            None => self.protocol,
+        }
+    }
+}
+
+impl Serialize for PacketSummary {
+    fn to_value(&self) -> Value {
+        let inner = match self.inner {
+            Some((s, d, p)) => Value::Object(vec![
+                ("src".into(), Value::Str(s.to_string())),
+                ("dst".into(), Value::Str(d.to_string())),
+                ("protocol".into(), Value::U64(p.number().into())),
+            ]),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("src".into(), Value::Str(self.src.to_string())),
+            ("dst".into(), Value::Str(self.dst.to_string())),
+            ("protocol".into(), Value::U64(self.protocol.number().into())),
+            ("ident".into(), Value::U64(self.ident.into())),
+            ("wire_len".into(), Value::U64(self.wire_len as u64)),
+            ("inner".into(), inner),
+            (
+                "sr_final".into(),
+                match self.sr_final {
+                    Some(a) => Value::Str(a.to_string()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Header identity that survives forwarding: the registry key mapping a
+/// packet observed anywhere in the net back to its [`PacketId`].
+type PacketKey = (Ipv4Addr, Ipv4Addr, IpProtocol, u16);
+
+/// The conversation key: direction-normalized logical endpoints plus the
+/// innermost protocol.
+type FlowKey = (Ipv4Addr, Ipv4Addr, IpProtocol);
+
+/// Per-packet bookkeeping that outlives the event ring buffer, so causal
+/// links and overhead deltas survive shedding.
+#[derive(Debug, Clone, Copy)]
+struct PacketMeta {
+    flow: FlowId,
+    parent: Option<PacketId>,
+    /// Wire length when first observed (pre-transform for parents), for
+    /// per-layer header-overhead deltas.
+    wire_len: usize,
 }
 
 /// What happened to the packet at `node`.
@@ -171,6 +371,45 @@ pub enum TraceEventKind {
     DeliveredLocal,
     /// Discarded.
     Dropped(DropReason),
+    /// Became a new packet (the one this event describes) by the given
+    /// transform; the new packet's `parent_id` names the packet that went
+    /// in. Not a wire event: the transform happens inside a node.
+    Transformed(TransformKind),
+}
+
+impl TraceEventKind {
+    /// Stable machine-readable tag (run reports, trace files).
+    pub fn tag(self) -> &'static str {
+        match self {
+            TraceEventKind::Sent => "sent",
+            TraceEventKind::Forwarded => "forwarded",
+            TraceEventKind::DeliveredLocal => "delivered",
+            TraceEventKind::Dropped(_) => "dropped",
+            TraceEventKind::Transformed(_) => "transformed",
+        }
+    }
+
+    /// Whether this event put bytes on a wire.
+    pub fn is_wire(self) -> bool {
+        matches!(self, TraceEventKind::Sent | TraceEventKind::Forwarded)
+    }
+}
+
+impl Serialize for TraceEventKind {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("event".to_string(), Value::Str(self.tag().into()))];
+        match self {
+            TraceEventKind::Dropped(r) => fields.push(("reason".into(), r.to_value())),
+            TraceEventKind::Transformed(t) => {
+                fields.push(("kind".into(), Value::Str(t.tag().into())));
+                if let Some(f) = t.format() {
+                    fields.push(("format".into(), Value::Str(f.tag().into())));
+                }
+            }
+            _ => {}
+        }
+        Value::Object(fields)
+    }
 }
 
 /// One observation.
@@ -184,6 +423,31 @@ pub struct TraceEvent {
     pub kind: TraceEventKind,
     /// Parsed view of the packet involved.
     pub packet: PacketSummary,
+    /// Causal identity of the packet this event observes.
+    pub packet_id: PacketId,
+    /// The conversation the packet belongs to.
+    pub flow_id: FlowId,
+    /// The packet this one was derived from, if it was produced by a
+    /// transform (set on every event of the derived packet).
+    pub parent_id: Option<PacketId>,
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let Value::Object(kind_fields) = self.kind.to_value() else {
+            unreachable!("TraceEventKind serializes to an object");
+        };
+        let mut fields = vec![
+            ("t_us".to_string(), Value::U64(self.at.0)),
+            ("node".into(), Value::U64(self.node.0 as u64)),
+            ("packet_id".into(), self.packet_id.to_value()),
+            ("flow_id".into(), self.flow_id.to_value()),
+            ("parent_id".into(), self.parent_id.to_value()),
+        ];
+        fields.extend(kind_fields);
+        fields.push(("packet".into(), self.packet.to_value()));
+        Value::Object(fields)
+    }
 }
 
 /// Collects [`TraceEvent`]s. Owned by the [`crate::world::World`].
@@ -197,6 +461,21 @@ pub struct PacketTrace {
     ///
     /// [`clear`]: PacketTrace::clear
     dropped_events: u64,
+    /// Current id for each header identity seen in the world. A transform
+    /// re-points the child's key at a fresh id, so the same wire identity
+    /// observed after the transform belongs to the new causal node.
+    ids: HashMap<PacketKey, PacketId>,
+    /// Causal bookkeeping per id. Survives ring shedding (it is bounded by
+    /// distinct packets, not events), so parent links outlive the window.
+    meta: HashMap<PacketId, PacketMeta>,
+    /// Conversation registry.
+    flows: HashMap<FlowKey, FlowId>,
+    /// Last packet each logical endpoint contributed to each flow — the
+    /// presumed parent of a retransmission, which arrives with a fresh
+    /// ident and no explicit parent packet.
+    last_in_flow: HashMap<(FlowId, Ipv4Addr), PacketId>,
+    next_packet: u64,
+    next_flow: u64,
 }
 
 /// Where trace records get written. Kept as a struct rather than a trait so
@@ -207,10 +486,8 @@ impl PacketTrace {
     /// An empty, unbounded trace; records only while enabled.
     pub fn new(enabled: bool) -> PacketTrace {
         PacketTrace {
-            events: VecDeque::new(),
             enabled,
-            capacity: None,
-            dropped_events: 0,
+            ..PacketTrace::default()
         }
     }
 
@@ -223,7 +500,7 @@ impl PacketTrace {
             events: VecDeque::with_capacity(capacity),
             enabled: true,
             capacity: Some(capacity),
-            dropped_events: 0,
+            ..PacketTrace::default()
         }
     }
 
@@ -247,6 +524,143 @@ impl PacketTrace {
         if !self.enabled {
             return;
         }
+        let packet = PacketSummary::of(pkt);
+        let (packet_id, flow_id, parent_id) = self.ids_for(&packet);
+        self.push(TraceEvent {
+            at,
+            node,
+            kind,
+            packet,
+            packet_id,
+            flow_id,
+            parent_id,
+        });
+    }
+
+    /// Record that `child` was produced from a parent packet by `kind` at
+    /// `node` — the causal edges of the trace tree. The child gets a fresh
+    /// [`PacketId`] (superseding whatever id its header identity held) and
+    /// inherits the parent's [`FlowId`]. `parent` is `None` only for
+    /// retransmissions, whose parent is inferred as the last packet this
+    /// endpoint contributed to the flow. No-op while disabled.
+    pub fn record_transform(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        kind: TransformKind,
+        parent: Option<&Ipv4Packet>,
+        child: &Ipv4Packet,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let child_summary = PacketSummary::of(child);
+        let parent_id = match parent {
+            Some(p) => {
+                let ps = PacketSummary::of(p);
+                Some(self.ids_for(&ps).0)
+            }
+            None => {
+                let flow = self.flow_for(&child_summary);
+                let (src, _) = child_summary.logical_endpoints();
+                self.last_in_flow.get(&(flow, src)).copied()
+            }
+        };
+        let flow_id = match parent_id.and_then(|p| self.meta.get(&p)) {
+            Some(m) => m.flow,
+            None => self.flow_for(&child_summary),
+        };
+        let packet_id = self.alloc_packet(&child_summary, flow_id, parent_id);
+        self.push(TraceEvent {
+            at,
+            node,
+            kind: TraceEventKind::Transformed(kind),
+            packet: child_summary,
+            packet_id,
+            flow_id,
+            parent_id,
+        });
+    }
+
+    /// The parent of `id` in the causal tree, if it was produced by a
+    /// transform. Answered from bookkeeping that survives ring shedding.
+    pub fn parent_of(&self, id: PacketId) -> Option<PacketId> {
+        self.meta.get(&id).and_then(|m| m.parent)
+    }
+
+    /// The flow `id` belongs to, from bookkeeping that survives shedding.
+    pub fn flow_of(&self, id: PacketId) -> Option<FlowId> {
+        self.meta.get(&id).map(|m| m.flow)
+    }
+
+    /// Wire length of `id` when it was first observed — the pre-transform
+    /// size for packets that later served as a transform's parent, which
+    /// makes `child.wire_len - first_wire_len(parent)` the header bytes a
+    /// layer added.
+    pub fn first_wire_len(&self, id: PacketId) -> Option<usize> {
+        self.meta.get(&id).map(|m| m.wire_len)
+    }
+
+    /// Distinct packets the trace has identified since the last clear.
+    pub fn packets_identified(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Current id and flow for the packet `summary` describes, allocating
+    /// both on first sight.
+    fn ids_for(&mut self, summary: &PacketSummary) -> (PacketId, FlowId, Option<PacketId>) {
+        if let Some(&id) = self.ids.get(&summary.flow_key()) {
+            let m = self.meta[&id];
+            return (id, m.flow, m.parent);
+        }
+        let flow = self.flow_for(summary);
+        let id = self.alloc_packet(summary, flow, None);
+        (id, flow, None)
+    }
+
+    /// The flow for `summary`'s logical conversation, allocated on first
+    /// sight. Direction-normalized so requests and replies share it.
+    fn flow_for(&mut self, summary: &PacketSummary) -> FlowId {
+        let (s, d) = summary.logical_endpoints();
+        let proto = summary.logical_protocol();
+        let key = if s <= d { (s, d, proto) } else { (d, s, proto) };
+        match self.flows.get(&key) {
+            Some(&f) => f,
+            None => {
+                let f = FlowId(self.next_flow);
+                self.next_flow += 1;
+                self.flows.insert(key, f);
+                f
+            }
+        }
+    }
+
+    /// Mint a fresh packet id for `summary`, repointing its header identity
+    /// at the new id and remembering the causal link.
+    fn alloc_packet(
+        &mut self,
+        summary: &PacketSummary,
+        flow: FlowId,
+        parent: Option<PacketId>,
+    ) -> PacketId {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        self.ids.insert(summary.flow_key(), id);
+        self.meta.insert(
+            id,
+            PacketMeta {
+                flow,
+                parent,
+                wire_len: summary.wire_len,
+            },
+        );
+        let (src, _) = summary.logical_endpoints();
+        self.last_in_flow.insert((flow, src), id);
+        id
+    }
+
+    /// Append one event, honouring the ring bound.
+    fn push(&mut self, event: TraceEvent) {
         if let Some(cap) = self.capacity {
             while self.events.len() >= cap {
                 if self.events.pop_front().is_none() {
@@ -259,18 +673,20 @@ impl PacketTrace {
                 return;
             }
         }
-        self.events.push_back(TraceEvent {
-            at,
-            node,
-            kind,
-            packet: PacketSummary::of(pkt),
-        });
+        self.events.push_back(event);
     }
 
-    /// Forget everything recorded so far (including the shed-event count).
+    /// Forget everything recorded so far (including the shed-event count
+    /// and all packet/flow identities).
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped_events = 0;
+        self.ids.clear();
+        self.meta.clear();
+        self.flows.clear();
+        self.last_in_flow.clear();
+        self.next_packet = 0;
+        self.next_flow = 0;
     }
 
     /// Every retained event, in order. (A deque rather than a slice so the
@@ -581,6 +997,56 @@ mod tests {
         t.clear();
         assert_eq!(t.dropped_events(), 0);
         assert_eq!(t.capacity(), Some(3), "clear keeps the bound");
+    }
+
+    #[test]
+    fn ring_buffer_shed_count_is_exact_at_the_boundary() {
+        let mut t = PacketTrace::with_capacity(4);
+        let p = pkt("1.1.1.1", "2.2.2.2");
+        // Exactly at capacity: nothing shed yet.
+        for i in 0..4u64 {
+            t.record(SimTime(i), NodeId(0), TraceEventKind::Sent, &p);
+        }
+        assert_eq!(t.events().len(), 4);
+        assert_eq!(t.dropped_events(), 0, "full ring has shed nothing");
+        // Each event past capacity sheds exactly one.
+        for extra in 1..=3u64 {
+            t.record(SimTime(10 + extra), NodeId(0), TraceEventKind::Sent, &p);
+            assert_eq!(t.events().len(), 4);
+            assert_eq!(t.dropped_events(), extra);
+        }
+    }
+
+    #[test]
+    fn causal_bookkeeping_survives_ring_shedding() {
+        // Capacity 1: by the end only the last event remains, but parent
+        // links and flow membership are answered from the id registry,
+        // which is bounded by packets, not events.
+        let mut t = PacketTrace::with_capacity(1);
+        let inner = pkt("1.1.1.1", "2.2.2.2");
+        let outer =
+            encapsulate(EncapFormat::IpInIp, ip("9.9.9.9"), ip("8.8.8.8"), &inner, 3).unwrap();
+        t.record(SimTime(0), NodeId(0), TraceEventKind::Sent, &inner);
+        let root = t.events().back().unwrap().packet_id;
+        let flow = t.events().back().unwrap().flow_id;
+        t.record_transform(
+            SimTime(1),
+            NodeId(0),
+            TransformKind::Encapsulated(EncapFormat::IpInIp),
+            Some(&inner),
+            &outer,
+        );
+        let child = t.events().back().unwrap().packet_id;
+        assert_eq!(t.events().len(), 1, "ring kept only the transform");
+        assert_eq!(t.dropped_events(), 1);
+        assert_eq!(t.parent_of(child), Some(root), "link outlives the window");
+        assert_eq!(t.flow_of(child), Some(flow));
+        assert_eq!(
+            t.first_wire_len(root),
+            Some(inner.wire_len()),
+            "overhead baseline outlives the window"
+        );
+        assert_eq!(t.packets_identified(), 2);
     }
 
     #[test]

@@ -56,6 +56,35 @@ impl EncapFormat {
             EncapFormat::Gre => IpProtocol::Gre,
         }
     }
+
+    /// The format a tunnel packet with this outer protocol uses, if any.
+    pub fn from_protocol(p: IpProtocol) -> Option<EncapFormat> {
+        match p {
+            IpProtocol::IpInIp => Some(EncapFormat::IpInIp),
+            IpProtocol::MinimalEncap => Some(EncapFormat::Minimal),
+            IpProtocol::Gre => Some(EncapFormat::Gre),
+            _ => None,
+        }
+    }
+
+    /// Stable machine-readable tag (run reports, trace files).
+    pub fn tag(self) -> &'static str {
+        match self {
+            EncapFormat::IpInIp => "ip-in-ip",
+            EncapFormat::Minimal => "minimal",
+            EncapFormat::Gre => "gre",
+        }
+    }
+
+    /// Inverse of [`EncapFormat::tag`].
+    pub fn from_tag(s: &str) -> Option<EncapFormat> {
+        match s {
+            "ip-in-ip" => Some(EncapFormat::IpInIp),
+            "minimal" => Some(EncapFormat::Minimal),
+            "gre" => Some(EncapFormat::Gre),
+            _ => None,
+        }
+    }
 }
 
 /// Minimal forwarding header length with the original-source field present.

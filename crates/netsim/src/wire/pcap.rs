@@ -51,6 +51,102 @@ impl<W: Write> PcapWriter<W> {
     }
 }
 
+/// Writes raw IPv4 packets into a pcapng stream (LINKTYPE_RAW), one
+/// enhanced packet block per packet, each optionally carrying a comment —
+/// which is how [`crate::lifecycle::Lifecycle::write_pcapng`] annotates
+/// every capture record with its causal ids and drop reason.
+pub struct PcapNgWriter<W: Write> {
+    out: W,
+    packets: u64,
+}
+
+/// pcapng block types and option codes used below.
+const SHB_TYPE: u32 = 0x0A0D_0D0A;
+const IDB_TYPE: u32 = 0x0000_0001;
+const EPB_TYPE: u32 = 0x0000_0006;
+const LINKTYPE_RAW: u16 = 101;
+const OPT_COMMENT: u16 = 1;
+const OPT_END: u16 = 0;
+
+impl<W: Write> PcapNgWriter<W> {
+    /// Create a writer and emit the section header and a single raw-IP
+    /// interface description.
+    pub fn new(mut out: W) -> io::Result<PcapNgWriter<W>> {
+        // Section Header Block: magic, version 1.0, unknown section length.
+        let mut shb = Vec::new();
+        shb.extend_from_slice(&0x1A2B_3C4Du32.to_le_bytes());
+        shb.extend_from_slice(&1u16.to_le_bytes());
+        shb.extend_from_slice(&0u16.to_le_bytes());
+        shb.extend_from_slice(&u64::MAX.to_le_bytes());
+        write_block(&mut out, SHB_TYPE, &shb)?;
+        // Interface Description Block: LINKTYPE_RAW, no snap limit. The
+        // default if_tsresol (10^-6) matches SimTime's microseconds.
+        let mut idb = Vec::new();
+        idb.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+        idb.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        idb.extend_from_slice(&0u32.to_le_bytes()); // snaplen: unlimited
+        write_block(&mut out, IDB_TYPE, &idb)?;
+        Ok(PcapNgWriter { out, packets: 0 })
+    }
+
+    /// Append one packet observed at `ts_us` microseconds, with an optional
+    /// per-packet comment.
+    pub fn write_packet(
+        &mut self,
+        ts_us: u64,
+        data: &[u8],
+        comment: Option<&str>,
+    ) -> io::Result<()> {
+        let mut body = Vec::with_capacity(20 + data.len() + 16);
+        body.extend_from_slice(&0u32.to_le_bytes()); // interface 0
+        body.extend_from_slice(&((ts_us >> 32) as u32).to_le_bytes());
+        body.extend_from_slice(&(ts_us as u32).to_le_bytes());
+        body.extend_from_slice(&(data.len() as u32).to_le_bytes()); // captured
+        body.extend_from_slice(&(data.len() as u32).to_le_bytes()); // original
+        body.extend_from_slice(data);
+        pad4(&mut body);
+        if let Some(c) = comment {
+            body.extend_from_slice(&OPT_COMMENT.to_le_bytes());
+            body.extend_from_slice(&(c.len() as u16).to_le_bytes());
+            body.extend_from_slice(c.as_bytes());
+            pad4(&mut body);
+            body.extend_from_slice(&OPT_END.to_le_bytes());
+            body.extend_from_slice(&0u16.to_le_bytes());
+        }
+        write_block(&mut self.out, EPB_TYPE, &body)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Number of packet blocks written so far.
+    pub fn packets_written(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Frame a pcapng block: type, total length, body, total length again
+/// (blocks are length-delimited at both ends so readers can walk backward).
+fn write_block<W: Write>(out: &mut W, block_type: u32, body: &[u8]) -> io::Result<()> {
+    debug_assert_eq!(body.len() % 4, 0, "pcapng block bodies are padded");
+    let total = (body.len() + 12) as u32;
+    out.write_all(&block_type.to_le_bytes())?;
+    out.write_all(&total.to_le_bytes())?;
+    out.write_all(body)?;
+    out.write_all(&total.to_le_bytes())
+}
+
+fn pad4(buf: &mut Vec<u8>) {
+    while !buf.len().is_multiple_of(4) {
+        buf.push(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +172,45 @@ mod tests {
         let incl = u32::from_le_bytes(buf[32..36].try_into().unwrap());
         assert_eq!((sec, usec, incl), (1, 500_042, 60));
         assert_eq!(buf.len(), 24 + (16 + 60) + (16 + 14));
+    }
+
+    #[test]
+    fn pcapng_blocks_are_length_delimited_and_padded() {
+        let mut w = PcapNgWriter::new(Vec::new()).unwrap();
+        w.write_packet(1_500_042, &[0x45; 21], Some("p0 f0"))
+            .unwrap();
+        assert_eq!(w.packets_written(), 1);
+        let buf = w.finish().unwrap();
+
+        // Walk the three blocks (SHB, IDB, EPB) by their length fields and
+        // check each trailing length mirrors the leading one.
+        let mut off = 0;
+        let mut types = Vec::new();
+        while off < buf.len() {
+            let ty = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            let len = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap()) as usize;
+            assert_eq!(len % 4, 0, "block length is 32-bit aligned");
+            let trailer =
+                u32::from_le_bytes(buf[off + len - 4..off + len].try_into().unwrap()) as usize;
+            assert_eq!(trailer, len);
+            types.push(ty);
+            off += len;
+        }
+        assert_eq!(off, buf.len());
+        assert_eq!(types, vec![SHB_TYPE, IDB_TYPE, EPB_TYPE]);
+
+        // The EPB records a 21-byte packet, timestamp split high/low over
+        // the default µs resolution.
+        let epb_off = {
+            let shb_len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+            let idb_len =
+                u32::from_le_bytes(buf[shb_len + 4..shb_len + 8].try_into().unwrap()) as usize;
+            shb_len + idb_len
+        };
+        let ts_high = u32::from_le_bytes(buf[epb_off + 12..epb_off + 16].try_into().unwrap());
+        let ts_low = u32::from_le_bytes(buf[epb_off + 16..epb_off + 20].try_into().unwrap());
+        assert_eq!(((ts_high as u64) << 32) | ts_low as u64, 1_500_042);
+        let captured = u32::from_le_bytes(buf[epb_off + 20..epb_off + 24].try_into().unwrap());
+        assert_eq!(captured, 21);
     }
 }

@@ -15,7 +15,7 @@ use crate::event::{Event, EventKind, EventQueue, IfaceNo, NodeId, Timer, TimerTo
 use crate::link::{FaultOutcome, LinkConfig, LinkStats, Segment, SegmentId};
 use crate::metrics::MetricsRegistry;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{PacketTrace, TraceEventKind};
+use crate::trace::{PacketTrace, TraceEventKind, TransformKind};
 use crate::wire::ethernet::{EthernetFrame, MacAddr};
 use crate::wire::ipv4::{Ipv4Addr, Ipv4Cidr, Ipv4Packet};
 
@@ -164,6 +164,25 @@ impl NetCtx<'_> {
     pub fn trace_packet(&mut self, kind: TraceEventKind, pkt: &Ipv4Packet) {
         self.trace.record(self.now, self.node, kind, pkt);
         self.metrics.record_packet(self.node, kind, pkt);
+    }
+
+    /// Record that `child` was produced from `parent` by `kind` at this
+    /// node — called by every transform site (encapsulation, decapsulation,
+    /// source-route rewrite, agent relay, retransmission) so the trace can
+    /// link the derived packet to its origin. `parent` is `None` only for
+    /// retransmissions, where the trace infers the predecessor from the
+    /// flow. The single choke point for causal edges, as
+    /// [`NetCtx::trace_packet`] is for observations.
+    pub fn trace_transform(
+        &mut self,
+        kind: TransformKind,
+        parent: Option<&Ipv4Packet>,
+        child: &Ipv4Packet,
+    ) {
+        self.trace
+            .record_transform(self.now, self.node, kind, parent, child);
+        self.metrics
+            .record_packet(self.node, TraceEventKind::Transformed(kind), child);
     }
 
     /// The world's metrics registry — how the transport layer records TCP

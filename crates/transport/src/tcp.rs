@@ -1139,6 +1139,40 @@ mod tests {
         assert_eq!(got, data, "data must arrive intact despite 15% loss");
         let st = stats(w.host_mut(a), ch);
         assert!(st.segs_retransmitted > 0, "loss must cause retransmissions");
+
+        // Every retransmission is a causal event in the trace: a fresh
+        // packet id linked back into the same flow as the segment it
+        // re-sends, with the presumed parent recorded.
+        use netsim::{TraceEventKind, TransformKind};
+        let retx: Vec<_> = w
+            .trace
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceEventKind::Transformed(TransformKind::Retransmission)
+                )
+            })
+            .collect();
+        assert!(
+            retx.len() as u64 >= st.segs_retransmitted,
+            "each retransmitted segment leaves a transform event \
+             ({} events, {} retransmissions)",
+            retx.len(),
+            st.segs_retransmitted,
+        );
+        let first_flow = w.trace.events().front().unwrap().flow_id;
+        for e in &retx {
+            assert_eq!(e.flow_id, first_flow, "retransmission stays in the flow");
+            let parent = e.parent_id.expect("retransmission links its parent");
+            assert_ne!(parent, e.packet_id);
+            assert_eq!(
+                w.trace.flow_of(parent),
+                Some(first_flow),
+                "the presumed parent is a packet of the same flow"
+            );
+        }
     }
 
     #[test]

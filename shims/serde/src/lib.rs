@@ -140,6 +140,20 @@ impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
     }
 }
 
+/// Hash maps serialize with their keys sorted (by rendered key string), so
+/// emitted documents are byte-stable run to run regardless of hasher seed
+/// or insertion order.
+impl<K: ToString, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Value::Object(fields)
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
@@ -191,6 +205,22 @@ mod tests {
         assert_eq!(
             vec![1u8, 2].to_value(),
             Value::Array(vec![Value::U64(1), Value::U64(2)])
+        );
+    }
+
+    #[test]
+    fn hash_maps_serialize_with_sorted_keys() {
+        let mut m = std::collections::HashMap::new();
+        m.insert("zeta", 1u32);
+        m.insert("alpha", 2u32);
+        m.insert("mid", 3u32);
+        assert_eq!(
+            m.to_value(),
+            Value::Object(vec![
+                ("alpha".into(), Value::U64(2)),
+                ("mid".into(), Value::U64(3)),
+                ("zeta".into(), Value::U64(1)),
+            ])
         );
     }
 

@@ -411,3 +411,128 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Causal-id propagation across arbitrary tunnel nestings: every
+    /// encapsulation and decapsulation mints a fresh packet id linked to
+    /// its parent, every event along the way shares the original flow id,
+    /// and the parent chain from the final inner packet walks all the way
+    /// back to the first send.
+    #[test]
+    fn ids_propagate_through_random_tunnel_nestings(
+        p in arb_packet(),
+        layers in proptest::collection::vec(
+            (arb_addr(), arb_addr(), 0usize..3),
+            1..4,
+        ),
+    ) {
+        use mobility4x4::netsim::trace::{PacketTrace, TraceEventKind, TransformKind};
+        use mobility4x4::netsim::NodeId;
+
+        const FORMATS: [EncapFormat; 3] =
+            [EncapFormat::IpInIp, EncapFormat::Minimal, EncapFormat::Gre];
+
+        let mut trace = PacketTrace::new(true);
+        trace.record(SimTime(0), NodeId(0), TraceEventKind::Sent, &p);
+        let root = trace.events().back().unwrap().clone();
+
+        // Wrap in every layer, recording the transform an agent would.
+        let mut cur = p.clone();
+        let mut t = 1u64;
+        let mut formats = Vec::new();
+        for (src, dst, fi) in layers {
+            let fmt = FORMATS[fi];
+            let Some(outer) = encapsulate(fmt, src, dst, &cur, t as u16) else {
+                continue;
+            };
+            trace.record_transform(
+                SimTime(t),
+                NodeId(1),
+                TransformKind::Encapsulated(fmt),
+                Some(&cur),
+                &outer,
+            );
+            formats.push(fmt);
+            cur = outer;
+            t += 1;
+        }
+        let depth = formats.len();
+        // A wire event mid-path re-observes the outermost packet: same id.
+        trace.record(SimTime(t), NodeId(2), TraceEventKind::Forwarded, &cur);
+        let outer_event = trace.events().back().unwrap().clone();
+        prop_assert_eq!(
+            trace.events().iter().rev().nth(1).unwrap().packet_id,
+            outer_event.packet_id,
+            "forwarding does not mint a new id"
+        );
+
+        // Unwrap back down, recording each decapsulation.
+        for fmt in formats.into_iter().rev() {
+            t += 1;
+            let inner = decapsulate(&cur).unwrap();
+            trace.record_transform(
+                SimTime(t),
+                NodeId(3),
+                TransformKind::Decapsulated(fmt),
+                Some(&cur),
+                &inner,
+            );
+            cur = inner;
+        }
+        t += 1;
+        trace.record(SimTime(t), NodeId(4), TraceEventKind::DeliveredLocal, &cur);
+        let last = trace.events().back().unwrap().clone();
+
+        // Every event belongs to the root's flow.
+        for e in trace.events() {
+            prop_assert_eq!(e.flow_id, root.flow_id);
+        }
+        // The parent chain from the delivered packet reaches the root in
+        // exactly one step per transform (encaps + decaps).
+        let mut chain = vec![last.packet_id];
+        while let Some(parent) = trace.parent_of(*chain.last().unwrap()) {
+            chain.push(parent);
+            prop_assert!(chain.len() <= 2 * depth + 1, "chain cycles");
+        }
+        prop_assert_eq!(chain.len(), 2 * depth + 1);
+        prop_assert_eq!(*chain.last().unwrap(), root.packet_id);
+        prop_assert_eq!(trace.packets_identified(), 2 * depth + 1);
+    }
+
+    /// An encap→decap round trip in a trace with no intermediate events
+    /// still links child to parent and preserves the flow.
+    #[test]
+    fn encap_decap_round_trip_preserves_flow_and_parent(
+        p in arb_packet(),
+        outer_src in arb_addr(),
+        outer_dst in arb_addr(),
+        fi in 0usize..3,
+    ) {
+        use mobility4x4::netsim::trace::{PacketTrace, TraceEventKind, TransformKind};
+        use mobility4x4::netsim::NodeId;
+
+        let fmt = [EncapFormat::IpInIp, EncapFormat::Minimal, EncapFormat::Gre][fi];
+        let Some(outer) = encapsulate(fmt, outer_src, outer_dst, &p, 9) else {
+            return Ok(());
+        };
+        let mut trace = PacketTrace::new(true);
+        trace.record(SimTime(0), NodeId(0), TraceEventKind::Sent, &p);
+        trace.record_transform(
+            SimTime(1), NodeId(1), TransformKind::Encapsulated(fmt), Some(&p), &outer,
+        );
+        let inner = decapsulate(&outer).unwrap();
+        trace.record_transform(
+            SimTime(2), NodeId(2), TransformKind::Decapsulated(fmt), Some(&outer), &inner,
+        );
+        let events: Vec<_> = trace.events().iter().collect();
+        prop_assert_eq!(events.len(), 3);
+        let (sent, enc, dec) = (events[0], events[1], events[2]);
+        prop_assert_eq!(enc.parent_id, Some(sent.packet_id));
+        prop_assert_eq!(dec.parent_id, Some(enc.packet_id));
+        prop_assert_eq!(enc.flow_id, sent.flow_id);
+        prop_assert_eq!(dec.flow_id, sent.flow_id);
+        prop_assert!(dec.packet_id != sent.packet_id, "transforms mint fresh ids");
+    }
+}
