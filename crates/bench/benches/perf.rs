@@ -1,0 +1,169 @@
+//! Performance benches for the zero-copy forwarding fast path and the
+//! parallel experiment runner (the PR-4 optimisation surface):
+//!
+//! - `forward_fastpath` — in-place TTL/checksum patching of a forwarded
+//!   frame vs the parse → mutate → re-emit slow path it replaces.
+//! - `route_lookup` — linear [`lpm`] scan vs the bucketed, cached
+//!   [`RouteTable`].
+//! - `compute_routes` — full route recomputation on a ~50-node topology.
+//! - `runner` — the experiment thread pool on synthetic CPU-bound jobs,
+//!   serial vs four workers.
+//!
+//! Quick CI snapshots: `CRITERION_QUICK=1 CRITERION_JSON=BENCH_pr4.json
+//! cargo bench -p bench --bench perf`.
+
+use std::hint::black_box;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::experiments::pool_map;
+use netsim::device::router::{lpm, patch_forwarded_frame, RouteEntry};
+use netsim::wire::ethernet::{EtherType, EthernetFrame, MacAddr};
+use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet};
+use netsim::{HostConfig, LinkConfig, RouteTable, RouterConfig, World};
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+/// A UDP-in-IPv4-in-Ethernet frame as a router would receive it.
+fn sample_frame(payload_len: usize) -> Bytes {
+    let pkt = Ipv4Packet::new(
+        ip("10.0.1.10"),
+        ip("10.0.2.20"),
+        IpProtocol::Udp,
+        Bytes::from(vec![0xAB; payload_len]),
+    );
+    EthernetFrame::new(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        EtherType::Ipv4,
+        pkt.emit(),
+    )
+    .emit()
+}
+
+fn bench_forward_fastpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forward_fastpath");
+    let wire = sample_frame(512);
+    let next_hop = MacAddr::from_index(9);
+    let out_mac = MacAddr::from_index(3);
+
+    g.bench_function("reparse_512B", |b| {
+        b.iter(|| {
+            let eth = EthernetFrame::parse(&wire).unwrap();
+            let mut pkt = Ipv4Packet::parse(&eth.payload).unwrap();
+            pkt.ttl -= 1;
+            let mut out = Vec::with_capacity(wire.len());
+            EthernetFrame::emit_header_into(next_hop, out_mac, EtherType::Ipv4, &mut out);
+            pkt.emit_into(&mut out);
+            black_box(out)
+        })
+    });
+    g.bench_function("patch_in_place_512B", |b| {
+        b.iter(|| {
+            let mut out = wire.as_slice().to_vec();
+            patch_forwarded_frame(&mut out, next_hop, out_mac);
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn bench_route_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_lookup");
+    let mut routes = Vec::new();
+    let mut table = RouteTable::new();
+    for i in 0..100u32 {
+        let e = RouteEntry {
+            prefix: Ipv4Cidr::new(Ipv4Addr((10 << 24) | (i << 16)), 16),
+            iface: (i % 4) as usize,
+            gateway: None,
+        };
+        routes.push(e);
+        table.add(e);
+    }
+    // A flow-like mix: sixteen destinations visited over and over.
+    let dsts: Vec<Ipv4Addr> = (0..16u32)
+        .map(|i| Ipv4Addr((10 << 24) | ((i * 6 + 1) << 16) | 0x0505))
+        .collect();
+
+    g.bench_function("linear_lpm_100_routes", |b| {
+        b.iter(|| {
+            for &d in &dsts {
+                black_box(lpm(&routes, d));
+            }
+        })
+    });
+    g.bench_function("route_table_100_routes", |b| {
+        b.iter(|| {
+            for &d in &dsts {
+                black_box(table.lookup(d));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// 24 LANs star-joined by a backbone: 24 routers + 24 hosts = 48 nodes.
+fn grid_world() -> World {
+    let mut w = World::new(7);
+    let backbone = w.add_segment(LinkConfig::wan(5));
+    for i in 0..24 {
+        let lan = w.add_segment(LinkConfig::lan());
+        let r = w.add_router(RouterConfig::named(&format!("r{i}")));
+        w.attach(r, lan, Some(&format!("10.{i}.0.1/24")));
+        w.attach(r, backbone, Some(&format!("192.168.0.{}/24", i + 1)));
+        let h = w.add_host(HostConfig::conventional(&format!("h{i}")));
+        w.attach(h, lan, Some(&format!("10.{i}.0.10/24")));
+    }
+    w
+}
+
+fn bench_compute_routes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compute_routes");
+    g.sample_size(10);
+    let mut w = grid_world();
+    g.bench_function("grid_48_nodes", |b| b.iter(|| w.compute_routes()));
+    g.finish();
+}
+
+/// Eight identical CPU-bound jobs for the pool benches.
+fn runner_jobs() -> Vec<Box<dyn FnOnce() -> u64 + Send>> {
+    (0..8u64)
+        .map(|i| {
+            Box::new(move || {
+                // black_box keeps the loop from const-folding away.
+                let mut acc = black_box(i);
+                for k in 0..200_000u64 {
+                    acc = acc
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(black_box(k));
+                }
+                acc
+            }) as Box<dyn FnOnce() -> u64 + Send>
+        })
+        .collect()
+}
+
+fn bench_runner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runner");
+    g.sample_size(10);
+    g.bench_function("pool_8_jobs_serial", |b| {
+        b.iter(|| black_box(pool_map(runner_jobs(), 1)))
+    });
+    g.bench_function("pool_8_jobs_4_threads", |b| {
+        b.iter(|| black_box(pool_map(runner_jobs(), 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward_fastpath,
+    bench_route_lookup,
+    bench_compute_routes,
+    bench_runner,
+);
+criterion_main!(benches);

@@ -5,11 +5,20 @@
 //! Always writes the structured run report to `target/run-reports/`; with
 //! `--json <path>`, additionally writes the bare tables as JSON at the
 //! given path (the pre-report format kept for downstream tooling).
+//!
+//! `--serial` forces a single-threaded run (identical output, for
+//! debugging or timing comparisons); otherwise the worker count comes
+//! from `NETSIM_BENCH_THREADS` or the number of available cores.
 
 fn main() {
     bench::report::enable();
     let args: Vec<String> = std::env::args().collect();
-    let tables = bench::experiments::run_all();
+    let threads = if args.iter().any(|a| a == "--serial") {
+        1
+    } else {
+        bench::experiments::default_threads()
+    };
+    let tables = bench::experiments::run_all_with(threads);
     for t in &tables {
         println!("{t}");
     }

@@ -17,53 +17,100 @@ pub mod fig05_smart_ch;
 pub mod fig06_formats;
 pub mod fig10_grid;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
 use crate::Table;
+
+/// Fan `jobs` out over at most `threads` worker threads and return the
+/// results **in job order**, regardless of completion order. Workers pull
+/// the next unclaimed job index from a shared counter (work stealing by
+/// index), so long and short jobs mix freely. `threads == 1` degenerates
+/// to a strictly serial in-order run — the `--serial` escape hatch — and
+/// produces identical results by construction, since job order alone
+/// determines the output vector.
+pub fn pool_map<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                if ix >= n {
+                    break;
+                }
+                let job = jobs[ix].lock().take().expect("each job claimed once");
+                let out = job();
+                slots.lock()[ix] = Some(out);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|t| t.expect("every slot filled"))
+        .collect()
+}
+
+/// Worker-thread count for [`run_all`]: the `NETSIM_BENCH_THREADS`
+/// environment variable when set to a positive integer, else the number of
+/// available cores (else 4 when that cannot be determined).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("NETSIM_BENCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
 
 /// Run every experiment at full scale and collect the output tables, in
 /// paper order. Used by `src/bin/all_experiments.rs` to regenerate
 /// `EXPERIMENTS.md`'s measured columns.
 ///
-/// Experiments are independent, deterministic simulations, so they run in
-/// parallel (one crossbeam scope thread each) and are re-assembled in
-/// paper order afterwards.
+/// Experiments are independent, deterministic simulations (each builds its
+/// own seeded `World`), so they fan out over a [`pool_map`] thread pool
+/// and are re-assembled in paper order afterwards — the output is
+/// byte-identical to a serial run.
 pub fn run_all() -> Vec<Table> {
-    /// One experiment: produces its table(s) when called.
-    type Job = fn() -> Vec<Table>;
-    let slots: parking_lot::Mutex<Vec<Option<Vec<Table>>>> =
-        parking_lot::Mutex::new(vec![None; 16]);
-    let jobs: Vec<(usize, Job)> = vec![
-        (0, || vec![fig01_basic::run()]),
-        (1, fig02_filtering::run as Job),
-        (2, || vec![fig03_bitunnel::run()]),
-        (3, || vec![fig04_triangle::run(&[5, 10, 25, 50, 100, 200])]),
-        (4, fig05_smart_ch::run as Job),
-        (5, fig06_formats::run as Job),
-        (6, || {
-            vec![fig10_grid::run().table, fig10_grid::run_filtered().table]
-        }),
-        (7, || vec![exp_probing::run()]),
-        (8, || vec![exp_http::run()]),
-        (9, || vec![exp_handoff::run()]),
-        (10, || vec![exp_multicast::run()]),
-        (11, || vec![exp_feedback::run()]),
-        (12, || vec![exp_foreign_agent::run()]),
-        (13, || vec![exp_encap::run()]),
-        (14, || vec![exp_decap_risk::run()]),
-        (15, || vec![exp_lsr::run()]),
+    run_all_with(default_threads())
+}
+
+/// [`run_all`] with an explicit worker-thread count; `1` runs strictly
+/// serially in paper order.
+pub fn run_all_with(threads: usize) -> Vec<Table> {
+    type Job = Box<dyn FnOnce() -> Vec<Table> + Send>;
+    let jobs: Vec<Job> = vec![
+        Box::new(|| vec![fig01_basic::run()]),
+        Box::new(fig02_filtering::run),
+        Box::new(|| vec![fig03_bitunnel::run()]),
+        Box::new(|| vec![fig04_triangle::run(&[5, 10, 25, 50, 100, 200])]),
+        Box::new(fig05_smart_ch::run),
+        Box::new(fig06_formats::run),
+        Box::new(|| vec![fig10_grid::run().table, fig10_grid::run_filtered().table]),
+        Box::new(|| vec![exp_probing::run()]),
+        Box::new(|| vec![exp_http::run()]),
+        Box::new(|| vec![exp_handoff::run()]),
+        Box::new(|| vec![exp_multicast::run()]),
+        Box::new(|| vec![exp_feedback::run()]),
+        Box::new(|| vec![exp_foreign_agent::run()]),
+        Box::new(|| vec![exp_encap::run()]),
+        Box::new(|| vec![exp_decap_risk::run()]),
+        Box::new(|| vec![exp_lsr::run()]),
     ];
-    crossbeam::scope(|scope| {
-        for (ix, job) in jobs {
-            let slots = &slots;
-            scope.spawn(move |_| {
-                let tables = job();
-                slots.lock()[ix] = Some(tables);
-            });
-        }
-    })
-    .expect("experiment thread panicked");
-    slots
-        .into_inner()
-        .into_iter()
-        .flat_map(|t| t.expect("every slot filled"))
-        .collect()
+    pool_map(jobs, threads).into_iter().flatten().collect()
 }

@@ -27,9 +27,10 @@ use std::collections::{HashMap, HashSet};
 use bytes::Bytes;
 
 use super::nic::{ArpIdentity, IfaceAddr, NextHop, Nic, NicRx};
-use super::router::{lpm, RouteEntry};
+use super::router::RouteEntry;
 use super::{split_token, token, TxMeta, NS_APPS, NS_MOBILITY};
 use crate::event::{IfaceNo, NodeId, TimerToken};
+use crate::route::RouteTable;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, TraceEventKind, TransformKind};
 use crate::wire::encap::{self, EncapFormat};
@@ -232,7 +233,7 @@ pub struct Host {
     id: NodeId,
     pub(crate) nic: Nic,
     config: HostConfig,
-    routes: Vec<RouteEntry>,
+    routes: RouteTable,
     reassembler: Reassembler,
     /// Extra addresses accepted as local and offered to the mobility hook
     /// (the home agent's capture list for registered mobile hosts).
@@ -258,7 +259,7 @@ impl Host {
             id,
             nic: Nic::new(),
             config,
-            routes: Vec::new(),
+            routes: RouteTable::new(),
             reassembler: Reassembler::default(),
             intercept: HashSet::new(),
             proxy_arp: Vec::new(),
@@ -338,7 +339,7 @@ impl Host {
 
     /// Append a route; `gateway: None` means the prefix is on-link.
     pub fn add_route(&mut self, prefix: Ipv4Cidr, iface: IfaceNo, gateway: Option<Ipv4Addr>) {
-        self.routes.push(RouteEntry {
+        self.routes.add(RouteEntry {
             prefix,
             iface,
             gateway,
@@ -352,7 +353,13 @@ impl Host {
 
     /// The current routing table.
     pub fn routes(&self) -> &[RouteEntry] {
-        &self.routes
+        self.routes.entries()
+    }
+
+    /// Drop memoized route lookups (the table is unchanged but the world
+    /// around it moved — an interface was attached or detached).
+    pub(crate) fn invalidate_route_cache(&self) {
+        self.routes.invalidate_cache();
     }
 
     /// The normal (non-override) routing decision for `dst`: the interface
@@ -361,7 +368,9 @@ impl Host {
         if let Some(iface) = self.nic.iface_on_link(dst) {
             return Some((iface, dst));
         }
-        lpm(&self.routes, dst).map(|r| (r.iface, r.gateway.unwrap_or(dst)))
+        self.routes
+            .lookup(dst)
+            .map(|r| (r.iface, r.gateway.unwrap_or(dst)))
     }
 
     /// The source address a conventional host would use toward `dst` (the
@@ -656,7 +665,7 @@ impl Host {
 
     // ---- IP receive path ------------------------------------------------
 
-    pub(crate) fn on_frame(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &[u8]) {
+    pub(crate) fn on_frame(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &Bytes) {
         let mut own = self.nic.addrs();
         // Also answer ARP for intercepted addresses via the proxy list.
         own.extend(self.intercept.iter().copied());

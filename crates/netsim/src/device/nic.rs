@@ -11,7 +11,7 @@ use crate::link::{FaultOutcome, SegmentId};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, TraceEventKind};
 use crate::wire::arp::{ArpOp, ArpPacket};
-use crate::wire::ethernet::{EtherType, EthernetFrame, MacAddr};
+use crate::wire::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 use crate::wire::ipv4::{Ipv4Addr, Ipv4Cidr, Ipv4Packet};
 use crate::world::NetCtx;
 
@@ -238,8 +238,13 @@ impl Nic {
             ctx.trace_packet(TraceEventKind::Dropped(DropReason::NoRoute), pkt);
             return;
         };
-        let frame = EthernetFrame::new(dst_mac, st.mac, EtherType::Ipv4, Bytes::from(pkt.emit()));
-        let outcome = ctx.transmit(seg, iface, &frame);
+        // Serialize header and packet into a single buffer: the one
+        // allocation on the whole send path (the segment, pcap writer and
+        // every delivery event share it through `Bytes`).
+        let mut buf = Vec::with_capacity(ETHERNET_HEADER_LEN + pkt.wire_len());
+        EthernetFrame::emit_header_into(dst_mac, st.mac, EtherType::Ipv4, &mut buf);
+        pkt.emit_into(&mut buf);
+        let outcome = ctx.transmit_raw(seg, iface, Bytes::from(buf));
         match outcome {
             FaultOutcome::Drop => {
                 ctx.trace_packet(TraceEventKind::Dropped(DropReason::LinkFault), pkt);

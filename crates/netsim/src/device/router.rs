@@ -20,11 +20,14 @@ use bytes::Bytes;
 
 use super::nic::{ArpIdentity, NextHop, Nic, NicRx};
 use crate::event::{IfaceNo, NodeId, TimerToken};
+use crate::link::FaultOutcome;
+use crate::route::RouteTable;
 use crate::time::SimDuration;
 use crate::trace::{DropReason, TraceEventKind};
-use crate::wire::ethernet::MacAddr;
+use crate::wire::checksum_valid;
+use crate::wire::ethernet::{EtherType, MacAddr, ETHERNET_HEADER_LEN};
 use crate::wire::icmp::{IcmpMessage, UnreachableCode};
-use crate::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet};
+use crate::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet, IPV4_HEADER_LEN};
 use crate::wire::srcroute;
 use crate::world::NetCtx;
 
@@ -195,13 +198,38 @@ pub struct RouteEntry {
     pub gateway: Option<Ipv4Addr>,
 }
 
-/// Longest-prefix-match over a route list. Ties go to the earliest entry.
+/// Longest-prefix-match over a route list. When the same prefix appears
+/// twice, the latest entry wins. This linear scan is the reference
+/// semantics; the forwarding hot path uses [`RouteTable`](crate::route::RouteTable),
+/// which matches it exactly.
 pub fn lpm(routes: &[RouteEntry], dst: Ipv4Addr) -> Option<RouteEntry> {
     routes
         .iter()
         .filter(|r| r.prefix.contains(dst))
         .max_by_key(|r| r.prefix.prefix_len())
         .copied()
+}
+
+/// Patch an Ethernet + plain-IPv4 frame in place for one forwarding hop:
+/// rewrite both MACs, decrement the TTL, and update the IPv4 header
+/// checksum incrementally (RFC 1624) instead of recomputing it over the
+/// header. Produces bytes identical to a full parse → decrement → re-emit
+/// of the same frame.
+///
+/// The caller must have validated the frame: Ethernet + 20-byte option-free
+/// IPv4 header with a correct checksum, TTL ≥ 2.
+pub fn patch_forwarded_frame(buf: &mut [u8], dst_mac: MacAddr, src_mac: MacAddr) {
+    buf[0..6].copy_from_slice(&dst_mac.0);
+    buf[6..12].copy_from_slice(&src_mac.0);
+    buf[ETHERNET_HEADER_LEN + 8] -= 1; // TTL is the high byte of word 4
+                                       // RFC 1624: HC' = ~(~HC + ~m + m'). The changed word m is ttl<<8|proto
+                                       // and m' = m - 0x0100, so ~m + m' is the constant 0xfeff. One fold
+                                       // suffices (the sum is < 0x20000).
+    let ck = ETHERNET_HEADER_LEN + 10;
+    let hc = u16::from_be_bytes([buf[ck], buf[ck + 1]]);
+    let sum = u32::from(!hc) + 0xfeff;
+    let hc = !(((sum & 0xffff) + (sum >> 16)) as u16);
+    buf[ck..ck + 2].copy_from_slice(&hc.to_be_bytes());
 }
 
 /// Router configuration.
@@ -242,7 +270,7 @@ pub struct Router {
     pub name: String,
     id: NodeId,
     pub(crate) nic: Nic,
-    routes: Vec<RouteEntry>,
+    routes: RouteTable,
     /// The §3.1 packet-filter chain (first match wins).
     pub filters: Vec<FilterRule>,
     icmp_errors: bool,
@@ -253,6 +281,13 @@ pub struct Router {
     ident: u16,
     /// Packets that took the options slow path (observability).
     pub slow_path_packets: u64,
+    /// Whether eligible packets may be forwarded in place on the existing
+    /// wire buffer (TTL decrement + incremental checksum) instead of the
+    /// full parse → mutate → re-emit pipeline. On by default; tests flip
+    /// it off to compare the two paths.
+    fast_forward: bool,
+    /// Packets forwarded via the in-place fast path (observability).
+    pub fast_path_forwards: u64,
 }
 
 impl Router {
@@ -262,7 +297,7 @@ impl Router {
             name: config.name,
             id,
             nic: Nic::new(),
-            routes: Vec::new(),
+            routes: RouteTable::new(),
             filters: Vec::new(),
             icmp_errors: config.icmp_errors,
             option_delay: config.option_delay,
@@ -270,7 +305,16 @@ impl Router {
             next_slow_token: 0,
             ident: 1,
             slow_path_packets: 0,
+            fast_forward: true,
+            fast_path_forwards: 0,
         }
+    }
+
+    /// Enable or disable the in-place forwarding fast path (default on).
+    /// Disabling forces every packet through the reference slow path —
+    /// the equivalence property tests compare the two.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// This node's id in the world.
@@ -295,7 +339,7 @@ impl Router {
 
     /// Append a route; `gateway: None` means the prefix is on-link.
     pub fn add_route(&mut self, prefix: Ipv4Cidr, iface: IfaceNo, gateway: Option<Ipv4Addr>) {
-        self.routes.push(RouteEntry {
+        self.routes.add(RouteEntry {
             prefix,
             iface,
             gateway,
@@ -309,10 +353,19 @@ impl Router {
 
     /// The current routing table.
     pub fn routes(&self) -> &[RouteEntry] {
-        &self.routes
+        self.routes.entries()
     }
 
-    pub(crate) fn on_frame(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &[u8]) {
+    /// Drop memoized route lookups (the table is unchanged but the world
+    /// around it moved — an interface was attached or detached).
+    pub(crate) fn invalidate_route_cache(&self) {
+        self.routes.invalidate_cache();
+    }
+
+    pub(crate) fn on_frame(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &Bytes) {
+        if self.try_fast_forward(ctx, iface, frame) {
+            return;
+        }
         let own = self.nic.addrs();
         let identity = ArpIdentity {
             own: &own,
@@ -341,6 +394,102 @@ impl Router {
         }
 
         self.continue_after_ingress(ctx, iface, pkt);
+    }
+
+    /// The in-place forwarding fast path: when a frame is a plain unicast
+    /// IPv4 packet this router merely relays — no options, no filters, no
+    /// local delivery, no fragmentation, next hop already resolved — the
+    /// router copies the validated wire bytes once, rewrites the MACs,
+    /// decrements the TTL and patches the checksum incrementally
+    /// ([`patch_forwarded_frame`]), skipping the parse → mutate → re-emit
+    /// pipeline entirely. Returns `false` (frame untouched, no events
+    /// recorded) whenever any precondition fails, so the slow path remains
+    /// the single place transforms and errors are handled; the property
+    /// tests assert both paths yield byte-identical wire frames and
+    /// identical traces.
+    fn try_fast_forward(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &Bytes) -> bool {
+        const MIN_FRAME: usize = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+        if !self.fast_forward || !self.filters.is_empty() || frame.len() < MIN_FRAME {
+            return false;
+        }
+        let b = frame.as_slice();
+        // Exactly our unicast MAC: broadcast/multicast and ARP stay slow.
+        if b[0..6] != self.nic.mac(iface).0
+            || u16::from_be_bytes([b[12], b[13]]) != EtherType::Ipv4.number()
+        {
+            return false;
+        }
+        let ip = &b[ETHERNET_HEADER_LEN..];
+        // Plain IPv4, 20-byte header: packets with options take the §4
+        // options slow path (and may carry source routes).
+        if ip[0] != 0x45 || !checksum_valid(&ip[..IPV4_HEADER_LEN], 0) {
+            return false;
+        }
+        let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+        if total_len < IPV4_HEADER_LEN || ip.len() < total_len {
+            return false;
+        }
+        let ttl = ip[8];
+        if ttl <= 1 {
+            return false; // TTL expiry reporting lives on the slow path
+        }
+        let dst = Ipv4Addr::from_octets([ip[16], ip[17], ip[18], ip[19]]);
+        // Addressed to the router itself → local delivery, slow path.
+        for i in 0..self.nic.iface_count() {
+            if self.nic.addr(i).is_some_and(|a| a.addr == dst) {
+                return false;
+            }
+        }
+        let Some(route) = self.routes.lookup(dst) else {
+            return false; // no-route ICMP is slow-path work
+        };
+        let Some(seg) = self.nic.segment(route.iface) else {
+            return false;
+        };
+        if total_len > self.nic.mtu(route.iface) {
+            return false; // would fragment (or need ICMP frag-needed)
+        }
+        let next_hop = route.gateway.unwrap_or(dst);
+        let Some(dst_mac) = self.nic.arp_lookup(route.iface, next_hop, ctx.now) else {
+            return false; // ARP resolution queues on the slow path
+        };
+
+        // Eligible: one copy of the validated region (receivers share the
+        // inbound buffer, so the patch needs its own), then patch in place.
+        // Trailing link padding is truncated, exactly as a re-emit would.
+        let mut out = b[..ETHERNET_HEADER_LEN + total_len].to_vec();
+        patch_forwarded_frame(&mut out, dst_mac, self.nic.mac(route.iface));
+        let outcome = ctx.transmit_raw(seg, route.iface, Bytes::from(out));
+        self.fast_path_forwards += 1;
+
+        // Trace exactly what the slow path would have: the forwarded packet
+        // with decremented TTL, payload sliced zero-copy from the frame.
+        let flags_frag = u16::from_be_bytes([ip[6], ip[7]]);
+        let pkt = Ipv4Packet {
+            tos: ip[1],
+            ident: u16::from_be_bytes([ip[4], ip[5]]),
+            dont_fragment: flags_frag & 0x4000 != 0,
+            more_fragments: flags_frag & 0x2000 != 0,
+            frag_offset: flags_frag & 0x1fff,
+            ttl: ttl - 1,
+            protocol: IpProtocol::from_number(ip[9]),
+            src: Ipv4Addr::from_octets([ip[12], ip[13], ip[14], ip[15]]),
+            dst,
+            options: Bytes::new(),
+            payload: frame.slice(MIN_FRAME..ETHERNET_HEADER_LEN + total_len),
+        };
+        match outcome {
+            FaultOutcome::Drop => {
+                ctx.trace_packet(TraceEventKind::Dropped(DropReason::LinkFault), &pkt);
+            }
+            FaultOutcome::Corrupt => {
+                ctx.trace_packet(TraceEventKind::Dropped(DropReason::Malformed), &pkt);
+            }
+            FaultOutcome::Deliver | FaultOutcome::Duplicate => {
+                ctx.trace_packet(TraceEventKind::Forwarded, &pkt);
+            }
+        }
+        true
     }
 
     fn continue_after_ingress(&mut self, ctx: &mut NetCtx, iface: IfaceNo, mut pkt: Ipv4Packet) {
@@ -399,7 +548,7 @@ impl Router {
         pkt.ttl -= 1;
 
         // Route lookup.
-        let Some(route) = lpm(&self.routes, pkt.dst) else {
+        let Some(route) = self.routes.lookup(pkt.dst) else {
             ctx.trace_packet(TraceEventKind::Dropped(DropReason::NoRoute), &pkt);
             self.icmp_error(ctx, &pkt, IcmpErr::Unreachable(UnreachableCode::Net));
             return;
@@ -432,7 +581,7 @@ impl Router {
     /// Send a packet originated by the router itself (ICMP errors, echo
     /// replies). Self-originated traffic skips the filters.
     fn originate(&mut self, ctx: &mut NetCtx, pkt: Ipv4Packet) {
-        let Some(route) = lpm(&self.routes, pkt.dst) else {
+        let Some(route) = self.routes.lookup(pkt.dst) else {
             ctx.trace_packet(TraceEventKind::Dropped(DropReason::NoRoute), &pkt);
             return;
         };
@@ -454,7 +603,7 @@ impl Router {
             return;
         };
         let wire = offending.emit();
-        let quote = Bytes::copy_from_slice(&wire[..wire.len().min(28)]);
+        let quote = wire.slice(..wire.len().min(28));
         let msg = match err {
             IcmpErr::TimeExceeded => IcmpMessage::TimeExceeded { original: quote },
             IcmpErr::Unreachable(code) => IcmpMessage::DestUnreachable {

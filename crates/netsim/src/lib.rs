@@ -33,6 +33,7 @@ pub mod event;
 pub mod lifecycle;
 pub mod link;
 pub mod metrics;
+pub mod route;
 pub mod time;
 pub mod trace;
 pub mod wire;
@@ -48,6 +49,7 @@ pub use event::{Event, EventQueue, IfaceNo, NodeId, Timer, TimerToken};
 pub use lifecycle::{FlowSummary, Lifecycle, PacketLifecycle, PacketOutcome};
 pub use link::{FaultInjector, LinkConfig, LinkId, SegmentId};
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics, SegmentMetrics};
+pub use route::RouteTable;
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     DropReason, FlowId, PacketId, PacketTrace, TraceEvent, TraceEventKind, TransformKind,

@@ -628,7 +628,7 @@ fn hop_start(p: &PacketLifecycle, h: &Hop) -> Option<u64> {
 
 /// Rebuild wire bytes approximating the recorded packet: the real header
 /// fields from the summary over a zeroed payload of the recorded length.
-fn synthesize(s: &PacketSummary) -> Vec<u8> {
+fn synthesize(s: &PacketSummary) -> Bytes {
     let payload_len = s.wire_len.saturating_sub(20);
     let mut p = Ipv4Packet::new(
         s.src,

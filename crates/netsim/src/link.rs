@@ -60,19 +60,40 @@ pub enum FaultOutcome {
 impl FaultInjector {
     /// Decide this frame's fate, possibly corrupting it in place.
     pub fn apply<R: Rng>(&self, frame: &mut [u8], rng: &mut R) -> FaultOutcome {
-        if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob) {
-            return FaultOutcome::Drop;
-        }
-        if self.corrupt_prob > 0.0 && rng.gen_bool(self.corrupt_prob) && !frame.is_empty() {
-            let i = rng.gen_range(0..frame.len());
-            let bit = 1u8 << rng.gen_range(0..8);
+        let (outcome, flip) = self.decide_impl(frame.len(), rng);
+        if let Some((i, bit)) = flip {
             frame[i] ^= bit;
-            return FaultOutcome::Corrupt;
+        }
+        outcome
+    }
+
+    /// Decide a frame's fate from its length alone, without touching the
+    /// bytes. Draws from `rng` in exactly the same order as [`apply`], so
+    /// the two are interchangeable on the same RNG stream. The transmit
+    /// path uses this: corrupted frames are never delivered upward (the
+    /// receiving FCS check drops them), so mutating the buffer — and the
+    /// copy that made it mutable — is avoidable work.
+    pub fn decide<R: Rng>(&self, frame_len: usize, rng: &mut R) -> FaultOutcome {
+        self.decide_impl(frame_len, rng).0
+    }
+
+    fn decide_impl<R: Rng>(
+        &self,
+        frame_len: usize,
+        rng: &mut R,
+    ) -> (FaultOutcome, Option<(usize, u8)>) {
+        if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob) {
+            return (FaultOutcome::Drop, None);
+        }
+        if self.corrupt_prob > 0.0 && rng.gen_bool(self.corrupt_prob) && frame_len > 0 {
+            let i = rng.gen_range(0..frame_len);
+            let bit = 1u8 << rng.gen_range(0..8);
+            return (FaultOutcome::Corrupt, Some((i, bit)));
         }
         if self.duplicate_prob > 0.0 && rng.gen_bool(self.duplicate_prob) {
-            return FaultOutcome::Duplicate;
+            return (FaultOutcome::Duplicate, None);
         }
-        FaultOutcome::Deliver
+        (FaultOutcome::Deliver, None)
     }
 }
 
@@ -218,18 +239,20 @@ impl Segment {
             return FaultOutcome::Drop;
         }
 
-        let mut bytes = frame.to_vec();
-        let outcome = self.config.fault.apply(&mut bytes, rng);
+        // Corrupt frames are never delivered (the FCS check below discards
+        // them), so the fault decision only needs the length — the frame
+        // buffer stays shared and untouched, no copy.
+        let outcome = self.config.fault.decide(frame.len(), rng);
         if outcome == FaultOutcome::Drop {
             self.stats.fault_drops += 1;
             return outcome;
         }
 
         self.stats.frames += 1;
-        self.stats.bytes += bytes.len() as u64;
+        self.stats.bytes += frame.len() as u64;
 
         let tx_start = now.max(self.next_free);
-        let tx_end = tx_start + self.config.serialize_time(bytes.len());
+        let tx_end = tx_start + self.config.serialize_time(frame.len());
         self.next_free = tx_end;
         let arrival = tx_end + self.config.latency;
 
@@ -241,7 +264,6 @@ impl Segment {
             return outcome;
         }
 
-        let frame = Bytes::from(bytes);
         let copies = if outcome == FaultOutcome::Duplicate {
             2
         } else {

@@ -1,0 +1,238 @@
+//! Longest-prefix-match route table with a per-destination lookup cache.
+//!
+//! Replaces the linear scan over `Vec<RouteEntry>` on the forwarding hot
+//! path. Routes are bucketed by prefix length (a 33-level hash-on-network
+//! structure — the classic "binary search on prefix lengths" layout
+//! simplified to a descending scan, which is faster than tries at the
+//! table sizes the simulator sees); a lookup probes populated lengths
+//! from /32 down and stops at the first hit, which is by construction the
+//! longest match. A small per-destination cache short-circuits repeat
+//! lookups — exactly the locality a packet flow exhibits — and is
+//! invalidated whenever the table changes or an interface moves
+//! (reattach), since either can change the right answer.
+//!
+//! Semantics match [`lpm`](crate::device::router::lpm) exactly, including
+//! the tie rule: when the same prefix is inserted twice, the
+//! later entry wins (as `max_by_key` returns the last maximum).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::device::router::{lpm, RouteEntry};
+use crate::wire::ipv4::{Ipv4Addr, Ipv4Cidr};
+
+/// Cache entries beyond this are assumed to indicate an unusual workload
+/// (address sweeps); the cache resets rather than growing unboundedly.
+const CACHE_CAP: usize = 1024;
+
+/// A route table offering O(#prefix-lengths) longest-prefix-match lookups
+/// and an O(1) hit path for repeated destinations.
+///
+/// Drop-in replacement for the `Vec<RouteEntry>` + [`lpm`] pair used by
+/// routers and hosts: [`RouteTable::entries`] still exposes the routes in
+/// insertion order for display and tests.
+#[derive(Debug, Default)]
+pub struct RouteTable {
+    /// All routes in insertion order (what `routes()` accessors expose).
+    entries: Vec<RouteEntry>,
+    /// `buckets[p]` maps a network address (already masked to `p` bits) to
+    /// the index in `entries` of the winning route for that exact prefix.
+    buckets: Vec<HashMap<u32, usize>>,
+    /// Bit `p` set ⇔ `buckets[p]` is non-empty; lets lookups skip empty
+    /// prefix lengths without touching the hash maps.
+    populated: u64,
+    /// dst → route memo. Interior mutability so `&self` lookups (hosts
+    /// route from `&self` contexts) can still fill it; a `World` lives on
+    /// one thread so `RefCell` suffices.
+    cache: RefCell<HashMap<u32, Option<RouteEntry>>>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> RouteTable {
+        RouteTable {
+            entries: Vec::new(),
+            buckets: (0..=32).map(|_| HashMap::new()).collect(),
+            populated: 0,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Append a route. Later insertions of the same prefix shadow earlier
+    /// ones, matching [`lpm`] over the equivalent vector.
+    pub fn add(&mut self, entry: RouteEntry) {
+        let ix = self.entries.len();
+        self.entries.push(entry);
+        let p = usize::from(entry.prefix.prefix_len());
+        self.buckets[p].insert(entry.prefix.network().0, ix);
+        self.populated |= 1u64 << p;
+        self.cache.borrow_mut().clear();
+    }
+
+    /// Remove every route.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.populated = 0;
+        self.cache.borrow_mut().clear();
+    }
+
+    /// The routes, in insertion order.
+    pub fn entries(&self) -> &[RouteEntry] {
+        &self.entries
+    }
+
+    /// True when no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Longest-prefix match for `dst`, consulting the cache first.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<RouteEntry> {
+        if let Some(hit) = self.cache.borrow().get(&dst.0) {
+            return *hit;
+        }
+        let found = self.lookup_uncached(dst);
+        let mut cache = self.cache.borrow_mut();
+        if cache.len() >= CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(dst.0, found);
+        found
+    }
+
+    /// Longest-prefix match for `dst` against the buckets alone.
+    fn lookup_uncached(&self, dst: Ipv4Addr) -> Option<RouteEntry> {
+        let mut lens = self.populated;
+        while lens != 0 {
+            // Highest populated prefix length first: longest match wins.
+            let p = 63 - lens.leading_zeros() as u8;
+            let network = Ipv4Cidr::new(dst, p).network().0;
+            if let Some(&ix) = self.buckets[usize::from(p)].get(&network) {
+                return Some(self.entries[ix]);
+            }
+            lens &= !(1u64 << p);
+        }
+        None
+    }
+
+    /// Drop all memoized lookups. Called when the world around the table
+    /// changes without the table itself changing — e.g. an interface is
+    /// detached or reattached, which can invalidate which routes are
+    /// usable even though the entries are identical.
+    pub fn invalidate_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
+}
+
+impl Clone for RouteTable {
+    /// Clones rebuild an empty cache: memos are per-instance.
+    fn clone(&self) -> RouteTable {
+        let mut t = RouteTable::new();
+        for &e in &self.entries {
+            t.add(e);
+        }
+        t
+    }
+}
+
+/// Equality is over the installed routes (caches are memos, not state).
+impl PartialEq for RouteTable {
+    fn eq(&self, other: &RouteTable) -> bool {
+        self.entries == other.entries
+    }
+}
+
+/// Verifies [`RouteTable::lookup`] against the reference linear [`lpm`].
+/// Exposed (hidden) for the parity property test and benches.
+#[doc(hidden)]
+pub fn lpm_reference(routes: &[RouteEntry], dst: Ipv4Addr) -> Option<RouteEntry> {
+    lpm(routes, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn entry(cidr: &str, iface: usize) -> RouteEntry {
+        let (a, p) = cidr.split_once('/').unwrap();
+        RouteEntry {
+            prefix: Ipv4Cidr::new(ip(a), p.parse().unwrap()),
+            iface,
+            gateway: None,
+        }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = RouteTable::new();
+        t.add(entry("0.0.0.0/0", 0));
+        t.add(entry("10.0.0.0/8", 1));
+        t.add(entry("10.1.0.0/16", 2));
+        t.add(entry("10.1.2.0/24", 3));
+        assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().iface, 3);
+        assert_eq!(t.lookup(ip("10.1.9.9")).unwrap().iface, 2);
+        assert_eq!(t.lookup(ip("10.9.9.9")).unwrap().iface, 1);
+        assert_eq!(t.lookup(ip("8.8.8.8")).unwrap().iface, 0);
+    }
+
+    #[test]
+    fn duplicate_prefix_last_wins_like_lpm() {
+        let mut t = RouteTable::new();
+        let routes = [entry("10.0.0.0/8", 1), entry("10.0.0.0/8", 2)];
+        for &r in &routes {
+            t.add(r);
+        }
+        let dst = ip("10.5.5.5");
+        assert_eq!(t.lookup(dst), lpm(&routes, dst));
+        assert_eq!(t.lookup(dst).unwrap().iface, 2);
+    }
+
+    #[test]
+    fn cache_serves_and_invalidates() {
+        let mut t = RouteTable::new();
+        t.add(entry("10.0.0.0/8", 1));
+        let dst = ip("10.1.1.1");
+        assert_eq!(t.lookup(dst).unwrap().iface, 1);
+        // Cached now; adding a more specific route must invalidate it.
+        t.add(entry("10.1.0.0/16", 2));
+        assert_eq!(t.lookup(dst).unwrap().iface, 2);
+        t.clear();
+        assert_eq!(t.lookup(dst), None);
+    }
+
+    #[test]
+    fn no_match_is_cached_too() {
+        let mut t = RouteTable::new();
+        t.add(entry("10.0.0.0/8", 1));
+        assert_eq!(t.lookup(ip("192.168.1.1")), None);
+        assert_eq!(t.lookup(ip("192.168.1.1")), None);
+        t.invalidate_cache();
+        assert_eq!(t.lookup(ip("192.168.1.1")), None);
+    }
+
+    #[test]
+    fn matches_linear_lpm_on_a_spread_of_destinations() {
+        let mut routes = Vec::new();
+        let mut t = RouteTable::new();
+        for i in 0..64u32 {
+            let e = RouteEntry {
+                prefix: Ipv4Cidr::new(Ipv4Addr(i * 0x0101_0101), (i % 33) as u8),
+                iface: i as usize,
+                gateway: None,
+            };
+            routes.push(e);
+            t.add(e);
+        }
+        for i in 0..512u32 {
+            let dst = Ipv4Addr(i.wrapping_mul(0x9e37_79b9));
+            assert_eq!(t.lookup(dst), lpm(&routes, dst), "dst {dst}");
+        }
+    }
+}

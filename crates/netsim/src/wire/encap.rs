@@ -108,12 +108,7 @@ pub fn encapsulate(
 ) -> Option<Ipv4Packet> {
     match format {
         EncapFormat::IpInIp => {
-            let mut outer = Ipv4Packet::new(
-                outer_src,
-                outer_dst,
-                IpProtocol::IpInIp,
-                Bytes::from(inner.emit()),
-            );
+            let mut outer = Ipv4Packet::new(outer_src, outer_dst, IpProtocol::IpInIp, inner.emit());
             outer.ident = ident;
             outer.ttl = inner.ttl;
             outer.tos = inner.tos;

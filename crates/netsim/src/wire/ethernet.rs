@@ -122,14 +122,31 @@ impl EthernetFrame {
         ETHERNET_HEADER_LEN + self.payload.len()
     }
 
-    /// Serialize to wire bytes.
-    pub fn emit(&self) -> Vec<u8> {
+    /// Serialize to wire bytes. Returns `Bytes` so the transmit path can
+    /// share the single emitted buffer (fault injection, pcap, delivery)
+    /// without copying.
+    pub fn emit(&self) -> Bytes {
         let mut buf = Vec::with_capacity(self.wire_len());
+        self.emit_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Serialize to wire bytes, appending to `buf`.
+    pub fn emit_into(&self, buf: &mut Vec<u8>) {
+        buf.reserve(self.wire_len());
         buf.extend_from_slice(&self.dst.0);
         buf.extend_from_slice(&self.src.0);
         buf.extend_from_slice(&self.ethertype.number().to_be_bytes());
         buf.extend_from_slice(&self.payload);
-        buf
+    }
+
+    /// Serialize just the 14-byte header, appending to `buf`; the caller
+    /// then appends the payload itself (used to build a whole frame in one
+    /// allocation without materializing the payload `Bytes` first).
+    pub fn emit_header_into(dst: MacAddr, src: MacAddr, ethertype: EtherType, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&dst.0);
+        buf.extend_from_slice(&src.0);
+        buf.extend_from_slice(&ethertype.number().to_be_bytes());
     }
 
     /// Parse from wire bytes.

@@ -335,12 +335,25 @@ impl Ipv4Packet {
     }
 
     /// Serialize to wire bytes, computing total length and header checksum.
-    pub fn emit(&self) -> Vec<u8> {
+    ///
+    /// Returns `Bytes` so the send path can slice and share the buffer
+    /// without further copies; use [`Ipv4Packet::emit_into`] to serialize
+    /// into an existing buffer (e.g. right after an Ethernet header).
+    pub fn emit(&self) -> Bytes {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.emit_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Serialize to wire bytes, appending to `buf` (which may already hold
+    /// link-layer framing).
+    pub fn emit_into(&self, buf: &mut Vec<u8>) {
         let total_len = self.wire_len();
         assert!(total_len <= 65_535, "IPv4 packet too large: {total_len}");
         debug_assert_eq!(self.options.len() % 4, 0, "options must be padded");
         let ihl = self.header_len() / 4;
-        let mut buf = Vec::with_capacity(total_len);
+        let base = buf.len();
+        buf.reserve(total_len);
         buf.push(0x40 | ihl as u8); // version 4 + IHL
         buf.push(self.tos);
         buf.extend_from_slice(&(total_len as u16).to_be_bytes());
@@ -360,10 +373,9 @@ impl Ipv4Packet {
         buf.extend_from_slice(&self.dst.octets());
         buf.extend_from_slice(&self.options);
         let header_len = self.header_len();
-        let ck = internet_checksum(&buf[..header_len], 0);
-        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+        let ck = internet_checksum(&buf[base..base + header_len], 0);
+        buf[base + 10..base + 12].copy_from_slice(&ck.to_be_bytes());
         buf.extend_from_slice(&self.payload);
-        buf
     }
 
     /// Parse wire bytes, verifying version, length and header checksum.
@@ -654,7 +666,7 @@ mod tests {
     #[test]
     fn parse_rejects_corruption() {
         let p = sample_packet(40);
-        let mut wire = p.emit();
+        let mut wire = p.emit().to_vec();
         wire[8] ^= 0xff; // flip TTL → checksum mismatch
         assert_eq!(
             Ipv4Packet::parse(&wire),
@@ -671,7 +683,7 @@ mod tests {
             Err(ParseError::Truncated { .. })
         ));
         let p = sample_packet(10);
-        let mut wire = p.emit();
+        let mut wire = p.emit().to_vec();
         wire[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Packet::parse(&wire),
@@ -686,7 +698,7 @@ mod tests {
     fn parse_ignores_trailing_link_padding() {
         // Ethernet pads short frames; the IP total-length field governs.
         let p = sample_packet(8);
-        let mut wire = p.emit();
+        let mut wire = p.emit().to_vec();
         wire.extend_from_slice(&[0u8; 18]);
         let q = Ipv4Packet::parse(&wire).unwrap();
         assert_eq!(q.payload.len(), 8);
@@ -732,7 +744,7 @@ mod tests {
             addr("10.0.0.1"),
             addr("10.0.0.2"),
             IpProtocol::IpInIp,
-            Bytes::from(inner.emit()),
+            inner.emit(),
         );
         assert_eq!(outer.fragment(1500).unwrap().len(), 2);
     }

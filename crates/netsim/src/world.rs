@@ -1,7 +1,7 @@
 //! The simulation world: nodes, segments, the event loop, and automatic
 //! shortest-path route computation for static topologies.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashSet};
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -29,7 +29,7 @@ pub enum Node {
 }
 
 impl Node {
-    fn on_frame(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &[u8]) {
+    fn on_frame(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &Bytes) {
         match self {
             Node::Host(h) => h.on_frame(ctx, iface, frame),
             Node::Router(r) => r.on_frame(ctx, iface, frame),
@@ -59,6 +59,16 @@ impl Node {
 
     fn is_router(&self) -> bool {
         matches!(self, Node::Router(_))
+    }
+
+    /// Drop the node's memoized route lookups — called whenever an
+    /// interface moves between segments, since the usable routes change
+    /// even though the table entries do not.
+    fn invalidate_route_cache(&self) {
+        match self {
+            Node::Host(h) => h.invalidate_route_cache(),
+            Node::Router(r) => r.invalidate_route_cache(),
+        }
     }
 
     fn add_route(&mut self, prefix: Ipv4Cidr, iface: IfaceNo, gateway: Option<Ipv4Addr>) {
@@ -107,19 +117,26 @@ impl NetCtx<'_> {
         iface: IfaceNo,
         frame: &EthernetFrame,
     ) -> FaultOutcome {
-        let bytes = frame.emit();
+        self.transmit_raw(seg, iface, frame.emit())
+    }
+
+    /// Put already-serialized wire bytes on a segment from this node's
+    /// `iface`. The single emitted buffer is shared — `Bytes` clones are
+    /// O(1) — between the segment's delivery events and the pcap capture;
+    /// nothing on this path copies the frame.
+    pub fn transmit_raw(&mut self, seg: SegmentId, iface: IfaceNo, frame: Bytes) -> FaultOutcome {
         // Snapshot link-metric inputs before the transmit mutates the
         // segment's committed-until time.
         let (queue_wait, serialize) = if self.metrics.enabled() {
             let s = &self.segments[seg.0];
-            (s.backlog(self.now), s.config.serialize_time(bytes.len()))
+            (s.backlog(self.now), s.config.serialize_time(frame.len()))
         } else {
             (SimDuration::ZERO, SimDuration::ZERO)
         };
-        let wire_len = bytes.len();
+        let wire_len = frame.len();
         let outcome = self.segments[seg.0].transmit(
             (self.node, iface),
-            Bytes::from(bytes.clone()),
+            frame.clone(),
             self.now,
             self.queue,
             self.rng,
@@ -131,7 +148,7 @@ impl NetCtx<'_> {
                 // Capture what was put on the wire (post fault injection is
                 // not observable here; the sender's view is what tcpdump on
                 // the sender would show).
-                let _ = pcap.write_frame(self.now, &bytes);
+                let _ = pcap.write_frame(self.now, &frame);
             }
         }
         outcome
@@ -306,6 +323,7 @@ impl World {
         if let Some(a) = addr {
             n.nic_mut().set_addr(iface, Some(IfaceAddr::parse(a)));
         }
+        n.invalidate_route_cache();
         self.segments[seg.0].attach(node, iface);
         iface
     }
@@ -317,6 +335,7 @@ impl World {
         let mtu = self.segments[seg.0].config.mtu;
         let n = self.nodes[node.0].as_mut().expect("node exists");
         n.nic_mut().set_segment(iface, Some(seg), mtu);
+        n.invalidate_route_cache();
         self.segments[seg.0].attach(node, iface);
     }
 
@@ -326,6 +345,7 @@ impl World {
         if let Some(old) = n.nic().segment(iface) {
             self.segments[old.0].detach(node, iface);
             n.nic_mut().set_segment(iface, None, 1500);
+            n.invalidate_route_cache();
         }
     }
 
@@ -504,13 +524,18 @@ impl World {
     /// replacing existing route tables. Only routers forward, so paths only
     /// transit router nodes. Call once after building a static topology.
     pub fn compute_routes(&mut self) {
-        // Which prefixes live on which segment.
+        let seg_count = self.segments.len();
+
+        // Which prefixes live on which segment. Order preserved (it decides
+        // route-table order); the HashSet makes dedup O(1) per interface
+        // instead of a linear rescan of everything seen so far.
         let mut prefix_home: Vec<(Ipv4Cidr, SegmentId)> = Vec::new();
+        let mut prefix_seen: HashSet<(Ipv4Cidr, SegmentId)> = HashSet::new();
         for (_, node) in self.nodes_iter() {
             let nic = node.nic();
             for i in 0..nic.iface_count() {
                 if let (Some(a), Some(seg)) = (nic.addr(i), nic.segment(i)) {
-                    if !prefix_home.contains(&(a.prefix, seg)) {
+                    if prefix_seen.insert((a.prefix, seg)) {
                         prefix_home.push((a.prefix, seg));
                     }
                 }
@@ -519,7 +544,8 @@ impl World {
 
         // Router adjacency: router R with ifaces on segments A and B links
         // A↔B. Also remember each router's address on each segment.
-        let mut seg_routers: HashMap<usize, Vec<(NodeId, IfaceNo, Ipv4Addr)>> = HashMap::new();
+        // Indexed by segment number directly — segment ids are dense.
+        let mut seg_routers: Vec<Vec<(NodeId, IfaceNo, Ipv4Addr)>> = vec![Vec::new(); seg_count];
         for (id, node) in self.nodes_iter() {
             if !node.is_router() {
                 continue;
@@ -527,7 +553,7 @@ impl World {
             let nic = node.nic();
             for i in 0..nic.iface_count() {
                 if let (Some(a), Some(seg)) = (nic.addr(i), nic.segment(i)) {
-                    seg_routers.entry(seg.0).or_default().push((id, i, a.addr));
+                    seg_routers[seg.0].push((id, i, a.addr));
                 }
             }
         }
@@ -536,6 +562,12 @@ impl World {
             .filter(|i| self.nodes[*i].is_some())
             .map(NodeId)
             .collect();
+
+        // Dijkstra scratch arrays, allocated once and reset per node (flat
+        // vectors indexed by segment instead of per-node HashMaps).
+        let mut dist: Vec<Option<u64>> = vec![None; seg_count];
+        let mut pred: Vec<Option<(Ipv4Addr, usize)>> = vec![None; seg_count];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
 
         for me in node_ids {
             let (starts, my_segs): (Vec<(usize, IfaceNo)>, Vec<usize>) = {
@@ -558,25 +590,22 @@ impl World {
 
             // Dijkstra over segments. dist[s], pred[s] = (via_router_addr,
             // prev_segment).
-            let mut dist: HashMap<usize, u64> = HashMap::new();
-            let mut pred: HashMap<usize, (Ipv4Addr, usize)> = HashMap::new();
-            let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+            dist.fill(None);
+            pred.fill(None);
+            heap.clear();
             for &(s, _) in &starts {
                 let w = self.segments[s].config.latency.as_micros() + 1;
-                if dist.get(&s).is_none_or(|&d| w < d) {
-                    dist.insert(s, w);
+                if dist[s].is_none_or(|d| w < d) {
+                    dist[s] = Some(w);
                     heap.push(std::cmp::Reverse((w, s)));
                 }
             }
             while let Some(std::cmp::Reverse((d, s))) = heap.pop() {
-                if dist.get(&s) != Some(&d) {
+                if dist[s] != Some(d) {
                     continue;
                 }
                 // Expand via every router on segment s.
-                let Some(routers) = seg_routers.get(&s) else {
-                    continue;
-                };
-                for &(rid, _, raddr) in routers {
+                for &(rid, _, raddr) in &seg_routers[s] {
                     if rid == me {
                         continue;
                     }
@@ -589,9 +618,9 @@ impl World {
                             continue;
                         }
                         let w = d + self.segments[next.0].config.latency.as_micros() + 1;
-                        if dist.get(&next.0).is_none_or(|&cur| w < cur) {
-                            dist.insert(next.0, w);
-                            pred.insert(next.0, (raddr, s));
+                        if dist[next.0].is_none_or(|cur| w < cur) {
+                            dist[next.0] = Some(w);
+                            pred[next.0] = Some((raddr, s));
                             heap.push(std::cmp::Reverse((w, next.0)));
                         }
                     }
@@ -609,7 +638,7 @@ impl World {
                     new_routes.push((prefix, iface, None));
                     continue;
                 }
-                if !dist.contains_key(&home_seg.0) {
+                if dist[home_seg.0].is_none() {
                     continue; // unreachable
                 }
                 // Walk predecessors back to one of our start segments to
@@ -617,7 +646,7 @@ impl World {
                 let mut seg = home_seg.0;
                 let gateway;
                 loop {
-                    let &(raddr, prev) = pred.get(&seg).expect("pred chain");
+                    let (raddr, prev) = pred[seg].expect("pred chain");
                     if my_segs.contains(&prev) {
                         gateway = (raddr, prev);
                         break;

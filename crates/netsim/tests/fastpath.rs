@@ -1,0 +1,219 @@
+//! Fast-path / slow-path forwarding equivalence.
+//!
+//! The router's zero-copy fast path (`try_fast_forward`) must be
+//! observationally identical to the parse → route → re-emit slow path it
+//! short-circuits: same wire bytes (checked via pcap capture), same trace
+//! events, same link statistics — across plain packets, packets with IP
+//! options (which the fast path must decline), encapsulated payloads,
+//! expiring TTLs, and unroutable destinations.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netsim::device::TxMeta;
+use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet};
+use netsim::wire::srcroute;
+use netsim::{FaultInjector, HostConfig, LinkConfig, NodeId, RouterConfig, SegmentId, World};
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+/// A pcap sink whose buffer outlives the `World` holding the writer.
+struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct Rig {
+    w: World,
+    alice: NodeId,
+    r: NodeId,
+    pcap: Arc<Mutex<Vec<u8>>>,
+}
+
+/// Two LANs joined by one router, pcap capture on, alice holding a
+/// default route so even unroutable destinations reach the router.
+fn rig(fast: bool) -> Rig {
+    let mut w = World::new(42);
+    let lan_a = w.add_segment(LinkConfig::lan());
+    let lan_b = w.add_segment(LinkConfig::lan());
+    assert_eq!((lan_a, lan_b), (SegmentId(0), SegmentId(1)));
+    let alice = w.add_host(HostConfig::conventional("alice"));
+    let bob = w.add_host(HostConfig::decap_capable("bob"));
+    let r = w.add_router(RouterConfig::named("r"));
+    let alice_if = w.attach(alice, lan_a, Some("10.0.1.10/24"));
+    w.attach(bob, lan_b, Some("10.0.2.10/24"));
+    w.attach(r, lan_a, Some("10.0.1.1/24"));
+    w.attach(r, lan_b, Some("10.0.2.1/24"));
+    w.compute_routes();
+    w.host_mut(alice).add_route(
+        Ipv4Cidr::new(Ipv4Addr(0), 0),
+        alice_if,
+        Some(ip("10.0.1.1")),
+    );
+    w.router_mut(r).set_fast_forward(fast);
+    let pcap = Arc::new(Mutex::new(Vec::new()));
+    w.capture_pcap(Box::new(SharedSink(pcap.clone()))).unwrap();
+    Rig { w, alice, r, pcap }
+}
+
+/// One randomly generated send, as produced by [`arb_spec`].
+#[derive(Debug, Clone)]
+struct Spec {
+    payload: Vec<u8>,
+    ttl: u8,
+    ident: u16,
+    proto: u8,
+    /// 0 = plain, 1 = loose source route option, 2 = IP-in-IP payload.
+    variant: u8,
+    unroutable: bool,
+}
+
+impl Spec {
+    /// Will the fast path itself carry this packet (once ARP is warm)?
+    fn fast_eligible(&self) -> bool {
+        self.ttl > 1 && !self.unroutable && self.variant != 1
+    }
+}
+
+prop_compose! {
+    fn arb_spec()(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ttl in 1u8..=8,
+        ident in any::<u16>(),
+        proto in 0u8..3,
+        variant in 0u8..3,
+        unroutable in any::<bool>(),
+    ) -> Spec {
+        Spec { payload, ttl, ident, proto, variant, unroutable }
+    }
+}
+
+fn build_packet(s: &Spec) -> Ipv4Packet {
+    let src = ip("10.0.1.10");
+    let dst = if s.unroutable {
+        ip("192.168.9.9")
+    } else {
+        ip("10.0.2.10")
+    };
+    let proto = match s.proto {
+        0 => IpProtocol::Udp,
+        1 => IpProtocol::Tcp,
+        _ => IpProtocol::Other(0xC8),
+    };
+    let mut p = if s.variant == 2 {
+        let inner = Ipv4Packet::new(src, dst, proto, Bytes::from(s.payload.clone()));
+        Ipv4Packet::new(src, dst, IpProtocol::IpInIp, inner.emit())
+    } else {
+        Ipv4Packet::new(src, dst, proto, Bytes::from(s.payload.clone()))
+    };
+    if s.variant == 1 {
+        srcroute::apply_route(&mut p, &[ip("10.0.1.1")], dst);
+    }
+    p.ttl = s.ttl;
+    p.ident = s.ident;
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_path_is_observationally_identical_to_slow_path(
+        specs in proptest::collection::vec(arb_spec(), 1..6),
+    ) {
+        let mut fast = rig(true);
+        let mut slow = rig(false);
+        for s in &specs {
+            let p = build_packet(s);
+            let q = p.clone();
+            fast.w.host_do(fast.alice, |h, ctx| h.send_ip(ctx, p, TxMeta::default()));
+            slow.w.host_do(slow.alice, |h, ctx| h.send_ip(ctx, q, TxMeta::default()));
+            fast.w.run_until_idle(100_000);
+            slow.w.run_until_idle(100_000);
+        }
+        prop_assert_eq!(fast.w.trace.events(), slow.w.trace.events());
+        for seg in [SegmentId(0), SegmentId(1)] {
+            prop_assert_eq!(fast.w.segment_stats(seg), slow.w.segment_stats(seg));
+        }
+        fast.w.finish_pcap().unwrap();
+        slow.w.finish_pcap().unwrap();
+        prop_assert_eq!(&*fast.pcap.lock().unwrap(), &*slow.pcap.lock().unwrap());
+        // The slow-path router never takes the fast path; the fast-path
+        // router does as soon as ARP is warm (the first eligible packet is
+        // parked behind ARP resolution and forwarded by the slow machinery).
+        prop_assert_eq!(slow.w.router_mut(slow.r).fast_path_forwards, 0);
+        if specs.iter().filter(|s| s.fast_eligible()).count() >= 2 {
+            prop_assert!(fast.w.router_mut(fast.r).fast_path_forwards > 0);
+        }
+    }
+}
+
+#[test]
+fn fast_path_actually_fires() {
+    let mut f = rig(true);
+    for seq in 0..3 {
+        f.w.host_do(f.alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), seq)
+        });
+        f.w.run_until_idle(100_000);
+    }
+    // First request/reply pair is parked behind ARP; the rest fly fast.
+    assert!(f.w.router_mut(f.r).fast_path_forwards >= 2);
+}
+
+/// `FaultInjector::decide` must make exactly the draws `apply` makes, so
+/// a buffer-free transmit path leaves the RNG stream — and therefore every
+/// later random event in the world — unchanged.
+#[test]
+fn fault_decide_matches_apply_and_rng_stream() {
+    let configs = [
+        FaultInjector::default(),
+        FaultInjector {
+            drop_prob: 0.3,
+            corrupt_prob: 0.0,
+            duplicate_prob: 0.0,
+        },
+        FaultInjector {
+            drop_prob: 0.1,
+            corrupt_prob: 0.4,
+            duplicate_prob: 0.2,
+        },
+        FaultInjector {
+            drop_prob: 0.0,
+            corrupt_prob: 1.0,
+            duplicate_prob: 0.0,
+        },
+    ];
+    for (ci, f) in configs.iter().enumerate() {
+        let mut rng_a = StdRng::seed_from_u64(1000 + ci as u64);
+        let mut rng_b = StdRng::seed_from_u64(1000 + ci as u64);
+        for len in [0usize, 1, 60, 1500] {
+            for _ in 0..200 {
+                let mut buf = vec![0u8; len];
+                let a = f.apply(&mut buf, &mut rng_a);
+                let b = f.decide(len, &mut rng_b);
+                assert_eq!(a, b, "outcome diverged (config {ci}, len {len})");
+                // Both streams must now be in the same state.
+                assert_eq!(
+                    rng_a.gen::<u64>(),
+                    rng_b.gen::<u64>(),
+                    "rng stream diverged (config {ci}, len {len})"
+                );
+            }
+        }
+    }
+}

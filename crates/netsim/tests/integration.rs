@@ -394,7 +394,7 @@ fn pcap_capture_of_simulated_traffic_is_wireshark_shaped() {
                 netsim::wire::ethernet::MacAddr::from_index(1),
                 netsim::wire::ethernet::MacAddr::from_index(2),
                 netsim::wire::ethernet::EtherType::Ipv4,
-                Bytes::from(pkt.emit()),
+                pkt.emit(),
             );
             pcap.write_frame(e.at, &frame.emit()).unwrap();
             frames += 1;

@@ -14,9 +14,12 @@ use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, contiguous, immutable region of memory.
+///
+/// Backed by `Arc<Vec<u8>>` so `From<Vec<u8>>` is zero-copy: the vector's
+/// allocation is adopted as-is and only the refcount header is allocated.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -37,13 +40,7 @@ impl Bytes {
 
     /// Copies `data` into a new `Bytes`.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        let data: Arc<[u8]> = Arc::from(data);
-        let end = data.len();
-        Bytes {
-            data,
-            start: 0,
-            end,
-        }
+        Bytes::from(data.to_vec())
     }
 
     /// Number of bytes in the view.
@@ -194,11 +191,11 @@ impl<const N: usize> PartialEq<[u8; N]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: adopts the vector's allocation without copying the bytes.
     fn from(v: Vec<u8>) -> Bytes {
-        let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -231,13 +228,7 @@ impl From<String> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Bytes {
-        let data: Arc<[u8]> = Arc::from(b);
-        let end = data.len();
-        Bytes {
-            data,
-            start: 0,
-            end,
-        }
+        Bytes::from(b.into_vec())
     }
 }
 

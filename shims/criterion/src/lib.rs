@@ -15,8 +15,18 @@
 //!
 //! A substring filter works like upstream: `cargo bench -- fig02` runs
 //! only matching benchmarks.
+//!
+//! Two environment variables tune a run:
+//!
+//! - `CRITERION_QUICK=1` — CI mode: fewer samples and smaller batches, so
+//!   a full bench target finishes in seconds. Numbers are noisier; the
+//!   point is trajectory, not precision.
+//! - `CRITERION_JSON=<path>` — after all groups run, write every result
+//!   as a JSON summary at `<path>` (used to snapshot `BENCH_*.json`
+//!   trajectory files).
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from deleting a benchmarked computation.
@@ -105,6 +115,22 @@ impl Bencher {
     }
 }
 
+/// True when `CRITERION_QUICK` is set to anything other than `0`/empty.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One finished benchmark, as recorded for the JSON summary.
+struct BenchResult {
+    id: String,
+    median_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Every result from this process, in run order.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
 fn run_one<F>(id: &str, sample_size: usize, filter: Option<&str>, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -114,15 +140,20 @@ where
             return;
         }
     }
+    let sample_size = if quick_mode() {
+        sample_size.min(3)
+    } else {
+        sample_size
+    };
 
-    // Calibrate: run once to size batches at ~25ms or at least one iter.
+    // Calibrate: run once to size batches at the target or at least one iter.
     let mut b = Bencher {
         iters: 1,
         elapsed: Duration::ZERO,
     };
     f(&mut b);
     let once = b.elapsed.max(Duration::from_nanos(1));
-    let batch_target = Duration::from_millis(25);
+    let batch_target = Duration::from_millis(if quick_mode() { 2 } else { 25 });
     let iters_per_sample = (batch_target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
 
     let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
@@ -141,6 +172,44 @@ where
         "bench: {id} ... median {} ({sample_size} samples, {iters_per_sample} iters/sample)",
         human(median)
     );
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchResult {
+            id: id.to_string(),
+            median_ns: median,
+            samples: sample_size,
+            iters_per_sample,
+        });
+}
+
+/// Serializes every recorded result to `path` as a JSON summary.
+fn write_json(path: &str) -> std::io::Result<()> {
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\n  \"schema\": \"bench-summary/v1\",\n  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "\n    {{\"id\": \"{id}\", \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            r.median_ns, r.samples, r.iters_per_sample
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Called by [`criterion_main!`] after all groups finish: honors
+/// `CRITERION_JSON=<path>` by writing the run's results there.
+pub fn finalize() {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            write_json(&path).expect("write CRITERION_JSON summary");
+            eprintln!("bench summary written to {path}");
+        }
+    }
 }
 
 fn human(ns: f64) -> String {
@@ -166,12 +235,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark binary's `main`, running each group.
+/// Declares the benchmark binary's `main`, running each group, then
+/// writing the `CRITERION_JSON` summary when requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -206,6 +277,26 @@ mod tests {
             ran = true;
         });
         assert!(!ran);
+    }
+
+    #[test]
+    fn json_summary_round_trips() {
+        RESULTS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(BenchResult {
+                id: "g/json_probe".into(),
+                median_ns: 42.5,
+                samples: 3,
+                iters_per_sample: 7,
+            });
+        let path = std::env::temp_dir().join("criterion_shim_json_test.json");
+        write_json(path.to_str().unwrap()).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(body.contains("\"schema\": \"bench-summary/v1\""));
+        assert!(body.contains("\"id\": \"g/json_probe\""));
+        assert!(body.contains("\"median_ns\": 42.5"));
     }
 
     #[test]

@@ -56,7 +56,7 @@ proptest! {
         byte in 0usize..20,
         bit in 0u8..8,
     ) {
-        let mut wire = p.emit();
+        let mut wire = p.emit().to_vec();
         wire[byte] ^= 1 << bit;
         // Either the parse fails (checksum/structure) or — when the flip
         // hits the checksum-compensating position pair — the packet parses
