@@ -7,9 +7,12 @@
 //!   [`RouteTable`].
 //! - `compute_routes` — full route recomputation on a ~50-node topology.
 //! - `runner` — the experiment thread pool on synthetic CPU-bound jobs,
-//!   serial vs four workers.
+//!   serial vs four workers, at two batch sizes.
+//! - `scheduler` — the hierarchical timing wheel vs the reference binary
+//!   heap on a timer-heavy pop-one/push-one churn (the PR-5 optimisation
+//!   surface).
 //!
-//! Quick CI snapshots: `CRITERION_QUICK=1 CRITERION_JSON=BENCH_pr4.json
+//! Quick CI snapshots: `CRITERION_QUICK=1 CRITERION_JSON=BENCH_pr5.json
 //! cargo bench -p bench --bench perf`.
 
 use std::hint::black_box;
@@ -21,7 +24,10 @@ use bench::experiments::pool_map;
 use netsim::device::router::{lpm, patch_forwarded_frame, RouteEntry};
 use netsim::wire::ethernet::{EtherType, EthernetFrame, MacAddr};
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet};
-use netsim::{HostConfig, LinkConfig, RouteTable, RouterConfig, World};
+use netsim::{
+    Event, EventKind, EventQueue, HostConfig, LinkConfig, NodeId, RouteTable, RouterConfig,
+    SchedulerKind, SimTime, Timer, TimerToken, World,
+};
 
 fn ip(s: &str) -> Ipv4Addr {
     s.parse().unwrap()
@@ -129,9 +135,9 @@ fn bench_compute_routes(c: &mut Criterion) {
     g.finish();
 }
 
-/// Eight identical CPU-bound jobs for the pool benches.
-fn runner_jobs() -> Vec<Box<dyn FnOnce() -> u64 + Send>> {
-    (0..8u64)
+/// `count` identical CPU-bound jobs for the pool benches.
+fn runner_jobs(count: u64) -> Vec<Box<dyn FnOnce() -> u64 + Send>> {
+    (0..count)
         .map(|i| {
             Box::new(move || {
                 // black_box keeps the loop from const-folding away.
@@ -151,10 +157,72 @@ fn bench_runner(c: &mut Criterion) {
     let mut g = c.benchmark_group("runner");
     g.sample_size(10);
     g.bench_function("pool_8_jobs_serial", |b| {
-        b.iter(|| black_box(pool_map(runner_jobs(), 1)))
+        b.iter(|| black_box(pool_map(runner_jobs(8), 1)))
     });
     g.bench_function("pool_8_jobs_4_threads", |b| {
-        b.iter(|| black_box(pool_map(runner_jobs(), 4)))
+        b.iter(|| black_box(pool_map(runner_jobs(8), 4)))
+    });
+    // A larger batch amortises per-call pool handoff and exercises the
+    // resident workers over many claim cycles.
+    g.bench_function("pool_32_jobs_serial", |b| {
+        b.iter(|| black_box(pool_map(runner_jobs(32), 1)))
+    });
+    g.bench_function("pool_32_jobs_4_threads", |b| {
+        b.iter(|| black_box(pool_map(runner_jobs(32), 4)))
+    });
+    g.finish();
+}
+
+/// Timer-heavy churn: prefill `pending` timers, then `ops` rounds of pop
+/// the earliest event and re-arm it a short pseudorandom delay later —
+/// the shape of a simulation dominated by TCP retransmit/keepalive
+/// timers. Returns a checksum so the work cannot be optimised away.
+fn scheduler_churn(kind: SchedulerKind, pending: u64, ops: u64) -> u64 {
+    let mut q = EventQueue::with_kind(kind);
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+    let mut delay = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        // Mostly sub-millisecond, occasionally far out (wheel levels 1+).
+        if rng.is_multiple_of(64) {
+            1 + rng % 3_000_000
+        } else {
+            1 + rng % 1_000
+        }
+    };
+    for i in 0..pending {
+        q.push(
+            SimTime(delay()),
+            EventKind::Timer(Timer {
+                node: NodeId((i % 16) as usize),
+                token: TimerToken(i),
+            }),
+        );
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let Event { at, kind, .. } = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(at.0);
+        q.push(SimTime(at.0 + delay()), kind);
+    }
+    acc
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    g.bench_function("wheel_128k_timers_churn", |b| {
+        b.iter(|| black_box(scheduler_churn(SchedulerKind::Wheel, 131_072, 131_072)))
+    });
+    g.bench_function("heap_128k_timers_churn", |b| {
+        b.iter(|| {
+            black_box(scheduler_churn(
+                SchedulerKind::ReferenceHeap,
+                131_072,
+                131_072,
+            ))
+        })
     });
     g.finish();
 }
@@ -165,5 +233,6 @@ criterion_group!(
     bench_route_lookup,
     bench_compute_routes,
     bench_runner,
+    bench_scheduler,
 );
 criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Soft bench-regression gate: compare two `bench-summary/v1` JSON
+//! snapshots and fail (exit 1) if any benchmark id present in **both**
+//! slowed down by more than the allowed factor (default 2.0).
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json> [max-slowdown-factor]
+//! ```
+//!
+//! Ids that exist in only one snapshot are reported but never fail the
+//! check — benchmarks come and go between PRs. The factor is deliberately
+//! loose: CI runners are noisy, and this gate exists to catch order-of-
+//! magnitude regressions (like an accidentally serialised thread pool),
+//! not single-digit-percent drift.
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Looks up `key` in an object `Value`.
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
+    let doc: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("bench_check: {path} is not valid JSON: {e}"));
+    assert!(
+        matches!(field(&doc, "schema"), Some(Value::Str(s)) if s == "bench-summary/v1"),
+        "bench_check: {path} is not a bench-summary/v1 snapshot"
+    );
+    let Some(Value::Array(results)) = field(&doc, "results") else {
+        panic!("bench_check: {path} has no results array");
+    };
+    results
+        .iter()
+        .map(|r| {
+            let Some(Value::Str(id)) = field(r, "id") else {
+                panic!("bench_check: result without an id in {path}");
+            };
+            let median = field(r, "median_ns")
+                .and_then(as_f64)
+                .unwrap_or_else(|| panic!("bench_check: {id} has no median_ns in {path}"));
+            (id.clone(), median)
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match args.as_slice() {
+        [b, c] | [b, c, _] => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: bench_check <baseline.json> <current.json> [max-slowdown-factor]");
+            return ExitCode::from(2);
+        }
+    };
+    let factor: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("factor must be a number"))
+        .unwrap_or(2.0);
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let mut failed = false;
+
+    for (id, new_ns) in &current {
+        match baseline.iter().find(|(b, _)| b == id) {
+            Some((_, old_ns)) if *old_ns > 0.0 => {
+                let ratio = new_ns / old_ns;
+                let verdict = if ratio > factor {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!("{verdict:>9}  {id}: {old_ns:.1} ns -> {new_ns:.1} ns ({ratio:.2}x)");
+            }
+            _ => println!("      new  {id}: {new_ns:.1} ns (no baseline)"),
+        }
+    }
+    for (id, _) in &baseline {
+        if !current.iter().any(|(c, _)| c == id) {
+            println!("  dropped  {id}: present in baseline only");
+        }
+    }
+
+    if failed {
+        eprintln!("bench_check: at least one shared benchmark slowed down by more than {factor}x");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: no shared benchmark slowed down by more than {factor}x");
+        ExitCode::SUCCESS
+    }
+}

@@ -17,50 +17,181 @@ pub mod fig05_smart_ch;
 pub mod fig06_formats;
 pub mod fig10_grid;
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crate::Table;
 
+/// A pool task: one "runner" participating in a [`pool_map`] batch.
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide worker pool backing [`pool_map`]. Threads are spawned
+/// on demand, detached, and then parked on the condvar between batches —
+/// a `pool_map` call hands out tasks without paying thread-creation cost,
+/// which is what made the old per-invocation `scope`+spawn slower than
+/// running the jobs serially.
+struct WorkerPool {
+    queue: Mutex<VecDeque<PoolTask>>,
+    available: Condvar,
+    /// Threads spawned so far (they never exit).
+    workers: AtomicUsize,
+}
+
+impl WorkerPool {
+    fn get() -> &'static Arc<WorkerPool> {
+        static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        POOL.get_or_init(|| {
+            Arc::new(WorkerPool {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                workers: AtomicUsize::new(0),
+            })
+        })
+    }
+
+    /// Grow the pool to at least `want` resident threads.
+    fn ensure_workers(self: &Arc<Self>, want: usize) {
+        loop {
+            let have = self.workers.load(Ordering::Acquire);
+            if have >= want {
+                return;
+            }
+            if self
+                .workers
+                .compare_exchange(have, have + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let pool = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name("bench-pool".into())
+                    .spawn(move || loop {
+                        let task = {
+                            let mut q = pool.queue.lock().unwrap();
+                            loop {
+                                if let Some(t) = q.pop_front() {
+                                    break t;
+                                }
+                                q = pool.available.wait(q).unwrap();
+                            }
+                        };
+                        task();
+                    })
+                    .expect("spawning pool worker");
+            }
+        }
+    }
+
+    fn submit(&self, task: PoolTask) {
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+}
+
+/// One `pool_map` batch: jobs claimed by index from a shared counter,
+/// results parked in order-preserving slots, completion signalled to the
+/// waiting caller.
+struct Batch<T, F> {
+    jobs: Vec<Mutex<Option<F>>>,
+    slots: Mutex<Vec<Option<std::thread::Result<T>>>>,
+    next: AtomicUsize,
+    completed: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl<T, F: FnOnce() -> T> Batch<T, F> {
+    /// Pull job indexes until none remain. Run by pool workers *and* the
+    /// calling thread, so a batch completes even if every pool worker is
+    /// busy elsewhere.
+    fn run_jobs(&self) {
+        let n = self.jobs.len();
+        loop {
+            let ix = self.next.fetch_add(1, Ordering::Relaxed);
+            if ix >= n {
+                return;
+            }
+            let job = self.jobs[ix]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("each job claimed once");
+            let out = catch_unwind(AssertUnwindSafe(job));
+            self.slots.lock().unwrap()[ix] = Some(out);
+            let mut done = self.completed.lock().unwrap();
+            *done += 1;
+            if *done == n {
+                self.all_done.notify_all();
+            }
+        }
+    }
+}
+
 /// Fan `jobs` out over at most `threads` worker threads and return the
-/// results **in job order**, regardless of completion order. Workers pull
+/// results **in job order**, regardless of completion order. Runners pull
 /// the next unclaimed job index from a shared counter (work stealing by
 /// index), so long and short jobs mix freely. `threads == 1` degenerates
 /// to a strictly serial in-order run — the `--serial` escape hatch — and
 /// produces identical results by construction, since job order alone
 /// determines the output vector.
+///
+/// Worker threads come from a persistent process-wide pool (grown on
+/// demand, parked between calls); the calling thread itself acts as one of
+/// the `threads` runners. A panicking job is resurfaced on the caller
+/// after the rest of the batch finishes.
+///
+/// `threads` is additionally capped at the machine's available
+/// parallelism: the jobs are CPU-bound simulations, so extra runners past
+/// that point cannot overlap any work and only add context switches.
 pub fn pool_map<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
 where
-    T: Send,
-    F: FnOnce() -> T + Send,
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let cap = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
+    pool_map_exact(jobs, threads.min(cap))
+}
+
+/// [`pool_map`] without the hardware-parallelism cap. Exposed so tests can
+/// exercise the pool handoff deterministically even on a single-core host;
+/// everything else should call [`pool_map`].
+#[doc(hidden)]
+pub fn pool_map_exact<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
 {
     let n = jobs.len();
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
-    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let ix = next.fetch_add(1, Ordering::Relaxed);
-                if ix >= n {
-                    break;
-                }
-                let job = jobs[ix].lock().take().expect("each job claimed once");
-                let out = job();
-                slots.lock()[ix] = Some(out);
-            });
-        }
-    })
-    .expect("experiment worker panicked");
+    let batch = Arc::new(Batch {
+        jobs: jobs.into_iter().map(|j| Mutex::new(Some(j))).collect(),
+        slots: Mutex::new((0..n).map(|_| None).collect()),
+        next: AtomicUsize::new(0),
+        completed: Mutex::new(0),
+        all_done: Condvar::new(),
+    });
+    let pool = WorkerPool::get();
+    pool.ensure_workers(threads - 1);
+    for _ in 0..threads - 1 {
+        let b = Arc::clone(&batch);
+        pool.submit(Box::new(move || b.run_jobs()));
+    }
+    batch.run_jobs();
+    let mut done = batch.completed.lock().unwrap();
+    while *done < n {
+        done = batch.all_done.wait(done).unwrap();
+    }
+    drop(done);
+    let slots = std::mem::take(&mut *batch.slots.lock().unwrap());
     slots
-        .into_inner()
         .into_iter()
-        .map(|t| t.expect("every slot filled"))
+        .map(|t| match t.expect("every slot filled") {
+            Ok(v) => v,
+            Err(payload) => resume_unwind(payload),
+        })
         .collect()
 }
 
@@ -113,4 +244,61 @@ pub fn run_all_with(threads: usize) -> Vec<Table> {
         Box::new(|| vec![exp_lsr::run()]),
     ];
     pool_map(jobs, threads).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These use `pool_map_exact` so the worker handoff runs even when the
+    // host reports a single core (where `pool_map` would cap to serial).
+
+    #[test]
+    fn pool_workers_preserve_job_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| Box::new(move || i * 7) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let got = pool_map_exact(jobs, 4);
+        assert_eq!(got, (0..32).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_reuses_resident_workers_across_batches() {
+        let before = WorkerPool::get().workers.load(Ordering::Acquire);
+        for round in 0..4u64 {
+            let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8u64)
+                .map(|i| Box::new(move || round * 100 + i) as Box<dyn FnOnce() -> u64 + Send>)
+                .collect();
+            let got = pool_map_exact(jobs, 4);
+            assert_eq!(got, (0..8).map(|i| round * 100 + i).collect::<Vec<_>>());
+        }
+        let after = WorkerPool::get().workers.load(Ordering::Acquire);
+        // Four batches wanting three helpers each never grow past three
+        // resident threads (other tests in this binary may add their own).
+        assert!(after >= 3, "pool spawned {after} workers");
+        assert!(
+            after <= before + 3,
+            "pool grew past its high-water mark: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn pool_resurfaces_job_panics_on_the_caller() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 5, "job five exploded");
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = catch_unwind(AssertUnwindSafe(|| pool_map_exact(jobs, 4)))
+            .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(msg.contains("job five exploded"), "got: {msg}");
+    }
 }

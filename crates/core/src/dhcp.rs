@@ -17,7 +17,8 @@ use std::collections::HashMap;
 use netsim::device::nic::IfaceAddr;
 use netsim::wire::ParseError;
 use netsim::{
-    App, Host, IfaceNo, Ipv4Addr, Ipv4Cidr, NetCtx, NodeId, SegmentId, SimDuration, SimTime, World,
+    App, Host, IfaceNo, Ipv4Addr, Ipv4Cidr, NetCtx, NodeId, SegmentId, SimDuration, SimTime,
+    TimerHandle, World,
 };
 use transport::udp;
 
@@ -195,6 +196,9 @@ pub struct DhcpClient {
     xid: u32,
     sock: Option<udp::UdpHandle>,
     next_try: SimTime,
+    /// The pending retransmit wakeup; cancelled once the lease completes
+    /// so the exchange leaves nothing ticking in the scheduler.
+    retry_timer: Option<TimerHandle>,
     /// Requests transmitted so far.
     pub tries: u32,
     /// The granted lease, once the exchange completes.
@@ -209,6 +213,7 @@ impl DhcpClient {
             xid,
             sock: None,
             next_try: SimTime::ZERO,
+            retry_timer: None,
             tries: 0,
             lease: None,
         }
@@ -248,6 +253,11 @@ impl App for DhcpClient {
             if mobile {
                 host.request_hook_timer(ctx, SimDuration::ZERO, TIMER_KICK);
             }
+            // The exchange is complete: the pending retransmit wakeup is
+            // dead weight in the scheduler.
+            if let Some(h) = self.retry_timer.take() {
+                ctx.cancel_timer(h);
+            }
             self.lease = Some(lease);
             return;
         }
@@ -263,7 +273,7 @@ impl App for DhcpClient {
             );
             self.tries += 1;
             self.next_try = ctx.now + SimDuration::from_secs(1);
-            host.request_wakeup(ctx, SimDuration::from_secs(1));
+            self.retry_timer = Some(host.request_wakeup(ctx, SimDuration::from_secs(1)));
         }
     }
 

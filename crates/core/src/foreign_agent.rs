@@ -26,7 +26,8 @@ use netsim::device::TxMeta;
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
 use netsim::wire::udp::UdpDatagram;
 use netsim::{
-    Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, TraceEventKind, TransformKind, World,
+    Host, IfaceNo, NetCtx, NodeId, SimDuration, SimTime, TimerHandle, TraceEventKind,
+    TransformKind, World,
 };
 use transport::udp;
 
@@ -75,6 +76,9 @@ pub struct ForeignAgent {
     visitors: HashMap<Ipv4Addr, SimTime>,
     /// Outstanding relayed registrations: ident → home address.
     pending: HashMap<u64, Ipv4Addr>,
+    /// The pending advertisement timer, so [`stop_advertising`] can remove
+    /// it from the scheduler instead of letting it fire into a guard.
+    adv_timer: Option<TimerHandle>,
     /// Counters for experiments.
     pub stats: FaStats,
 }
@@ -88,6 +92,7 @@ impl ForeignAgent {
             config,
             visitors: HashMap::new(),
             pending: HashMap::new(),
+            adv_timer: None,
             stats: FaStats::default(),
         }
     }
@@ -99,8 +104,13 @@ impl ForeignAgent {
         host.set_decap_capable(true);
         host.set_hook(Box::new(ForeignAgent::new(config)));
         if advertise.is_some() {
-            world.host_do(node, |h, ctx| {
+            let h = world.host_do(node, |h, ctx| {
                 h.request_hook_timer(ctx, SimDuration::ZERO, TIMER_ADVERTISE)
+            });
+            world.host_do(node, move |host, _| {
+                if let Some(fa) = host.hook_as::<ForeignAgent>() {
+                    fa.adv_timer = Some(h);
+                }
             });
         }
     }
@@ -245,6 +255,8 @@ impl MobilityHook for ForeignAgent {
         if payload != TIMER_ADVERTISE {
             return;
         }
+        // This firing consumes the stored handle.
+        self.adv_timer = None;
         let Some(every) = self.config.advertise_every else {
             return;
         };
@@ -273,11 +285,29 @@ impl MobilityHook for ForeignAgent {
                 ..TxMeta::default()
             },
         );
-        host.request_hook_timer(ctx, every, TIMER_ADVERTISE);
+        self.adv_timer = Some(host.request_hook_timer(ctx, every, TIMER_ADVERTISE));
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Silence a foreign agent: cancel its pending advertisement timer in the
+/// scheduler and stop re-arming. An agent being decommissioned (or an
+/// experiment that wants a quiet phase) no longer leaves a periodic timer
+/// ticking forever.
+pub fn stop_advertising(world: &mut World, node: NodeId) {
+    let handle = world.host_do(node, |host, _| {
+        host.hook_as::<ForeignAgent>().and_then(|fa| {
+            fa.config.advertise_every = None;
+            fa.adv_timer.take()
+        })
+    });
+    if let Some(h) = handle {
+        world.host_do(node, move |_, ctx| {
+            ctx.cancel_timer(h);
+        });
     }
 }
 

@@ -37,7 +37,7 @@ use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
 use netsim::wire::udp::UdpDatagram;
 use netsim::{
     FeedbackEvent, Host, IfaceAddr, IfaceNo, NetCtx, NodeId, SegmentId, SimDuration, SimTime,
-    TransformKind, World,
+    TimerHandle, TransformKind, World,
 };
 
 use crate::audit::{AuditEvent, AuditTrail};
@@ -224,6 +224,11 @@ pub struct MobileHost {
     config: MobileHostConfig,
     location: Location,
     reg: RegState,
+    /// The pending registration-lifecycle timer (retry while `Pending`,
+    /// refresh while `Registered`) — cancelled in the scheduler whenever
+    /// the state that armed it is resolved. The state guards in
+    /// [`MobileHost::on_timer`] remain for same-instant races.
+    reg_timer: Option<TimerHandle>,
     policy: Policy,
     next_ident: u64,
     /// Last incoming mode seen per correspondent (diagnostics/experiments).
@@ -240,6 +245,7 @@ impl MobileHost {
             config,
             location: Location::AtHome,
             reg: RegState::Unregistered,
+            reg_timer: None,
             policy,
             next_ident: 1,
             last_in_mode: HashMap::new(),
@@ -404,7 +410,10 @@ impl MobileHost {
                 ..TxMeta::default()
             },
         );
-        host.request_hook_timer(ctx, self.config.reg_retry, TIMER_REG_RETRY);
+        if let Some(h) = self.reg_timer.take() {
+            ctx.cancel_timer(h);
+        }
+        self.reg_timer = Some(host.request_hook_timer(ctx, self.config.reg_retry, TIMER_REG_RETRY));
     }
 
     fn handle_registration_reply(
@@ -436,18 +445,28 @@ impl MobileHost {
                     self.policy.audit.record(AuditEvent::RegistrationAccepted {
                         lifetime: reply.lifetime,
                     });
-                    // Refresh at 80% of the granted lifetime.
+                    // The pending retry is obsolete; replace it with a
+                    // refresh at 80% of the granted lifetime.
+                    if let Some(h) = self.reg_timer.take() {
+                        ctx.cancel_timer(h);
+                    }
                     let refresh = SimDuration::from_secs(u64::from(reply.lifetime) * 4 / 5);
-                    host.request_hook_timer(ctx, refresh, TIMER_REG_REFRESH);
+                    self.reg_timer = Some(host.request_hook_timer(ctx, refresh, TIMER_REG_REFRESH));
                 }
                 ReplyCode::Denied => {
                     self.reg = RegState::Unregistered;
                     self.stats.registration_failures += 1;
                     self.policy.audit.record(AuditEvent::RegistrationDenied);
+                    if let Some(h) = self.reg_timer.take() {
+                        ctx.cancel_timer(h);
+                    }
                 }
             },
             RegState::Deregistering { ident } if reply.ident == ident => {
                 self.reg = RegState::Unregistered;
+                if let Some(h) = self.reg_timer.take() {
+                    ctx.cancel_timer(h);
+                }
             }
             _ => {} // stale or unsolicited
         }
@@ -618,6 +637,11 @@ impl MobilityHook for MobileHost {
     }
 
     fn on_timer(&mut self, payload: u64, host: &mut Host, ctx: &mut NetCtx) {
+        if matches!(payload, TIMER_REG_RETRY | TIMER_REG_REFRESH) {
+            // The stored handle is the timer now firing; drop it so a later
+            // cancellation doesn't touch a recycled slot.
+            self.reg_timer = None;
+        }
         match payload {
             TIMER_KICK => match self.location {
                 Location::Away { .. } => {

@@ -29,7 +29,7 @@ use bytes::Bytes;
 use super::nic::{ArpIdentity, IfaceAddr, NextHop, Nic, NicRx};
 use super::router::RouteEntry;
 use super::{split_token, token, TxMeta, NS_APPS, NS_MOBILITY};
-use crate::event::{IfaceNo, NodeId, TimerToken};
+use crate::event::{IfaceNo, NodeId, TimerHandle, TimerToken};
 use crate::route::RouteTable;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, TraceEventKind, TransformKind};
@@ -530,25 +530,33 @@ impl Host {
             .and_then(|a| a.as_any().downcast_mut::<T>())
     }
 
-    /// Schedule an application poll after `delay`.
-    pub fn request_wakeup(&mut self, ctx: &mut NetCtx, delay: SimDuration) {
-        ctx.set_timer(delay, token(NS_APPS, 0));
+    /// Schedule an application poll after `delay`. The returned
+    /// [`TimerHandle`] cancels it via [`NetCtx::cancel_timer`].
+    pub fn request_wakeup(&mut self, ctx: &mut NetCtx, delay: SimDuration) -> TimerHandle {
+        ctx.set_timer(delay, token(NS_APPS, 0))
     }
 
-    /// Schedule a mobility-hook timer after `delay`.
-    pub fn request_hook_timer(&mut self, ctx: &mut NetCtx, delay: SimDuration, payload: u64) {
-        ctx.set_timer(delay, token(NS_MOBILITY, payload));
+    /// Schedule a mobility-hook timer after `delay`; cancellable via the
+    /// returned [`TimerHandle`].
+    pub fn request_hook_timer(
+        &mut self,
+        ctx: &mut NetCtx,
+        delay: SimDuration,
+        payload: u64,
+    ) -> TimerHandle {
+        ctx.set_timer(delay, token(NS_MOBILITY, payload))
     }
 
-    /// Schedule a protocol-handler timer after `delay`.
+    /// Schedule a protocol-handler timer after `delay`; cancellable via the
+    /// returned [`TimerHandle`].
     pub fn request_proto_timer(
         &mut self,
         ctx: &mut NetCtx,
         proto: IpProtocol,
         delay: SimDuration,
         payload: u64,
-    ) {
-        ctx.set_timer(delay, token(proto.number(), payload));
+    ) -> TimerHandle {
+        ctx.set_timer(delay, token(proto.number(), payload))
     }
 
     /// Allocate an IP identification value for a locally-originated packet.

@@ -45,7 +45,10 @@ pub use device::host::{
 pub use device::nic::IfaceAddr;
 pub use device::router::{FilterAction, FilterRule, FilterWhen, Router, RouterConfig};
 pub use device::TxMeta;
-pub use event::{Event, EventQueue, IfaceNo, NodeId, Timer, TimerToken};
+pub use event::{
+    default_scheduler, set_default_scheduler, Event, EventKind, EventQueue, IfaceNo, NodeId,
+    SchedulerKind, SchedulerStats, Timer, TimerHandle, TimerToken,
+};
 pub use lifecycle::{FlowSummary, Lifecycle, PacketLifecycle, PacketOutcome};
 pub use link::{FaultInjector, LinkConfig, LinkId, SegmentId};
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics, SegmentMetrics};

@@ -11,7 +11,9 @@ use crate::device::host::{Host, HostConfig};
 use crate::device::nic::IfaceAddr;
 use crate::device::router::{Router, RouterConfig};
 use crate::device::{token, NS_APPS};
-use crate::event::{Event, EventKind, EventQueue, IfaceNo, NodeId, Timer, TimerToken};
+use crate::event::{
+    Event, EventKind, EventQueue, IfaceNo, NodeId, SchedulerStats, Timer, TimerHandle, TimerToken,
+};
 use crate::link::{FaultOutcome, LinkConfig, LinkStats, Segment, SegmentId};
 use crate::metrics::MetricsRegistry;
 use crate::time::{SimDuration, SimTime};
@@ -154,15 +156,26 @@ impl NetCtx<'_> {
         outcome
     }
 
-    /// Schedule a timer for this node.
-    pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) {
-        self.queue.push(
+    /// Schedule a timer for this node. The returned handle cancels it in
+    /// O(1) via [`NetCtx::cancel_timer`]; callers that never cancel can
+    /// drop the handle freely.
+    pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) -> TimerHandle {
+        self.queue.push_cancellable(
             self.now + after,
             EventKind::Timer(Timer {
                 node: self.node,
                 token,
             }),
-        );
+        )
+    }
+
+    /// Cancel a timer set with [`NetCtx::set_timer`]. Returns `false`
+    /// (harmlessly) if it already fired or was already cancelled. A timer
+    /// scheduled for the *current* instant may already sit in the event
+    /// loop's in-flight batch, in which case it still fires — so handlers
+    /// keep their stale-timer guards as a second line of defence.
+    pub fn cancel_timer(&mut self, h: TimerHandle) -> bool {
+        self.queue.cancel(h)
     }
 
     /// MTU of a segment (IP bytes per frame).
@@ -223,21 +236,27 @@ pub struct World {
     pub metrics: MetricsRegistry,
     next_mac: u32,
     pcap: Option<crate::wire::pcap::PcapWriter<Box<dyn std::io::Write>>>,
+    /// Reusable same-timestamp batch buffer for [`World::run_until`] /
+    /// [`World::run_until_idle`] — drained every batch, so the allocation
+    /// is made once per world rather than once per dispatch.
+    batch: Vec<Event>,
 }
 
 impl World {
-    /// Create a world with a deterministic RNG seed.
+    /// Create a world with a deterministic RNG seed, using the process-wide
+    /// default scheduler (see [`crate::event::set_default_scheduler`]).
     pub fn new(seed: u64) -> World {
         World {
             nodes: Vec::new(),
             segments: Vec::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(crate::event::default_scheduler()),
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
             trace: PacketTrace::new(true),
             metrics: MetricsRegistry::new(false),
             next_mac: 1,
             pcap: None,
+            batch: Vec::new(),
         }
     }
 
@@ -427,6 +446,44 @@ impl World {
 
     // ---- event loop -----------------------------------------------------------
 
+    /// Fire one already-popped event: route it to the owning node with a
+    /// fresh [`NetCtx`] view over the world. Shared by the single-step and
+    /// batch dispatch paths.
+    fn dispatch(&mut self, kind: EventKind) {
+        let (node, iface_frame, token) = match kind {
+            EventKind::Deliver { node, iface, frame } => (node, Some((iface, frame)), None),
+            EventKind::Timer(t) => (t.node, None, Some(t.token)),
+        };
+        // A node may have been detached between scheduling and delivery
+        // (mid-flight frames to a departed mobile host are lost, as in
+        // reality).
+        let Some(mut n) = self.nodes.get_mut(node.0).and_then(Option::take) else {
+            return;
+        };
+        if let Some((iface, _)) = &iface_frame {
+            if n.nic().segment(*iface).is_none() {
+                self.nodes[node.0] = Some(n);
+                return;
+            }
+        }
+        let mut ctx = NetCtx {
+            now: self.now,
+            node,
+            queue: &mut self.queue,
+            segments: &mut self.segments,
+            rng: &mut self.rng,
+            trace: &mut self.trace,
+            metrics: &mut self.metrics,
+            pcap: &mut self.pcap,
+        };
+        match (iface_frame, token) {
+            (Some((iface, frame)), _) => n.on_frame(&mut ctx, iface, &frame),
+            (None, Some(token)) => n.on_timer(&mut ctx, token),
+            (None, None) => unreachable!(),
+        }
+        self.nodes[node.0] = Some(n);
+    }
+
     /// Process one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Event { at, kind, .. }) = self.queue.pop() else {
@@ -434,60 +491,28 @@ impl World {
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
-        match kind {
-            EventKind::Deliver { node, iface, frame } => {
-                // A node may have been detached between scheduling and
-                // delivery (mid-flight frames to a departed mobile host are
-                // lost, as in reality).
-                let Some(mut n) = self.nodes.get_mut(node.0).and_then(Option::take) else {
-                    return true;
-                };
-                if n.nic().segment(iface).is_none() {
-                    self.nodes[node.0] = Some(n);
-                    return true;
-                }
-                let mut ctx = NetCtx {
-                    now: self.now,
-                    node,
-                    queue: &mut self.queue,
-                    segments: &mut self.segments,
-                    rng: &mut self.rng,
-                    trace: &mut self.trace,
-                    metrics: &mut self.metrics,
-                    pcap: &mut self.pcap,
-                };
-                n.on_frame(&mut ctx, iface, &frame);
-                self.nodes[node.0] = Some(n);
-            }
-            EventKind::Timer(t) => {
-                let Some(mut n) = self.nodes.get_mut(t.node.0).and_then(Option::take) else {
-                    return true;
-                };
-                let mut ctx = NetCtx {
-                    now: self.now,
-                    node: t.node,
-                    queue: &mut self.queue,
-                    segments: &mut self.segments,
-                    rng: &mut self.rng,
-                    trace: &mut self.trace,
-                    metrics: &mut self.metrics,
-                    pcap: &mut self.pcap,
-                };
-                n.on_timer(&mut ctx, t.token);
-                self.nodes[t.node.0] = Some(n);
-            }
-        }
+        self.dispatch(kind);
         true
     }
 
     /// Run until the queue is empty or simulated time reaches `deadline`.
+    ///
+    /// Events are drained in same-timestamp batches: one queue probe pulls
+    /// everything scheduled for the next instant (and decides the deadline
+    /// check), instead of a peek *and* a pop per event. Events a batch
+    /// schedules at the same instant get sequence numbers after the batch
+    /// and are picked up by the next probe, so dispatch order is exactly
+    /// the (time, seq) order of the one-at-a-time path.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(t) = self.queue.pop_batch_until(deadline, &mut batch) {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            for Event { kind, .. } in batch.drain(..) {
+                self.dispatch(kind);
             }
-            self.step();
         }
+        self.batch = batch;
         self.now = self.now.max(deadline);
     }
 
@@ -501,20 +526,34 @@ impl World {
     /// guard). Panics if the limit is hit — a quiescing network should
     /// always drain.
     pub fn run_until_idle(&mut self, limit: usize) {
-        for _ in 0..limit {
-            if !self.step() {
-                return;
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut dispatched = 0usize;
+        while let Some(t) = self.queue.pop_batch_until(SimTime(u64::MAX), &mut batch) {
+            self.now = t;
+            for Event { kind, .. } in batch.drain(..) {
+                if dispatched >= limit {
+                    panic!(
+                        "run_until_idle: event limit {limit} exceeded at t={}",
+                        self.now
+                    );
+                }
+                dispatched += 1;
+                self.dispatch(kind);
             }
         }
-        panic!(
-            "run_until_idle: event limit {limit} exceeded at t={}",
-            self.now
-        );
+        self.batch = batch;
     }
 
-    /// Events currently queued.
+    /// Events currently queued (cancelled timers excluded).
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Scheduler activity counters: events pushed, dispatched, and
+    /// cancelled before firing. Cancelled events are never dispatched and
+    /// therefore never reach the trace or metrics.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.queue.stats()
     }
 
     // ---- automatic routing ----------------------------------------------------

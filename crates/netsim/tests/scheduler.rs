@@ -1,0 +1,215 @@
+//! Differential property tests: the hierarchical timing wheel against the
+//! reference binary heap. Both backends sit behind the same `EventQueue`
+//! API and must produce **byte-identical** pop sequences — same `(at,
+//! seq)` order, same payloads, same cancel return values, same stats —
+//! over arbitrary interleavings of pushes (with delays straddling every
+//! wheel-level boundary and the 2³² µs overflow horizon), cancellations,
+//! and pops.
+
+use proptest::prelude::*;
+
+use netsim::{
+    Event, EventKind, EventQueue, NodeId, SchedulerKind, SimTime, Timer, TimerHandle, TimerToken,
+};
+
+/// Delays chosen to straddle wheel-level boundaries: level 0 holds
+/// sub-2⁸ µs offsets, level 1 sub-2¹⁶, level 2 sub-2²⁴, level 3 sub-2³²,
+/// and anything ≥ 2³² lands in the overflow heap.
+const DELAYS: &[u64] = &[
+    0,
+    1,
+    2,
+    7,
+    255,
+    256,
+    257,
+    1_000,
+    65_535,
+    65_536,
+    65_537,
+    (1 << 24) - 1,
+    1 << 24,
+    (1 << 24) + 1,
+    123_456_789,
+    (1 << 32) - 1,
+    1 << 32,
+    (1 << 32) + 1,
+    (1 << 33) + 98_765,
+];
+
+fn tick(i: usize) -> EventKind {
+    EventKind::Timer(Timer {
+        node: NodeId(i % 8),
+        token: TimerToken(i as u64),
+    })
+}
+
+fn token_of(kind: &EventKind) -> u64 {
+    match kind {
+        EventKind::Timer(t) => t.token.0,
+        EventKind::Deliver { .. } => unreachable!("these tests only push timers"),
+    }
+}
+
+/// Both queues fed the same operations. Handles come from each queue's own
+/// slab but are allocated in lockstep, so they travel in pairs.
+struct Pair {
+    wheel: EventQueue,
+    heap: EventQueue,
+    handles: Vec<(TimerHandle, TimerHandle)>,
+    /// Timestamp of the last popped event — pushes are always `now +
+    /// delay`, mirroring how the `World` uses the queue.
+    now: u64,
+    pushed: usize,
+}
+
+impl Pair {
+    fn new() -> Pair {
+        Pair {
+            wheel: EventQueue::with_kind(SchedulerKind::Wheel),
+            heap: EventQueue::with_kind(SchedulerKind::ReferenceHeap),
+            handles: Vec::new(),
+            now: 0,
+            pushed: 0,
+        }
+    }
+
+    fn push(&mut self, delay: u64, cancellable: bool) {
+        let at = SimTime(self.now.saturating_add(delay));
+        let kind = tick(self.pushed);
+        self.pushed += 1;
+        if cancellable {
+            let hw = self.wheel.push_cancellable(at, kind.clone());
+            let hh = self.heap.push_cancellable(at, kind);
+            self.handles.push((hw, hh));
+        } else {
+            self.wheel.push(at, kind.clone());
+            self.heap.push(at, kind);
+        }
+    }
+
+    fn cancel(&mut self, pick: usize) {
+        if self.handles.is_empty() {
+            return;
+        }
+        let (hw, hh) = self.handles[pick % self.handles.len()];
+        // Cancel must agree: both succeed (live timer) or both report
+        // stale (already popped or already cancelled).
+        assert_eq!(self.wheel.cancel(hw), self.heap.cancel(hh));
+        assert_eq!(self.wheel.len(), self.heap.len());
+    }
+
+    /// Pop one event from each backend and check they match; returns false
+    /// once both are empty (and asserts they empty together).
+    fn pop_matches(&mut self) -> bool {
+        match (self.wheel.pop(), self.heap.pop()) {
+            (Some(a), Some(b)) => {
+                assert_eq!((a.at, a.seq), (b.at, b.seq), "pop order diverged");
+                assert_eq!(token_of(&a.kind), token_of(&b.kind), "payload diverged");
+                assert!(a.at.0 >= self.now, "time ran backwards");
+                self.now = a.at.0;
+                true
+            }
+            (None, None) => false,
+            (a, b) => panic!("one backend emptied early: wheel={a:?} heap={b:?}"),
+        }
+    }
+
+    fn drain_and_check(&mut self) {
+        while self.pop_matches() {}
+        assert_eq!(self.wheel.stats(), self.heap.stats());
+        let s = self.wheel.stats();
+        assert_eq!(
+            s.dispatched + s.cancelled,
+            s.pushed,
+            "drained queue must account for every push"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary interleavings of push / cancel / pop, delays drawn from
+    /// the boundary-straddling table (with ±jitter so both sides of each
+    /// boundary occur), popped dry at the end.
+    #[test]
+    fn wheel_matches_reference_heap(
+        ops in proptest::collection::vec(
+            (0u8..10, any::<u16>(), 0u64..3),
+            1..250,
+        )
+    ) {
+        let mut pair = Pair::new();
+        for (sel, raw, jitter) in ops {
+            match sel {
+                // Pushes dominate so queues grow deep enough to cascade.
+                0..=4 => {
+                    let delay = DELAYS[raw as usize % DELAYS.len()].saturating_add(jitter);
+                    pair.push(delay, raw & 1 == 0);
+                }
+                5..=6 => pair.cancel(raw as usize),
+                _ => {
+                    for _ in 0..=jitter {
+                        pair.pop_matches();
+                    }
+                }
+            }
+        }
+        pair.drain_and_check();
+    }
+
+    /// Same-tick bursts: many events at identical timestamps must pop in
+    /// exact insertion (seq) order from both backends.
+    #[test]
+    fn same_tick_ties_preserve_insertion_order(
+        burst in proptest::collection::vec((0u64..4, any::<u16>()), 1..120)
+    ) {
+        let mut pair = Pair::new();
+        for (slot, raw) in burst {
+            // Four distinct timestamps, many collisions per timestamp.
+            pair.push(slot * 256, raw & 1 == 0);
+        }
+        pair.drain_and_check();
+    }
+
+    /// Deadline-bounded batch drains (`pop_batch_until`) must agree with
+    /// the reference heap on batch times, batch contents, and on what is
+    /// left behind — this exercises the wheel's bounded cursor
+    /// normalization, which must never advance past the deadline.
+    #[test]
+    fn batch_drain_matches_reference_heap(
+        pushes in proptest::collection::vec((any::<u16>(), 0u64..3), 1..150),
+        deadlines in proptest::collection::vec(any::<u16>(), 1..40,)
+    ) {
+        let mut pair = Pair::new();
+        for (raw, jitter) in pushes {
+            let delay = DELAYS[raw as usize % DELAYS.len()].saturating_add(jitter);
+            pair.push(delay, raw & 1 == 0);
+        }
+        let (mut bw, mut bh) = (Vec::new(), Vec::new());
+        let mut horizon = 0u64;
+        for d in deadlines {
+            horizon = horizon.saturating_add(d as u64 * 4096);
+            let deadline = SimTime(horizon);
+            loop {
+                bw.clear();
+                bh.clear();
+                let tw = pair.wheel.pop_batch_until(deadline, &mut bw);
+                let th = pair.heap.pop_batch_until(deadline, &mut bh);
+                prop_assert_eq!(tw, th, "batch time diverged");
+                let key = |e: &Event| (e.at, e.seq, token_of(&e.kind));
+                prop_assert_eq!(
+                    bw.iter().map(key).collect::<Vec<_>>(),
+                    bh.iter().map(key).collect::<Vec<_>>(),
+                    "batch contents diverged"
+                );
+                match tw {
+                    Some(t) => pair.now = t.0,
+                    None => break,
+                }
+            }
+        }
+        pair.drain_and_check();
+    }
+}

@@ -30,7 +30,7 @@ use netsim::device::host::FeedbackEvent;
 use netsim::device::TxMeta;
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
 use netsim::wire::tcpseg::{TcpFlags, TcpSegment};
-use netsim::{Host, IfaceNo, NetCtx, ProtocolHandler, SimDuration, SimTime};
+use netsim::{Host, IfaceNo, NetCtx, ProtocolHandler, SimDuration, SimTime, TimerHandle};
 
 use crate::{seq_le, seq_lt};
 
@@ -153,6 +153,11 @@ struct TcpConn {
     srtt_us: Option<(u64, u64)>, // (srtt, rttvar)
     retries: u32,
     timer_gen: u64,
+    /// The connection's one pending timer (RTO, keepalive, or TIME-WAIT),
+    /// cancelled in the scheduler when re-armed or no longer needed. The
+    /// generation number stays as a second line of defence for timers
+    /// already extracted into the event loop's in-flight batch.
+    timer: Option<TimerHandle>,
     /// Karn's algorithm: RTT probe (sequence end, send time); cleared by any
     /// retransmission.
     rtt_probe: Option<(u32, SimTime)>,
@@ -322,12 +327,20 @@ impl TcpLayer {
     fn arm_timer(&mut self, ix: usize, host: &mut Host, ctx: &mut NetCtx, delay: SimDuration) {
         let c = &mut self.conns[ix];
         c.timer_gen += 1;
+        if let Some(h) = c.timer.take() {
+            ctx.cancel_timer(h);
+        }
         let payload = timer_payload(ix, c.timer_gen);
-        host.request_proto_timer(ctx, IpProtocol::Tcp, delay, payload);
+        let handle = host.request_proto_timer(ctx, IpProtocol::Tcp, delay, payload);
+        self.conns[ix].timer = Some(handle);
     }
 
-    fn cancel_timer(&mut self, ix: usize) {
-        self.conns[ix].timer_gen += 1;
+    fn cancel_timer(&mut self, ix: usize, ctx: &mut NetCtx) {
+        let c = &mut self.conns[ix];
+        c.timer_gen += 1;
+        if let Some(h) = c.timer.take() {
+            ctx.cancel_timer(h);
+        }
     }
 
     /// Transmit as much pending data (and the FIN) as the window allows.
@@ -414,11 +427,14 @@ impl TcpLayer {
         }
     }
 
-    fn fail(&mut self, ix: usize, err: TcpError) {
+    fn fail(&mut self, ix: usize, err: TcpError, ctx: &mut NetCtx) {
         let c = &mut self.conns[ix];
         c.error = Some(err);
         c.state = TcpState::Closed;
         c.timer_gen += 1;
+        if let Some(h) = c.timer.take() {
+            ctx.cancel_timer(h);
+        }
     }
 
     fn update_rtt(&mut self, ix: usize, ack: u32, ctx: &mut NetCtx) {
@@ -494,7 +510,7 @@ impl TcpLayer {
             }
             match self.conns[ix].state {
                 TcpState::TimeWait => self.arm_timer(ix, host, ctx, TIME_WAIT_DURATION),
-                TcpState::Closed => self.cancel_timer(ix),
+                TcpState::Closed => self.cancel_timer(ix, ctx),
                 _ => {}
             }
         }
@@ -505,7 +521,7 @@ impl TcpLayer {
         let (keepalive, cstate) = (c.keepalive, c.state);
         if c.in_flight() == 0 {
             if !matches!(cstate, TcpState::TimeWait) {
-                self.cancel_timer(ix);
+                self.cancel_timer(ix, ctx);
                 if let (Some(ka), TcpState::Established) = (keepalive, cstate) {
                     self.arm_timer(ix, host, ctx, ka);
                 }
@@ -668,6 +684,7 @@ impl ProtocolHandler for TcpLayer {
                     srtt_us: None,
                     retries: 0,
                     timer_gen: 0,
+                    timer: None,
                     rtt_probe: None,
                     mss,
                     keepalive: None,
@@ -699,6 +716,9 @@ impl ProtocolHandler for TcpLayer {
         if ix >= self.conns.len() || self.conns[ix].timer_gen != gen {
             return; // stale timer
         }
+        // This firing consumes the stored handle: it must not be cancelled
+        // (a no-op) or double-released later.
+        self.conns[ix].timer = None;
         match self.conns[ix].state {
             TcpState::TimeWait => {
                 self.conns[ix].state = TcpState::Closed;
@@ -712,7 +732,7 @@ impl ProtocolHandler for TcpLayer {
                 let c = &mut self.conns[ix];
                 c.keepalive_fails += 1;
                 if c.keepalive_fails > KEEPALIVE_LIMIT {
-                    self.fail(ix, TcpError::TimedOut);
+                    self.fail(ix, TcpError::TimedOut, ctx);
                     return;
                 }
                 // Probe with a zero-length segment one octet below snd_nxt;
@@ -726,7 +746,7 @@ impl ProtocolHandler for TcpLayer {
                 let c = &mut self.conns[ix];
                 c.retries += 1;
                 if c.retries > MAX_RETRIES {
-                    self.fail(ix, TcpError::TimedOut);
+                    self.fail(ix, TcpError::TimedOut, ctx);
                     return;
                 }
                 c.rto = c.rto.saturating_mul(2).min(MAX_RTO);
@@ -752,7 +772,7 @@ impl TcpLayer {
             // An in-window RST kills the connection.
             let c = &self.conns[ix];
             if c.state == TcpState::SynSent || seq_le(c.rcv_nxt, seg.seq) || seg.seq == 0 {
-                self.fail(ix, TcpError::Reset);
+                self.fail(ix, TcpError::Reset, ctx);
             }
             return;
         }
@@ -782,7 +802,7 @@ impl TcpLayer {
                         c.retries = 0;
                         c.rtt_probe = None;
                     }
-                    self.cancel_timer(ix);
+                    self.cancel_timer(ix, ctx);
                     self.send_ack(ix, host, ctx);
                     self.pump(ix, host, ctx);
                 }
@@ -796,7 +816,7 @@ impl TcpLayer {
                         c.state = TcpState::Established;
                         c.retries = 0;
                     }
-                    self.cancel_timer(ix);
+                    self.cancel_timer(ix, ctx);
                     if let Some(l) = self.conns[ix].parent {
                         self.listeners[l].accept_q.push_back(ix);
                     }
@@ -898,6 +918,7 @@ pub fn connect(
             srtt_us: None,
             retries: 0,
             timer_gen: 0,
+            timer: None,
             rtt_probe: None,
             mss: DEFAULT_MSS,
             keepalive: None,
@@ -946,6 +967,9 @@ pub fn close(host: &mut Host, ctx: &mut NetCtx, h: TcpHandle) {
             TcpState::SynSent => {
                 c.state = TcpState::Closed;
                 c.timer_gen += 1;
+                if let Some(h) = c.timer.take() {
+                    ctx.cancel_timer(h);
+                }
             }
             TcpState::Established | TcpState::CloseWait => {
                 c.fin_pending = true;
@@ -965,7 +989,7 @@ pub fn abort(host: &mut Host, ctx: &mut NetCtx, h: TcpHandle) {
         };
         if !matches!(state, TcpState::Closed) {
             l.send_rst(host, ctx, local, remote, snd_nxt, 0);
-            l.fail(h.0, TcpError::Reset);
+            l.fail(h.0, TcpError::Reset, ctx);
         }
     })
 }
@@ -1004,7 +1028,7 @@ pub fn set_keepalive(
             Some(_) => {} // the in-flight RTO timer is already ticking
             None => {
                 if l.conns[h.0].in_flight() == 0 {
-                    l.cancel_timer(h.0);
+                    l.cancel_timer(h.0, ctx);
                 }
             }
         }

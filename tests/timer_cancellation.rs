@@ -1,0 +1,64 @@
+//! Cancelled timers must vanish from the event stream: a TCP session arms
+//! a retransmit/keepalive timer per segment and cancels it on ACK, so a
+//! healthy transfer should cancel far more timers than it lets fire — and
+//! none of the cancelled ones may ever be dispatched (they used to fire
+//! into guard code, inflating event counts and run_until_idle budgets).
+
+use mobility4x4::mip_core::scenario::{build, ChKind, ScenarioConfig};
+use mobility4x4::netsim::SimDuration;
+use mobility4x4::transport::apps::{KeystrokeSession, TcpEchoServer};
+
+#[test]
+fn acked_tcp_segments_cancel_their_timers() {
+    let mut s = build(ScenarioConfig {
+        ch_kind: ChKind::MobileAware,
+        ..ScenarioConfig::default()
+    });
+    let ch = s.ch;
+    let ch_addr = s.ch_addr();
+    s.world
+        .host_mut(ch)
+        .add_app(Box::new(TcpEchoServer::new(23)));
+    s.world.poll_soon(ch);
+
+    let mh = s.mh;
+    let app = s.world.host_mut(mh).add_app(Box::new(KeystrokeSession::new(
+        (ch_addr, 23),
+        SimDuration::from_millis(200),
+        25,
+    )));
+    s.world.poll_soon(mh);
+    s.world.run_for(SimDuration::from_secs(30));
+
+    let sess = s
+        .world
+        .host_mut(mh)
+        .app_as::<KeystrokeSession>(app)
+        .unwrap();
+    assert!(
+        sess.broken.is_none() && sess.all_echoed(),
+        "session must complete cleanly: typed {} echoed {} broken {:?}",
+        sess.typed(),
+        sess.echoed,
+        sess.broken
+    );
+
+    let stats = s.world.scheduler_stats();
+    // Every ACKed segment cancels its RTO timer; with 25 round trips the
+    // cancel count dwarfs any timer that legitimately fired.
+    assert!(
+        stats.cancelled >= 25,
+        "expected many cancelled TCP timers, got {stats:?}"
+    );
+    // Cancelled events were never dispatched: the books balance exactly,
+    // with cancelled ones absent from the dispatch count.
+    assert_eq!(
+        stats.dispatched + stats.cancelled + s.world.pending_events() as u64,
+        stats.pushed,
+        "every push is dispatched, cancelled, or still pending: {stats:?}"
+    );
+    assert!(
+        stats.dispatched < stats.pushed,
+        "cancellation must reduce dispatched events: {stats:?}"
+    );
+}
