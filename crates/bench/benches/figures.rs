@@ -184,20 +184,25 @@ fn bench_micro(c: &mut Criterion) {
 
 // ---- metrics registry overhead -----------------------------------------
 
-/// The same end-to-end workload at three observability levels: packet
+/// The same end-to-end workload at four observability levels: packet
 /// tracing off entirely, tracing on with the metrics registry off (the
-/// default), and both on. The fully-disabled run is the cost every
-/// simulation pays for the instrumentation existing at all — the
-/// enabled-guard early returns should keep it within noise of the others'
-/// recording-free portions.
+/// default), both on, and everything on including the wall-clock flight
+/// recorder. The fully-disabled run is the cost every simulation pays for
+/// the instrumentation existing at all — the enabled-guard early returns
+/// should keep it within noise of the others' recording-free portions,
+/// and `profiled` vs `enabled` is the recorder's all-in hot-path tax.
 fn bench_metrics_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("metrics_overhead");
     g.sample_size(10);
-    for (label, metrics, tracing) in [
-        ("tracing_disabled", false, false),
-        ("disabled", false, true),
-        ("enabled", true, true),
+    for (label, metrics, tracing, profiled) in [
+        ("tracing_disabled", false, false, false),
+        ("disabled", false, true, false),
+        ("enabled", true, true, false),
+        ("profiled", true, true, true),
     ] {
+        if profiled {
+            netsim::profile::set_enabled(true);
+        }
         g.bench_function(format!("ping_world_metrics_{label}"), |b| {
             b.iter(|| {
                 let mut w = netsim::World::new(1);
@@ -228,6 +233,10 @@ fn bench_metrics_overhead(c: &mut Criterion) {
                 black_box(w.trace.events().len())
             })
         });
+        if profiled {
+            netsim::profile::set_enabled(false);
+            netsim::profile::reset();
+        }
     }
     g.finish();
 }

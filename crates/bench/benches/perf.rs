@@ -20,7 +20,7 @@ use std::hint::black_box;
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use bench::experiments::pool_map;
+use bench::experiments::{pool_map, pool_map_exact, take_runner_telemetry};
 use netsim::device::router::{lpm, patch_forwarded_frame, RouteEntry};
 use netsim::wire::ethernet::{EtherType, EthernetFrame, MacAddr};
 use netsim::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet};
@@ -170,7 +170,64 @@ fn bench_runner(c: &mut Criterion) {
     g.bench_function("pool_32_jobs_4_threads", |b| {
         b.iter(|| black_box(pool_map(runner_jobs(32), 4)))
     });
+    // `pool_map` silently caps at the core count, so on small CI runners
+    // the `_threads` variants above measure the serial path twice. The
+    // `_forced` variants bypass the cap: on a single core they quantify
+    // pure time-slicing overhead; on a real multicore they show the
+    // speedup the capped numbers hide.
+    g.bench_function("pool_32_jobs_4_threads_forced", |b| {
+        b.iter(|| black_box(pool_map_exact(runner_jobs(32), 4)))
+    });
+    g.bench_function("pool_32_jobs_8_threads_forced", |b| {
+        b.iter(|| black_box(pool_map_exact(runner_jobs(32), 8)))
+    });
+    // Simulation-shaped jobs (build + route a 48-node world) rather than
+    // arithmetic spin: allocation-heavy, cache-heavy, closer to what
+    // `all_experiments` actually schedules.
+    g.bench_function("world_8_jobs_serial", |b| {
+        b.iter(|| black_box(pool_map_exact(world_jobs(8), 1)))
+    });
+    g.bench_function("world_8_jobs_4_threads_forced", |b| {
+        b.iter(|| black_box(pool_map_exact(world_jobs(8), 4)))
+    });
     g.finish();
+
+    record_worker_utilization();
+}
+
+/// `count` large-world jobs: each builds the 48-node grid and computes
+/// full routes, so the pool schedules real simulator work.
+fn world_jobs(count: u64) -> Vec<Box<dyn FnOnce() -> u64 + Send>> {
+    (0..count)
+        .map(|_| {
+            Box::new(move || {
+                let mut w = grid_world();
+                w.compute_routes();
+                w.pending_events() as u64
+            }) as Box<dyn FnOnce() -> u64 + Send>
+        })
+        .collect()
+}
+
+/// After the timed runner benches, snapshot per-worker utilization for a
+/// forced 1/2/4/8-thread sweep into the `CRITERION_JSON` summary
+/// (`extras` → `runner_utilization`). This is the flight-recorder data
+/// PROFILE_pr6.md cites: it shows directly whether workers overlapped or
+/// time-sliced.
+fn record_worker_utilization() {
+    netsim::profile::set_enabled(true);
+    take_runner_telemetry(); // drop anything stale
+    let mut batches = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        black_box(pool_map_exact(runner_jobs(32), threads));
+        batches.extend(take_runner_telemetry());
+    }
+    netsim::profile::set_enabled(false);
+    netsim::profile::reset();
+    match serde_json::to_string(&batches) {
+        Ok(json) => criterion::record_extra("runner_utilization", json),
+        Err(e) => eprintln!("runner_utilization extra skipped: {e:?}"),
+    }
 }
 
 /// Timer-heavy churn: prefill `pending` timers, then `ops` rounds of pop
@@ -227,6 +284,30 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
+/// The flight recorder's own cost: a scope enter/exit around trivial work
+/// with profiling off (one relaxed atomic load — the tax every hot path
+/// pays permanently) vs on (thread-local tree bookkeeping).
+fn bench_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profile");
+    g.bench_function("scope_disabled", |b| {
+        netsim::profile::set_enabled(false);
+        b.iter(|| {
+            let _prof = netsim::profile::scope("bench/probe");
+            black_box(1u64 + black_box(1))
+        })
+    });
+    g.bench_function("scope_enabled", |b| {
+        netsim::profile::set_enabled(true);
+        b.iter(|| {
+            let _prof = netsim::profile::scope("bench/probe");
+            black_box(1u64 + black_box(1))
+        });
+        netsim::profile::set_enabled(false);
+    });
+    netsim::profile::reset();
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_forward_fastpath,
@@ -234,5 +315,6 @@ criterion_group!(
     bench_compute_routes,
     bench_runner,
     bench_scheduler,
+    bench_profile,
 );
 criterion_main!(benches);

@@ -9,20 +9,21 @@
 //! `--serial` forces a single-threaded run (identical output, for
 //! debugging or timing comparisons); otherwise the worker count comes
 //! from `NETSIM_BENCH_THREADS` or the number of available cores.
+//!
+//! `NETSIM_PROFILE=1` or `--profile` records the flight recorder (scope
+//! timings, runner telemetry, gauge samples) into the run report;
+//! `--profile-chrome <path>` also writes a chrome://tracing file.
 
 fn main() {
-    bench::report::enable();
     let args: Vec<String> = std::env::args().collect();
     let threads = if args.iter().any(|a| a == "--serial") {
         1
     } else {
         bench::experiments::default_threads()
     };
-    let tables = bench::experiments::run_all_with(threads);
-    for t in &tables {
-        println!("{t}");
-    }
-    bench::report::emit("all_experiments", &tables);
+    let tables = bench::runbin::run("all_experiments", || {
+        bench::experiments::run_all_with(threads)
+    });
     if let Some(ix) = args.iter().position(|a| a == "--json") {
         let path = args
             .get(ix + 1)

@@ -4,7 +4,14 @@
 //!
 //! ```text
 //! bench_check <baseline.json> <current.json> [max-slowdown-factor]
+//! bench_check <current.json> [max-slowdown-factor]
+//! bench_check --baseline <file> <current.json> [max-slowdown-factor]
 //! ```
+//!
+//! With a single snapshot (or `--baseline` omitted) the baseline is picked
+//! automatically: the newest committed `BENCH_pr<N>.json` (highest `N`) in
+//! the current snapshot's directory, so CI keeps comparing against the
+//! latest checked-in numbers without anyone updating the workflow.
 //!
 //! Ids that exist in only one snapshot are reported but never fail the
 //! check — benchmarks come and go between PRs. The factor is deliberately
@@ -12,6 +19,7 @@
 //! magnitude regressions (like an accidentally serialised thread pool),
 //! not single-digit-percent drift.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use serde_json::Value;
@@ -59,22 +67,85 @@ fn load(path: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Newest committed baseline next to `current`: the `BENCH_pr<N>.json`
+/// with the highest `N` (lexicographically-largest `BENCH_*.json` as a
+/// fallback), never `current` itself.
+fn auto_baseline(current: &str) -> Option<PathBuf> {
+    let cur = Path::new(current);
+    let dir = match cur.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let cur_name = cur.file_name()?;
+    let mut best: Option<(Option<u64>, String, PathBuf)> = None;
+    for entry in std::fs::read_dir(&dir).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if entry.file_name() == cur_name || !name.starts_with("BENCH_") || !name.ends_with(".json")
+        {
+            continue;
+        }
+        let pr: Option<u64> = name
+            .strip_prefix("BENCH_pr")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|n| n.parse().ok());
+        let key = (pr, name.clone());
+        if best
+            .as_ref()
+            .is_none_or(|(bpr, bname, _)| key > (*bpr, bname.clone()))
+        {
+            best = Some((pr, name, entry.path()));
+        }
+    }
+    best.map(|(_, _, path)| path)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (baseline_path, current_path) = match args.as_slice() {
-        [b, c] | [b, c, _] => (b.as_str(), c.as_str()),
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    if let Some(ix) = args.iter().position(|a| a == "--baseline") {
+        if ix + 1 >= args.len() {
+            eprintln!("bench_check: --baseline needs a file");
+            return ExitCode::from(2);
+        }
+        args.remove(ix);
+        baseline_path = Some(args.remove(ix));
+    }
+    // Remaining forms: <current> [factor] (auto baseline) or the legacy
+    // <baseline> <current> [factor]. A second positional that parses as a
+    // number is a factor, not a path.
+    let mut positional = args;
+    let factor: f64 = match positional.last().and_then(|s| s.parse().ok()) {
+        Some(f) => {
+            positional.pop();
+            f
+        }
+        None => 2.0,
+    };
+    let (baseline_path, current_path) = match (baseline_path, positional.as_slice()) {
+        (Some(b), [c]) => (b, c.clone()),
+        (None, [b, c]) => (b.clone(), c.clone()),
+        (None, [c]) => match auto_baseline(c) {
+            Some(b) => {
+                println!("bench_check: auto-selected baseline {}", b.display());
+                (b.display().to_string(), c.clone())
+            }
+            None => {
+                eprintln!("bench_check: no BENCH_*.json baseline found next to {c}");
+                return ExitCode::from(2);
+            }
+        },
         _ => {
-            eprintln!("usage: bench_check <baseline.json> <current.json> [max-slowdown-factor]");
+            eprintln!(
+                "usage: bench_check [--baseline FILE] <current.json> [factor]\n\
+                        bench_check <baseline.json> <current.json> [factor]"
+            );
             return ExitCode::from(2);
         }
     };
-    let factor: f64 = args
-        .get(2)
-        .map(|s| s.parse().expect("factor must be a number"))
-        .unwrap_or(2.0);
 
-    let baseline = load(baseline_path);
-    let current = load(current_path);
+    let baseline = load(&baseline_path);
+    let current = load(&current_path);
     let mut failed = false;
 
     for (id, new_ns) in &current {

@@ -1,7 +1,6 @@
 //! Extension: the §6.1 automatic-decapsulation spoofing risk, measured.
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::exp_decap_risk::run();
-    println!("{t}");
-    bench::report::emit("exp_decap_risk", &[t]);
+    bench::runbin::run("exp_decap_risk", || {
+        vec![bench::experiments::exp_decap_risk::run()]
+    });
 }

@@ -1,7 +1,4 @@
 //! Ablation: encapsulation format on a live tunnelled workload (§3.3).
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::exp_encap::run();
-    println!("{t}");
-    bench::report::emit("exp_encap", &[t]);
+    bench::runbin::run("exp_encap", || vec![bench::experiments::exp_encap::run()]);
 }

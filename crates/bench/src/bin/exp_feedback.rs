@@ -1,7 +1,6 @@
 //! E13: transmission-feedback ablation (§7.1.2).
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::exp_feedback::run();
-    println!("{t}");
-    bench::report::emit("exp_feedback", &[t]);
+    bench::runbin::run("exp_feedback", || {
+        vec![bench::experiments::exp_feedback::run()]
+    });
 }

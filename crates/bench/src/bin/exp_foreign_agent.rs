@@ -1,7 +1,6 @@
 //! Ablation: foreign agent vs collocated care-of address (§2).
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::exp_foreign_agent::run();
-    println!("{t}");
-    bench::report::emit("exp_foreign_agent", &[t]);
+    bench::runbin::run("exp_foreign_agent", || {
+        vec![bench::experiments::exp_foreign_agent::run()]
+    });
 }

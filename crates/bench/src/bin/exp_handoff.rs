@@ -1,7 +1,6 @@
 //! E11: connection durability across handoffs (§2).
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::exp_handoff::run();
-    println!("{t}");
-    bench::report::emit("exp_handoff", &[t]);
+    bench::runbin::run("exp_handoff", || {
+        vec![bench::experiments::exp_handoff::run()]
+    });
 }

@@ -1,7 +1,4 @@
 //! E10: Web workload, Out-DT vs always-Mobile-IP (§4/§6.4).
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::exp_http::run();
-    println!("{t}");
-    bench::report::emit("exp_http", &[t]);
+    bench::runbin::run("exp_http", || vec![bench::experiments::exp_http::run()]);
 }

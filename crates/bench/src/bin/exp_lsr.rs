@@ -1,7 +1,4 @@
 //! E17: loose source routing vs encapsulation (§4), measured.
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::exp_lsr::run();
-    println!("{t}");
-    bench::report::emit("exp_lsr", &[t]);
+    bench::runbin::run("exp_lsr", || vec![bench::experiments::exp_lsr::run()]);
 }

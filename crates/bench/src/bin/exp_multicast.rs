@@ -1,7 +1,6 @@
 //! E12: multicast, home tunnel vs local join (§6.4).
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::exp_multicast::run();
-    println!("{t}");
-    bench::report::emit("exp_multicast", &[t]);
+    bench::runbin::run("exp_multicast", || {
+        vec![bench::experiments::exp_multicast::run()]
+    });
 }

@@ -1,7 +1,6 @@
 //! E9: probing-strategy comparison (§7.1).
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::exp_probing::run();
-    println!("{t}");
-    bench::report::emit("exp_probing", &[t]);
+    bench::runbin::run("exp_probing", || {
+        vec![bench::experiments::exp_probing::run()]
+    });
 }

@@ -1,7 +1,6 @@
 //! Regenerates Figure 1 (basic Mobile IP path asymmetry). See DESIGN.md E1.
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::fig01_basic::run();
-    println!("{t}");
-    bench::report::emit("fig01_basic", &[t]);
+    bench::runbin::run("fig01_basic", || {
+        vec![bench::experiments::fig01_basic::run()]
+    });
 }

@@ -1,9 +1,4 @@
 //! Regenerates Figure 2 (source-address-filtering deliverability matrix). See DESIGN.md E2.
 fn main() {
-    bench::report::enable();
-    let tables = bench::experiments::fig02_filtering::run();
-    for t in &tables {
-        println!("{t}");
-    }
-    bench::report::emit("fig02_filtering", &tables);
+    bench::runbin::run("fig02_filtering", bench::experiments::fig02_filtering::run);
 }

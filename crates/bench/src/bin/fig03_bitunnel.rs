@@ -1,7 +1,6 @@
 //! Regenerates Figure 3 (bi-directional tunneling). See DESIGN.md E3.
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::fig03_bitunnel::run();
-    println!("{t}");
-    bench::report::emit("fig03_bitunnel", &[t]);
+    bench::runbin::run("fig03_bitunnel", || {
+        vec![bench::experiments::fig03_bitunnel::run()]
+    });
 }

@@ -1,7 +1,8 @@
 //! Regenerates Figure 4 (triangle-routing penalty sweep). See DESIGN.md E4.
 fn main() {
-    bench::report::enable();
-    let t = bench::experiments::fig04_triangle::run(&[5, 10, 25, 50, 100, 200]);
-    println!("{t}");
-    bench::report::emit("fig04_triangle", &[t]);
+    bench::runbin::run("fig04_triangle", || {
+        vec![bench::experiments::fig04_triangle::run(&[
+            5, 10, 25, 50, 100, 200,
+        ])]
+    });
 }

@@ -1,9 +1,4 @@
 //! Regenerates Figure 5 (smart correspondent learning). See DESIGN.md E5.
 fn main() {
-    bench::report::enable();
-    let tables = bench::experiments::fig05_smart_ch::run();
-    for t in &tables {
-        println!("{t}");
-    }
-    bench::report::emit("fig05_smart_ch", &tables);
+    bench::runbin::run("fig05_smart_ch", bench::experiments::fig05_smart_ch::run);
 }

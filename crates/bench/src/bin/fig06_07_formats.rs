@@ -1,9 +1,4 @@
 //! Regenerates Figures 6-9 (packet formats and sizes). See DESIGN.md E6/E7.
 fn main() {
-    bench::report::enable();
-    let tables = bench::experiments::fig06_formats::run();
-    for t in &tables {
-        println!("{t}");
-    }
-    bench::report::emit("fig06_07_formats", &tables);
+    bench::runbin::run("fig06_07_formats", bench::experiments::fig06_formats::run);
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 10 (the empirical 4x4 grid). See DESIGN.md E8.
 fn main() {
-    bench::report::enable();
-    let open = bench::experiments::fig10_grid::run().table;
-    let filtered = bench::experiments::fig10_grid::run_filtered().table;
-    println!("{open}");
-    println!("{filtered}");
-    bench::report::emit("fig10_grid", &[open, filtered]);
+    bench::runbin::run("fig10_grid", || {
+        vec![
+            bench::experiments::fig10_grid::run().table,
+            bench::experiments::fig10_grid::run_filtered().table,
+        ]
+    });
 }

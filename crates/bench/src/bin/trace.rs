@@ -71,7 +71,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let lifecycles = extract_lifecycles(&doc);
     if lifecycles.is_empty() {
         return Err(format!(
-            "{path}: no lifecycle data (is this a run-report/v2 file from a \
+            "{path}: no lifecycle data (is this a run-report/v2+ file from a \
              metrics-enabled run?)"
         ));
     }

@@ -21,11 +21,150 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 use crate::Table;
 
 /// A pool task: one "runner" participating in a [`pool_map`] batch.
 type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+// ---- runner telemetry --------------------------------------------------------
+
+/// What one runner (pool worker or the calling thread) did during a
+/// [`pool_map`] batch, recorded while the flight recorder is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Thread name plus claim-order index, e.g. `bench-pool#1`.
+    pub label: String,
+    /// Jobs this runner claimed and ran.
+    pub jobs: u64,
+    /// Wall nanoseconds spent inside jobs; the rest of the batch wall
+    /// time was idle (waiting on the claim counter or the batch tail).
+    pub busy_ns: u64,
+}
+
+serde::impl_serialize!(WorkerStat {
+    label,
+    jobs,
+    busy_ns,
+});
+
+/// Telemetry for one [`pool_map`] batch: per-runner utilization and the
+/// job-queue depth over time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunnerBatch {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Runners the batch was asked to use (including the caller).
+    pub threads: usize,
+    /// Batch wall time, start of fan-out to last result collected.
+    pub wall_ns: u64,
+    /// One entry per runner that participated, sorted by label.
+    pub workers: Vec<WorkerStat>,
+    /// `(ns since batch start, unclaimed jobs)` at each claim, capped at
+    /// [`DEPTH_CAP`] entries.
+    pub queue_depth: Vec<(u64, u64)>,
+}
+
+serde::impl_serialize!(RunnerBatch {
+    jobs,
+    threads,
+    wall_ns,
+    workers,
+    queue_depth,
+});
+
+/// Cap on per-batch queue-depth entries, so huge batches stay affordable.
+const DEPTH_CAP: usize = 1024;
+
+/// Batches recorded since the last [`take_runner_telemetry`].
+static RUNNER_TELEMETRY: Mutex<Vec<RunnerBatch>> = Mutex::new(Vec::new());
+
+/// Drains and returns every [`RunnerBatch`] recorded so far (only batches
+/// run while the flight recorder was enabled are recorded).
+pub fn take_runner_telemetry() -> Vec<RunnerBatch> {
+    std::mem::take(&mut *RUNNER_TELEMETRY.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// A non-draining snapshot of recorded batches as a run-report value;
+/// `None` when nothing was recorded.
+pub fn runner_telemetry_value() -> Option<serde::Value> {
+    let batches = RUNNER_TELEMETRY.lock().unwrap_or_else(|e| e.into_inner());
+    if batches.is_empty() {
+        None
+    } else {
+        Some(serde::Serialize::to_value(&*batches))
+    }
+}
+
+/// Shared per-batch instrumentation: claim-time queue depths and
+/// per-runner busy tallies, committed as one [`RunnerBatch`].
+struct BatchMonitor {
+    start: Instant,
+    next_runner: AtomicUsize,
+    workers: Mutex<Vec<WorkerStat>>,
+    depth: Mutex<Vec<(u64, u64)>>,
+    /// Runners that called [`BatchMonitor::finish_runner`]; commit waits
+    /// for all of them so late, zero-job runners still land in their own
+    /// batch instead of leaking into the next one.
+    finished: Mutex<usize>,
+    all_finished: Condvar,
+}
+
+impl BatchMonitor {
+    fn new() -> BatchMonitor {
+        BatchMonitor {
+            start: Instant::now(),
+            next_runner: AtomicUsize::new(0),
+            workers: Mutex::new(Vec::new()),
+            depth: Mutex::new(Vec::new()),
+            finished: Mutex::new(0),
+            all_finished: Condvar::new(),
+        }
+    }
+
+    fn note_depth(&self, remaining: usize) {
+        let mut d = self.depth.lock().unwrap();
+        if d.len() < DEPTH_CAP {
+            d.push((self.start.elapsed().as_nanos() as u64, remaining as u64));
+        }
+    }
+
+    fn finish_runner(&self, jobs: u64, busy_ns: u64) {
+        let ix = self.next_runner.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current();
+        let name = name.name().unwrap_or("worker");
+        self.workers.lock().unwrap().push(WorkerStat {
+            label: format!("{name}#{ix}"),
+            jobs,
+            busy_ns,
+        });
+        let mut f = self.finished.lock().unwrap();
+        *f += 1;
+        self.all_finished.notify_all();
+    }
+
+    fn commit(&self, jobs: usize, threads: usize) {
+        let mut f = self.finished.lock().unwrap();
+        while *f < threads {
+            f = self.all_finished.wait(f).unwrap();
+        }
+        drop(f);
+        let mut workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        workers.sort_by(|a, b| a.label.cmp(&b.label));
+        let queue_depth = std::mem::take(&mut *self.depth.lock().unwrap());
+        RUNNER_TELEMETRY
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(RunnerBatch {
+                jobs,
+                threads,
+                wall_ns: self.start.elapsed().as_nanos() as u64,
+                workers,
+                queue_depth,
+            });
+    }
+}
 
 /// The process-wide worker pool backing [`pool_map`]. Threads are spawned
 /// on demand, detached, and then parked on the condvar between batches —
@@ -98,6 +237,8 @@ struct Batch<T, F> {
     next: AtomicUsize,
     completed: Mutex<usize>,
     all_done: Condvar,
+    /// Present only while the flight recorder is enabled.
+    monitor: Option<Arc<BatchMonitor>>,
 }
 
 impl<T, F: FnOnce() -> T> Batch<T, F> {
@@ -106,23 +247,39 @@ impl<T, F: FnOnce() -> T> Batch<T, F> {
     /// busy elsewhere.
     fn run_jobs(&self) {
         let n = self.jobs.len();
+        let mut my_jobs = 0u64;
+        let mut busy_ns = 0u64;
         loop {
             let ix = self.next.fetch_add(1, Ordering::Relaxed);
             if ix >= n {
-                return;
+                break;
+            }
+            if let Some(m) = &self.monitor {
+                m.note_depth(n - ix);
             }
             let job = self.jobs[ix]
                 .lock()
                 .unwrap()
                 .take()
                 .expect("each job claimed once");
+            let t0 = self.monitor.as_ref().map(|_| Instant::now());
             let out = catch_unwind(AssertUnwindSafe(job));
+            if let Some(t0) = t0 {
+                busy_ns += t0.elapsed().as_nanos() as u64;
+                my_jobs += 1;
+            }
             self.slots.lock().unwrap()[ix] = Some(out);
             let mut done = self.completed.lock().unwrap();
             *done += 1;
             if *done == n {
                 self.all_done.notify_all();
             }
+        }
+        if let Some(m) = &self.monitor {
+            // Record even zero-job runners: a runner that claimed nothing
+            // is exactly what utilization data is supposed to expose.
+            m.finish_runner(my_jobs, busy_ns);
+            netsim::profile::flush_thread();
         }
     }
 }
@@ -163,8 +320,22 @@ where
 {
     let n = jobs.len();
     let threads = threads.clamp(1, n.max(1));
+    let monitor = netsim::profile::enabled().then(|| Arc::new(BatchMonitor::new()));
     if threads <= 1 {
-        return jobs.into_iter().map(|j| j()).collect();
+        let Some(m) = monitor else {
+            return jobs.into_iter().map(|j| j()).collect();
+        };
+        let mut out = Vec::with_capacity(n);
+        let mut busy_ns = 0u64;
+        for (ix, j) in jobs.into_iter().enumerate() {
+            m.note_depth(n - ix);
+            let t0 = Instant::now();
+            out.push(j());
+            busy_ns += t0.elapsed().as_nanos() as u64;
+        }
+        m.finish_runner(n as u64, busy_ns);
+        m.commit(n, 1);
+        return out;
     }
     let batch = Arc::new(Batch {
         jobs: jobs.into_iter().map(|j| Mutex::new(Some(j))).collect(),
@@ -172,6 +343,7 @@ where
         next: AtomicUsize::new(0),
         completed: Mutex::new(0),
         all_done: Condvar::new(),
+        monitor,
     });
     let pool = WorkerPool::get();
     pool.ensure_workers(threads - 1);
@@ -185,6 +357,9 @@ where
         done = batch.all_done.wait(done).unwrap();
     }
     drop(done);
+    if let Some(m) = &batch.monitor {
+        m.commit(n, threads);
+    }
     let slots = std::mem::take(&mut *batch.slots.lock().unwrap());
     slots
         .into_iter()
@@ -225,23 +400,35 @@ pub fn run_all() -> Vec<Table> {
 /// serially in paper order.
 pub fn run_all_with(threads: usize) -> Vec<Table> {
     type Job = Box<dyn FnOnce() -> Vec<Table> + Send>;
+    /// Names each experiment's profiling scope so `profile --hot` can
+    /// attribute wall time to individual experiments.
+    fn prof(name: &'static str, f: impl FnOnce() -> Vec<Table> + Send + 'static) -> Job {
+        Box::new(move || {
+            let _prof = netsim::profile::scope(name);
+            f()
+        })
+    }
     let jobs: Vec<Job> = vec![
-        Box::new(|| vec![fig01_basic::run()]),
-        Box::new(fig02_filtering::run),
-        Box::new(|| vec![fig03_bitunnel::run()]),
-        Box::new(|| vec![fig04_triangle::run(&[5, 10, 25, 50, 100, 200])]),
-        Box::new(fig05_smart_ch::run),
-        Box::new(fig06_formats::run),
-        Box::new(|| vec![fig10_grid::run().table, fig10_grid::run_filtered().table]),
-        Box::new(|| vec![exp_probing::run()]),
-        Box::new(|| vec![exp_http::run()]),
-        Box::new(|| vec![exp_handoff::run()]),
-        Box::new(|| vec![exp_multicast::run()]),
-        Box::new(|| vec![exp_feedback::run()]),
-        Box::new(|| vec![exp_foreign_agent::run()]),
-        Box::new(|| vec![exp_encap::run()]),
-        Box::new(|| vec![exp_decap_risk::run()]),
-        Box::new(|| vec![exp_lsr::run()]),
+        prof("exp:fig01_basic", || vec![fig01_basic::run()]),
+        prof("exp:fig02_filtering", fig02_filtering::run),
+        prof("exp:fig03_bitunnel", || vec![fig03_bitunnel::run()]),
+        prof("exp:fig04_triangle", || {
+            vec![fig04_triangle::run(&[5, 10, 25, 50, 100, 200])]
+        }),
+        prof("exp:fig05_smart_ch", fig05_smart_ch::run),
+        prof("exp:fig06_formats", fig06_formats::run),
+        prof("exp:fig10_grid", || {
+            vec![fig10_grid::run().table, fig10_grid::run_filtered().table]
+        }),
+        prof("exp:probing", || vec![exp_probing::run()]),
+        prof("exp:http", || vec![exp_http::run()]),
+        prof("exp:handoff", || vec![exp_handoff::run()]),
+        prof("exp:multicast", || vec![exp_multicast::run()]),
+        prof("exp:feedback", || vec![exp_feedback::run()]),
+        prof("exp:foreign_agent", || vec![exp_foreign_agent::run()]),
+        prof("exp:encap", || vec![exp_encap::run()]),
+        prof("exp:decap_risk", || vec![exp_decap_risk::run()]),
+        prof("exp:lsr", || vec![exp_lsr::run()]),
     ];
     pool_map(jobs, threads).into_iter().flatten().collect()
 }

@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod forced;
 pub mod report;
+pub mod runbin;
 pub mod util;
 
 pub use util::Table;

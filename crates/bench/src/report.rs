@@ -47,12 +47,22 @@ pub fn enabled() -> bool {
     COLLECTOR.lock().enabled
 }
 
+/// Sim-time interval between flight-recorder gauge samples when profiling
+/// is on (10 ms of simulated time), and the sample cap the reservoir
+/// doubles the stride at.
+const SAMPLE_INTERVAL_US: u64 = 10_000;
+const SAMPLE_CAP: usize = 256;
+
 /// Enable a world's metrics registry — but only when report collection is
 /// on, so experiment functions stay zero-cost under tests and criterion.
-/// Call right after building a scenario, before running it.
+/// Call right after building a scenario, before running it. When the
+/// flight recorder is on this also starts the world's gauge sampler.
 pub fn observe_world(world: &mut World) {
     if enabled() {
         world.enable_metrics();
+    }
+    if netsim::profile::enabled() {
+        world.enable_sampling(netsim::SimDuration(SAMPLE_INTERVAL_US), SAMPLE_CAP);
     }
 }
 
@@ -72,6 +82,21 @@ pub fn record_world(label: &str, world: &World) {
     if !world.trace.events().is_empty() {
         let lc = Lifecycle::reconstruct(&world.trace, &world.node_names());
         snap.push(("lifecycle".into(), lc.report_value(LIFECYCLE_SPAN_CAP)));
+    }
+    // Flight-recorder extras are wall-clock derived and so nondeterministic;
+    // they only appear when profiling was explicitly switched on, keeping
+    // default reports byte-identical run to run.
+    if netsim::profile::enabled() {
+        snap.push((
+            "scheduler".into(),
+            Value::Object(vec![
+                ("stats".into(), world.scheduler_stats().to_value()),
+                ("telemetry".into(), world.scheduler_telemetry().to_value()),
+            ]),
+        ));
+        if let Some(samples) = world.samples_value() {
+            snap.push(("profile_samples".into(), samples));
+        }
     }
     c.snapshots.push((label.to_string(), Value::Object(snap)));
 }
@@ -94,6 +119,10 @@ fn report_dir() -> PathBuf {
     }
 }
 
+/// Scope cap on the profile section a report embeds; the hottest scopes
+/// (by inclusive time) are kept, the tail is summarised.
+const PROFILE_SCOPE_CAP: usize = 96;
+
 /// Build the report value for `name` from the given tables plus every
 /// snapshot recorded since the last emit (which this call drains).
 /// Snapshots are emitted sorted by label so report bytes are stable run to
@@ -101,15 +130,29 @@ fn report_dir() -> PathBuf {
 pub fn build(name: &str, tables: &[Table]) -> Value {
     let mut snapshots = std::mem::take(&mut COLLECTOR.lock().snapshots);
     snapshots.sort_by(|(a, _), (b, _)| a.cmp(b));
-    Value::Object(vec![
+    let mut fields = vec![
         ("name".into(), Value::Str(name.to_string())),
-        ("schema".into(), Value::Str("run-report/v2".into())),
+        ("schema".into(), Value::Str("run-report/v3".into())),
         (
             "tables".into(),
             Value::Array(tables.iter().map(|t| t.to_value()).collect()),
         ),
         ("snapshots".into(), Value::Object(snapshots)),
-    ])
+    ];
+    // The flight-recorder sections are wall-clock derived, so they are only
+    // present when profiling was explicitly enabled — default reports stay
+    // deterministic.
+    if netsim::profile::enabled() {
+        netsim::profile::flush_thread();
+        fields.push((
+            "profile".into(),
+            netsim::profile::report_value(PROFILE_SCOPE_CAP),
+        ));
+        if let Some(runner) = crate::experiments::runner_telemetry_value() {
+            fields.push(("runner".into(), runner));
+        }
+    }
+    Value::Object(fields)
 }
 
 /// Write the JSON run report for `name`, returning its path. Errors are
@@ -150,7 +193,7 @@ mod tests {
         let v = build("demo", &[t]);
         let json = serde_json::to_string(&v).unwrap();
         assert!(json.contains("\"name\":\"demo\""));
-        assert!(json.contains("\"schema\":\"run-report/v2\""));
+        assert!(json.contains("\"schema\":\"run-report/v3\""));
         assert!(json.contains("\"tables\":["));
     }
 

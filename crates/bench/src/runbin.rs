@@ -1,0 +1,66 @@
+//! Shared main-routine for the experiment binaries.
+//!
+//! Every `src/bin` wrapper does the same four things: enable report
+//! collection, run its experiment, print the tables, and emit the JSON
+//! run report. [`run`] centralises that and layers the flight recorder on
+//! top: setting `NETSIM_PROFILE=1` (any non-empty value other than `0`)
+//! or passing `--profile` turns on `netsim::profile` for the process, so
+//! the emitted report carries `profile`, `runner`, and per-snapshot
+//! gauge-sample sections. `--profile-chrome <path>` additionally writes
+//! the scope tree as a chrome://tracing / Perfetto file.
+
+use crate::report;
+use crate::Table;
+
+/// Whether this process should record the flight recorder: the
+/// `NETSIM_PROFILE` environment variable (non-empty, not `"0"`) or a
+/// `--profile` argument.
+pub fn profile_requested() -> bool {
+    std::env::var("NETSIM_PROFILE").is_ok_and(|v| !v.is_empty() && v != "0")
+        || std::env::args().any(|a| a == "--profile")
+}
+
+/// Run an experiment binary body under the standard harness: report
+/// collection on, profiling on when requested, the whole run wrapped in a
+/// root scope named after the binary, tables printed, and the run report
+/// emitted. Returns the tables for callers that post-process them.
+pub fn run(name: &'static str, f: impl FnOnce() -> Vec<Table>) -> Vec<Table> {
+    report::enable();
+    let profiling = profile_requested();
+    if profiling {
+        netsim::profile::set_enabled(true);
+    }
+    let tables = {
+        let _prof = netsim::profile::scope(name);
+        f()
+    };
+    for t in &tables {
+        println!("{t}");
+    }
+    report::emit(name, &tables);
+    if profiling {
+        export_chrome_if_asked(name);
+    }
+    tables
+}
+
+/// Honour `--profile-chrome <path>`; with no path the trace lands next to
+/// the run reports as `<name>-chrome.json`.
+fn export_chrome_if_asked(name: &str) {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(ix) = args.iter().position(|a| a == "--profile-chrome") else {
+        return;
+    };
+    let path = args
+        .get(ix + 1)
+        .filter(|p| !p.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| format!("{name}-chrome.json"));
+    let trace = netsim::profile::capture().chrome_trace();
+    let json = serde_json::to_string_pretty(&trace)
+        .unwrap_or_else(|e| format!("{{\"error\":\"serialization failed: {e:?}\"}}"));
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("chrome-trace: {path}"),
+        Err(e) => eprintln!("chrome-trace: cannot write {path}: {e}"),
+    }
+}

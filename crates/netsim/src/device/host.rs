@@ -570,6 +570,7 @@ impl Host {
 
     /// Send a locally-originated (or hook-emitted) IP packet.
     pub fn send_ip(&mut self, ctx: &mut NetCtx, mut pkt: Ipv4Packet, meta: TxMeta) {
+        let _prof = crate::profile::scope("host/tx");
         // A retransmission is causally a clone of an earlier transmission:
         // link it (pre-encapsulation, so the chain matches the original's
         // shape) before the mobility hook may wrap it.
@@ -674,6 +675,7 @@ impl Host {
     // ---- IP receive path ------------------------------------------------
 
     pub(crate) fn on_frame(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &Bytes) {
+        let _prof = crate::profile::scope("host/rx");
         let mut own = self.nic.addrs();
         // Also answer ARP for intercepted addresses via the proxy list.
         own.extend(self.intercept.iter().copied());

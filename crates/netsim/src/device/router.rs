@@ -363,6 +363,7 @@ impl Router {
     }
 
     pub(crate) fn on_frame(&mut self, ctx: &mut NetCtx, iface: IfaceNo, frame: &Bytes) {
+        let _prof = crate::profile::scope("router/forward");
         if self.try_fast_forward(ctx, iface, frame) {
             return;
         }

@@ -230,6 +230,46 @@ pub struct SchedulerStats {
     pub cancelled: u64,
 }
 
+serde::impl_serialize!(SchedulerStats {
+    pushed,
+    dispatched,
+    cancelled,
+});
+
+/// Timing-wheel internals sampled while the flight recorder
+/// ([`crate::profile`]) is enabled: cascade activity, occupancy-bitmap
+/// popcounts per level, and overflow-heap pressure. All zeros when
+/// profiling never ran or on the reference-heap backend. Readable through
+/// [`EventQueue::telemetry`] / [`crate::world::World::scheduler_telemetry`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerTelemetry {
+    /// Coarse buckets cascaded down a level.
+    pub cascades: u64,
+    /// Entries moved by those cascades.
+    pub cascade_entries: u64,
+    /// Entries promoted from the overflow heap onto the wheel.
+    pub overflow_promotions: u64,
+    /// High-water mark of the overflow heap.
+    pub overflow_peak: u64,
+    /// Occupied-slot popcount per level, summed over cascade samples
+    /// (divide by `samples` for the mean).
+    pub occupancy_sum: [u64; LEVELS],
+    /// Occupied-slot popcount per level, peak over cascade samples.
+    pub occupancy_peak: [u64; LEVELS],
+    /// Number of occupancy samples (one per cascade).
+    pub samples: u64,
+}
+
+serde::impl_serialize!(SchedulerTelemetry {
+    cascades,
+    cascade_entries,
+    overflow_promotions,
+    overflow_peak,
+    occupancy_sum,
+    occupancy_peak,
+    samples,
+});
+
 // ---- internal entry ----------------------------------------------------------
 
 /// A queued event plus its cancellation handle (if any). Times are raw
@@ -316,6 +356,9 @@ struct Wheel {
     /// rewinds here (never to an arbitrary push time) when tombstone
     /// sweeps have carried it past `now` over an emptied wheel.
     floor: u64,
+    /// Cascade/occupancy/overflow gauges, recorded only while profiling
+    /// is enabled.
+    telemetry: SchedulerTelemetry,
 }
 
 impl std::fmt::Debug for Wheel {
@@ -338,7 +381,17 @@ impl Wheel {
             ready: VecDeque::new(),
             ready_at: 0,
             floor: 0,
+            telemetry: SchedulerTelemetry::default(),
         }
+    }
+
+    /// Occupied-slot popcount per level.
+    fn occupancy(&self) -> [u64; LEVELS] {
+        let mut occ = [0u64; LEVELS];
+        for (o, words) in occ.iter_mut().zip(&self.occupied) {
+            *o = words.iter().map(|w| u64::from(w.count_ones())).sum();
+        }
+        occ
     }
 
     /// No physical entries anywhere — the only state when the cursor may
@@ -370,7 +423,13 @@ impl Wheel {
                 self.slots[l * SLOTS + s].push(e);
                 self.occupied[l][s / 64] |= 1 << (s % 64);
             }
-            None => self.overflow.push(HeapEntry(e)),
+            None => {
+                self.overflow.push(HeapEntry(e));
+                if crate::profile::enabled() {
+                    let len = self.overflow.len() as u64;
+                    self.telemetry.overflow_peak = self.telemetry.overflow_peak.max(len);
+                }
+            }
         }
     }
 
@@ -440,6 +499,19 @@ impl Wheel {
                     return None;
                 }
                 self.cursor = start;
+                if crate::profile::enabled() {
+                    // Sample occupancy before the bucket empties so the
+                    // gauge reflects the wheel as the cascade saw it.
+                    let occ = self.occupancy();
+                    let t = &mut self.telemetry;
+                    t.cascades += 1;
+                    t.samples += 1;
+                    t.cascade_entries += self.slots[l * SLOTS + s].len() as u64;
+                    for (l2, &o) in occ.iter().enumerate() {
+                        t.occupancy_sum[l2] += o;
+                        t.occupancy_peak[l2] = t.occupancy_peak[l2].max(o);
+                    }
+                }
                 self.occupied[l][s / 64] &= !(1 << (s % 64));
                 let mut bucket = std::mem::take(&mut self.slots[l * SLOTS + s]);
                 for e in bucket.drain(..) {
@@ -479,12 +551,17 @@ impl Wheel {
                 return None;
             }
             self.cursor = first;
+            let mut promoted = 0u64;
             while let Some(HeapEntry(e)) = self.overflow.peek() {
                 if e.at ^ self.cursor >= SPAN {
                     break;
                 }
                 let HeapEntry(e) = self.overflow.pop().expect("peeked");
                 self.insert(e);
+                promoted += 1;
+            }
+            if promoted > 0 && crate::profile::enabled() {
+                self.telemetry.overflow_promotions += promoted;
             }
         }
     }
@@ -723,6 +800,25 @@ impl EventQueue {
     /// Activity counters since creation.
     pub fn stats(&self) -> SchedulerStats {
         self.stats
+    }
+
+    /// Wheel-internals gauges recorded while profiling was enabled. All
+    /// zeros on the reference-heap backend (it has no cascades).
+    pub fn telemetry(&self) -> SchedulerTelemetry {
+        match &self.backend {
+            Backend::Wheel(w) => w.telemetry,
+            Backend::Heap(_) => SchedulerTelemetry::default(),
+        }
+    }
+
+    /// Instantaneous wheel occupancy: occupied-slot popcount per level
+    /// plus the overflow-heap length. On the reference-heap backend every
+    /// entry counts as overflow.
+    pub fn wheel_occupancy(&self) -> ([u64; LEVELS], usize) {
+        match &self.backend {
+            Backend::Wheel(w) => (w.occupancy(), w.overflow.len()),
+            Backend::Heap(h) => ([0; LEVELS], h.len()),
+        }
     }
 }
 

@@ -18,9 +18,12 @@
 //!   paper's key implementation mechanism ("We override the IP route lookup
 //!   routine and replace it with a routine that consults a mobility policy
 //!   table before the usual route table", §7).
-//! * **Observation** ([`trace`]): per-hop packet traces with drop reasons,
-//!   hop counts, path latency and byte accounting, so experiments can measure
-//!   everything the paper's figures illustrate.
+//! * **Observation** ([`trace`], [`profile`]): per-hop packet traces with
+//!   drop reasons, hop counts, path latency and byte accounting, so
+//!   experiments can measure everything the paper's figures illustrate —
+//!   plus a zero-cost-when-disabled flight recorder (hierarchical
+//!   wall-clock scopes, allocation telemetry, scheduler gauges) measuring
+//!   the simulator itself.
 //!
 //! The simulator is synchronous and deterministic: a seeded RNG drives fault
 //! injection, and event ties are broken by insertion order, so every run with
@@ -33,6 +36,7 @@ pub mod event;
 pub mod lifecycle;
 pub mod link;
 pub mod metrics;
+pub mod profile;
 pub mod route;
 pub mod time;
 pub mod trace;
@@ -45,6 +49,7 @@ pub use device::host::{
 pub use device::nic::IfaceAddr;
 pub use device::router::{FilterAction, FilterRule, FilterWhen, Router, RouterConfig};
 pub use device::TxMeta;
+pub use event::SchedulerTelemetry;
 pub use event::{
     default_scheduler, set_default_scheduler, Event, EventKind, EventQueue, IfaceNo, NodeId,
     SchedulerKind, SchedulerStats, Timer, TimerHandle, TimerToken,

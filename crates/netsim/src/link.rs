@@ -242,7 +242,10 @@ impl Segment {
         // Corrupt frames are never delivered (the FCS check below discards
         // them), so the fault decision only needs the length — the frame
         // buffer stays shared and untouched, no copy.
-        let outcome = self.config.fault.decide(frame.len(), rng);
+        let outcome = {
+            let _prof = crate::profile::scope("link/fault");
+            self.config.fault.decide(frame.len(), rng)
+        };
         if outcome == FaultOutcome::Drop {
             self.stats.fault_drops += 1;
             return outcome;

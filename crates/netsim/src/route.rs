@@ -91,9 +91,12 @@ impl RouteTable {
 
     /// Longest-prefix match for `dst`, consulting the cache first.
     pub fn lookup(&self, dst: Ipv4Addr) -> Option<RouteEntry> {
+        let _prof = crate::profile::scope("route/lookup");
         if let Some(hit) = self.cache.borrow().get(&dst.0) {
+            crate::profile::add(crate::profile::Counter::RouteCacheHit, 1);
             return *hit;
         }
+        crate::profile::add(crate::profile::Counter::RouteCacheMiss, 1);
         let found = self.lookup_uncached(dst);
         let mut cache = self.cache.borrow_mut();
         if cache.len() >= CACHE_CAP {

@@ -12,7 +12,8 @@ use crate::device::nic::IfaceAddr;
 use crate::device::router::{Router, RouterConfig};
 use crate::device::{token, NS_APPS};
 use crate::event::{
-    Event, EventKind, EventQueue, IfaceNo, NodeId, SchedulerStats, Timer, TimerHandle, TimerToken,
+    Event, EventKind, EventQueue, IfaceNo, NodeId, SchedulerStats, SchedulerTelemetry, Timer,
+    TimerHandle, TimerToken,
 };
 use crate::link::{FaultOutcome, LinkConfig, LinkStats, Segment, SegmentId};
 use crate::metrics::MetricsRegistry;
@@ -119,7 +120,11 @@ impl NetCtx<'_> {
         iface: IfaceNo,
         frame: &EthernetFrame,
     ) -> FaultOutcome {
-        self.transmit_raw(seg, iface, frame.emit())
+        let bytes = {
+            let _prof = crate::profile::scope("frame/emit");
+            frame.emit()
+        };
+        self.transmit_raw(seg, iface, bytes)
     }
 
     /// Put already-serialized wire bytes on a segment from this node's
@@ -127,6 +132,7 @@ impl NetCtx<'_> {
     /// O(1) — between the segment's delivery events and the pcap capture;
     /// nothing on this path copies the frame.
     pub fn transmit_raw(&mut self, seg: SegmentId, iface: IfaceNo, frame: Bytes) -> FaultOutcome {
+        let _prof = crate::profile::scope("link/transmit");
         // Snapshot link-metric inputs before the transmit mutates the
         // segment's committed-until time.
         let (queue_wait, serialize) = if self.metrics.enabled() {
@@ -240,6 +246,9 @@ pub struct World {
     /// [`World::run_until_idle`] — drained every batch, so the allocation
     /// is made once per world rather than once per dispatch.
     batch: Vec<Event>,
+    /// Periodic gauge sampler; absent (one branch per batch) until
+    /// [`World::enable_sampling`].
+    sampler: Option<Box<crate::profile::TimeSeries>>,
 }
 
 impl World {
@@ -257,6 +266,7 @@ impl World {
             next_mac: 1,
             pcap: None,
             batch: Vec::new(),
+            sampler: None,
         }
     }
 
@@ -486,11 +496,15 @@ impl World {
 
     /// Process one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
+        let _prof = crate::profile::scope("world/step");
         let Some(Event { at, kind, .. }) = self.queue.pop() else {
             return false;
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        if self.sampler.is_some() {
+            self.maybe_sample();
+        }
         self.dispatch(kind);
         true
     }
@@ -504,10 +518,20 @@ impl World {
     /// and are picked up by the next probe, so dispatch order is exactly
     /// the (time, seq) order of the one-at-a-time path.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let _prof = crate::profile::scope("world/run");
         let mut batch = std::mem::take(&mut self.batch);
-        while let Some(t) = self.queue.pop_batch_until(deadline, &mut batch) {
+        loop {
+            let t = {
+                let _prof = crate::profile::scope("sched/pop_batch");
+                self.queue.pop_batch_until(deadline, &mut batch)
+            };
+            let Some(t) = t else { break };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            if self.sampler.is_some() {
+                self.maybe_sample();
+            }
+            let _prof = crate::profile::scope("world/dispatch");
             for Event { kind, .. } in batch.drain(..) {
                 self.dispatch(kind);
             }
@@ -526,10 +550,20 @@ impl World {
     /// guard). Panics if the limit is hit — a quiescing network should
     /// always drain.
     pub fn run_until_idle(&mut self, limit: usize) {
+        let _prof = crate::profile::scope("world/run");
         let mut batch = std::mem::take(&mut self.batch);
         let mut dispatched = 0usize;
-        while let Some(t) = self.queue.pop_batch_until(SimTime(u64::MAX), &mut batch) {
+        loop {
+            let t = {
+                let _prof = crate::profile::scope("sched/pop_batch");
+                self.queue.pop_batch_until(SimTime(u64::MAX), &mut batch)
+            };
+            let Some(t) = t else { break };
             self.now = t;
+            if self.sampler.is_some() {
+                self.maybe_sample();
+            }
+            let _prof = crate::profile::scope("world/dispatch");
             for Event { kind, .. } in batch.drain(..) {
                 if dispatched >= limit {
                     panic!(
@@ -556,6 +590,69 @@ impl World {
         self.queue.stats()
     }
 
+    /// Timing-wheel gauges (cascades, occupancy, overflow pressure)
+    /// recorded while the flight recorder was enabled; all zeros
+    /// otherwise and on the reference-heap backend.
+    pub fn scheduler_telemetry(&self) -> SchedulerTelemetry {
+        self.queue.telemetry()
+    }
+
+    // ---- gauge sampling --------------------------------------------------------
+
+    /// Start sampling runtime gauges (dispatch rates, live timers, wheel
+    /// occupancy, route-cache counters, a heap-footprint estimate) every
+    /// `interval` of *simulated* time, keeping at most `cap` samples: when
+    /// the buffer fills, every other sample is dropped and the interval
+    /// doubles, so arbitrarily long runs stay bounded and evenly covered.
+    pub fn enable_sampling(&mut self, interval: SimDuration, cap: usize) {
+        self.sampler = Some(Box::new(crate::profile::TimeSeries::new(interval.0, cap)));
+    }
+
+    /// Gauge samples recorded so far, oldest first; `None` until
+    /// [`World::enable_sampling`].
+    pub fn samples(&self) -> Option<&[crate::profile::Sample]> {
+        self.sampler
+            .as_deref()
+            .map(crate::profile::TimeSeries::samples)
+    }
+
+    /// The sample set as a run-report value; `None` until
+    /// [`World::enable_sampling`].
+    pub fn samples_value(&self) -> Option<serde::Value> {
+        self.sampler
+            .as_deref()
+            .map(crate::profile::TimeSeries::to_value)
+    }
+
+    /// Crude heap-footprint estimate: node, trace-event, and queued-event
+    /// counts times representative per-entry sizes. Gauge-grade only.
+    fn mem_estimate(&self) -> u64 {
+        self.nodes.len() as u64 * 768
+            + self.trace.events().len() as u64 * 160
+            + self.queue.len() as u64 * 112
+    }
+
+    /// Record a sample if one is due at the current sim time. Callers
+    /// gate on `self.sampler.is_some()` so the run loops pay one branch.
+    fn maybe_sample(&mut self) {
+        let due = self.sampler.as_deref().is_some_and(|s| s.due(self.now.0));
+        if !due {
+            return;
+        }
+        let (occ, overflow) = self.queue.wheel_occupancy();
+        let raw = crate::profile::RawGauges {
+            sim_us: self.now.0,
+            dispatched: self.queue.stats().dispatched,
+            live_timers: self.queue.len() as u64,
+            wheel_occupancy: occ.iter().sum(),
+            overflow_len: overflow as u64,
+            mem_est_bytes: self.mem_estimate(),
+        };
+        if let Some(s) = self.sampler.as_deref_mut() {
+            s.push(raw);
+        }
+    }
+
     // ---- automatic routing ----------------------------------------------------
 
     /// Compute shortest-path routes (by cumulative link latency) from every
@@ -563,6 +660,7 @@ impl World {
     /// replacing existing route tables. Only routers forward, so paths only
     /// transit router nodes. Call once after building a static topology.
     pub fn compute_routes(&mut self) {
+        let _prof = crate::profile::scope("world/compute_routes");
         let seg_count = self.segments.len();
 
         // Which prefixes live on which segment. Order preserved (it decides

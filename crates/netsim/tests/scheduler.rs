@@ -86,6 +86,7 @@ impl Pair {
             self.wheel.push(at, kind.clone());
             self.heap.push(at, kind);
         }
+        self.check_reconciliation();
     }
 
     fn cancel(&mut self, pick: usize) {
@@ -97,6 +98,21 @@ impl Pair {
         // stale (already popped or already cancelled).
         assert_eq!(self.wheel.cancel(hw), self.heap.cancel(hh));
         assert_eq!(self.wheel.len(), self.heap.len());
+        self.check_reconciliation();
+    }
+
+    /// The scheduler-stats invariant, checked mid-interleaving on both
+    /// backends: every push is either already dispatched, cancelled before
+    /// firing, or still pending in the queue.
+    fn check_reconciliation(&self) {
+        for (label, q) in [("wheel", &self.wheel), ("heap", &self.heap)] {
+            let s = q.stats();
+            assert_eq!(
+                s.pushed,
+                s.dispatched + s.cancelled + q.len() as u64,
+                "{label}: pushed must equal dispatched + cancelled + pending"
+            );
+        }
     }
 
     /// Pop one event from each backend and check they match; returns false
@@ -116,8 +132,11 @@ impl Pair {
     }
 
     fn drain_and_check(&mut self) {
-        while self.pop_matches() {}
+        while self.pop_matches() {
+            self.check_reconciliation();
+        }
         assert_eq!(self.wheel.stats(), self.heap.stats());
+        self.check_reconciliation();
         let s = self.wheel.stats();
         assert_eq!(
             s.dispatched + s.cancelled,
@@ -204,6 +223,7 @@ proptest! {
                     bh.iter().map(key).collect::<Vec<_>>(),
                     "batch contents diverged"
                 );
+                pair.check_reconciliation();
                 match tw {
                     Some(t) => pair.now = t.0,
                     None => break,

@@ -649,6 +649,7 @@ impl TcpLayer {
 
 impl ProtocolHandler for TcpLayer {
     fn on_packet(&mut self, pkt: &Ipv4Packet, _iface: IfaceNo, host: &mut Host, ctx: &mut NetCtx) {
+        let _prof = netsim::profile::scope("tcp/segment");
         let Ok(seg) = TcpSegment::parse(&pkt.payload, pkt.src, pkt.dst) else {
             return;
         };
@@ -712,6 +713,7 @@ impl ProtocolHandler for TcpLayer {
     }
 
     fn on_timer(&mut self, payload: u64, host: &mut Host, ctx: &mut NetCtx) {
+        let _prof = netsim::profile::scope("tcp/timer");
         let (ix, gen) = split_payload(payload);
         if ix >= self.conns.len() || self.conns[ix].timer_gen != gen {
             return; // stale timer

@@ -131,6 +131,21 @@ struct BenchResult {
 /// Every result from this process, in run order.
 static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
 
+/// Labelled raw-JSON attachments for the summary (telemetry captured
+/// alongside timings); each `data` string must already be valid JSON.
+static EXTRAS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Attaches an extra JSON payload to the `CRITERION_JSON` summary under
+/// `"extras"` — `data` is spliced in verbatim and must be valid JSON.
+/// Bench targets use this to snapshot non-timing telemetry (worker
+/// utilization, allocation counts) next to the medians.
+pub fn record_extra(id: impl Into<String>, data: String) {
+    EXTRAS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((id.into(), data));
+}
+
 fn run_one<F>(id: &str, sample_size: usize, filter: Option<&str>, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -197,7 +212,20 @@ fn write_json(path: &str) -> std::io::Result<()> {
             r.median_ns, r.samples, r.iters_per_sample
         ));
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ]");
+    let extras = EXTRAS.lock().unwrap_or_else(|e| e.into_inner());
+    if !extras.is_empty() {
+        out.push_str(",\n  \"extras\": [");
+        for (i, (id, data)) in extras.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let id = id.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!("\n    {{\"id\": \"{id}\", \"data\": {data}}}"));
+        }
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
     std::fs::write(path, out)
 }
 
@@ -297,6 +325,18 @@ mod tests {
         assert!(body.contains("\"schema\": \"bench-summary/v1\""));
         assert!(body.contains("\"id\": \"g/json_probe\""));
         assert!(body.contains("\"median_ns\": 42.5"));
+    }
+
+    #[test]
+    fn extras_embed_raw_json() {
+        record_extra("telemetry_probe", "{\"workers\": [1, 2]}".to_string());
+        let path = std::env::temp_dir().join("criterion_shim_extras_test.json");
+        write_json(path.to_str().unwrap()).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(body.contains("\"extras\": ["));
+        assert!(body.contains("\"id\": \"telemetry_probe\""));
+        assert!(body.contains("\"data\": {\"workers\": [1, 2]}"));
     }
 
     #[test]
