@@ -192,6 +192,34 @@ fn bench_micro(c: &mut Criterion) {
 /// should keep it within noise of the others' recording-free portions,
 /// and `profiled` vs `enabled` is the recorder's all-in hot-path tax.
 fn bench_metrics_overhead(c: &mut Criterion) {
+    fn ping_world() -> (netsim::World, netsim::NodeId) {
+        let mut w = netsim::World::new(1);
+        let lan_a = w.add_segment(netsim::LinkConfig::lan());
+        let mid = w.add_segment(netsim::LinkConfig::wan(10));
+        let lan_b = w.add_segment(netsim::LinkConfig::lan());
+        let a = w.add_host(netsim::HostConfig::conventional("a"));
+        let bb = w.add_host(netsim::HostConfig::conventional("b"));
+        let r1 = w.add_router(netsim::RouterConfig::named("r1"));
+        let r2 = w.add_router(netsim::RouterConfig::named("r2"));
+        w.attach(a, lan_a, Some("10.0.1.10/24"));
+        w.attach(r1, lan_a, Some("10.0.1.1/24"));
+        w.attach(r1, mid, Some("192.168.0.1/30"));
+        w.attach(r2, mid, Some("192.168.0.2/30"));
+        w.attach(r2, lan_b, Some("10.0.2.1/24"));
+        w.attach(bb, lan_b, Some("10.0.2.10/24"));
+        w.compute_routes();
+        (w, a)
+    }
+    fn drive(mut w: netsim::World, a: netsim::NodeId) -> usize {
+        for seq in 0..32u16 {
+            w.host_do(a, |h, ctx| {
+                h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), seq)
+            });
+        }
+        w.run_until_idle(10_000_000);
+        w.trace.events().len()
+    }
+
     let mut g = c.benchmark_group("metrics_overhead");
     g.sample_size(10);
     for (label, metrics, tracing, profiled) in [
@@ -205,38 +233,43 @@ fn bench_metrics_overhead(c: &mut Criterion) {
         }
         g.bench_function(format!("ping_world_metrics_{label}"), |b| {
             b.iter(|| {
-                let mut w = netsim::World::new(1);
-                let lan_a = w.add_segment(netsim::LinkConfig::lan());
-                let mid = w.add_segment(netsim::LinkConfig::wan(10));
-                let lan_b = w.add_segment(netsim::LinkConfig::lan());
-                let a = w.add_host(netsim::HostConfig::conventional("a"));
-                let bb = w.add_host(netsim::HostConfig::conventional("b"));
-                let r1 = w.add_router(netsim::RouterConfig::named("r1"));
-                let r2 = w.add_router(netsim::RouterConfig::named("r2"));
-                w.attach(a, lan_a, Some("10.0.1.10/24"));
-                w.attach(r1, lan_a, Some("10.0.1.1/24"));
-                w.attach(r1, mid, Some("192.168.0.1/30"));
-                w.attach(r2, mid, Some("192.168.0.2/30"));
-                w.attach(r2, lan_b, Some("10.0.2.1/24"));
-                w.attach(bb, lan_b, Some("10.0.2.10/24"));
-                w.compute_routes();
+                let (mut w, a) = ping_world();
                 if metrics {
                     w.enable_metrics();
                 }
                 w.trace.set_enabled(tracing);
-                for seq in 0..32u16 {
-                    w.host_do(a, |h, ctx| {
-                        h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), seq)
-                    });
-                }
-                w.run_until_idle(10_000_000);
-                black_box(w.trace.events().len())
+                black_box(drive(w, a))
             })
         });
         if profiled {
             netsim::profile::set_enabled(false);
             netsim::profile::reset();
         }
+    }
+
+    // The scale-ready telemetry paths, measured against `enabled` above:
+    // `sampled` pays the per-event flow-sampling hash plus the invariant
+    // monitors, `sketched` additionally routes every counter through the
+    // collapsed heavy-hitter registry.
+    let sampled = netsim::TelemetryConfig {
+        sample_flows: Some(8),
+        ..netsim::TelemetryConfig::default()
+    };
+    let sketched = netsim::TelemetryConfig {
+        sample_flows: Some(8),
+        sketch_node_threshold: 1,
+        ..netsim::TelemetryConfig::default()
+    };
+    for (label, cfg) in [("sampled", sampled), ("sketched", sketched)] {
+        g.bench_function(format!("ping_world_metrics_{label}"), |b| {
+            b.iter(|| {
+                let (mut w, a) = ping_world();
+                w.enable_metrics();
+                w.apply_telemetry(&cfg);
+                w.trace.set_enabled(true);
+                black_box(drive(w, a))
+            })
+        });
     }
     g.finish();
 }

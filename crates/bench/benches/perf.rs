@@ -308,6 +308,50 @@ fn bench_profile(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sketch/sampling primitives the scale-ready telemetry layer leans
+/// on: Space-Saving offers under heavy key churn (worst case: every key
+/// distinct, constant eviction), reservoir offers past capacity, and the
+/// per-event flow-sampling hash decision.
+fn bench_telemetry(c: &mut Criterion) {
+    use netsim::{Reservoir, SpaceSaving};
+    let mut g = c.benchmark_group("telemetry");
+    g.bench_function("space_saving_offer_churn", |b| {
+        b.iter(|| {
+            let mut sk: SpaceSaving<u64> = SpaceSaving::new(64);
+            for i in 0u64..4096 {
+                sk.offer(black_box(i % 512), 1);
+            }
+            black_box(sk.top().len())
+        })
+    });
+    g.bench_function("reservoir_offer", |b| {
+        b.iter(|| {
+            let mut r: Reservoir<u64> = Reservoir::new(64, 7);
+            for i in 0u64..4096 {
+                r.offer(black_box(i));
+            }
+            black_box(r.items().len())
+        })
+    });
+    g.bench_function("flow_sample_decision", |b| {
+        let trace = {
+            let mut t = netsim::PacketTrace::new(true);
+            t.enable_flow_sampling(8, 0x5eed);
+            t
+        };
+        b.iter(|| {
+            let mut kept = 0u64;
+            for i in 0u64..4096 {
+                if trace.keeps_flow(netsim::FlowId(black_box(i))) {
+                    kept += 1;
+                }
+            }
+            black_box(kept)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_forward_fastpath,
@@ -316,5 +360,6 @@ criterion_group!(
     bench_runner,
     bench_scheduler,
     bench_profile,
+    bench_telemetry,
 );
 criterion_main!(benches);

@@ -13,6 +13,11 @@
 //! `NETSIM_PROFILE=1` or `--profile` records the flight recorder (scope
 //! timings, runner telemetry, gauge samples) into the run report;
 //! `--profile-chrome <path>` also writes a chrome://tracing file.
+//!
+//! Scale-ready telemetry knobs apply here like every experiment binary:
+//! `--sample-flows N` / `NETSIM_SAMPLE=N` (1-in-N flow capture, anomalies
+//! always promoted), `--topk K`, `--sketch-threshold N`, and
+//! `NETSIM_TELEMETRY_SEED` — see `bench::runbin::telemetry_requested`.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -1,4 +1,9 @@
 //! Ablation: encapsulation format on a live tunnelled workload (§3.3).
+//!
+//! Scale-ready telemetry knobs apply here like every experiment binary:
+//! `--sample-flows N` / `NETSIM_SAMPLE=N` (1-in-N flow capture, anomalies
+//! always promoted), `--topk K`, `--sketch-threshold N`, and
+//! `NETSIM_TELEMETRY_SEED` — see `bench::runbin::telemetry_requested`.
 fn main() {
     bench::runbin::run("exp_encap", || vec![bench::experiments::exp_encap::run()]);
 }

@@ -1,4 +1,9 @@
 //! E17: loose source routing vs encapsulation (§4), measured.
+//!
+//! Scale-ready telemetry knobs apply here like every experiment binary:
+//! `--sample-flows N` / `NETSIM_SAMPLE=N` (1-in-N flow capture, anomalies
+//! always promoted), `--topk K`, `--sketch-threshold N`, and
+//! `NETSIM_TELEMETRY_SEED` — see `bench::runbin::telemetry_requested`.
 fn main() {
     bench::runbin::run("exp_lsr", || vec![bench::experiments::exp_lsr::run()]);
 }

@@ -1,4 +1,9 @@
 //! E12: multicast, home tunnel vs local join (§6.4).
+//!
+//! Scale-ready telemetry knobs apply here like every experiment binary:
+//! `--sample-flows N` / `NETSIM_SAMPLE=N` (1-in-N flow capture, anomalies
+//! always promoted), `--topk K`, `--sketch-threshold N`, and
+//! `NETSIM_TELEMETRY_SEED` — see `bench::runbin::telemetry_requested`.
 fn main() {
     bench::runbin::run("exp_multicast", || {
         vec![bench::experiments::exp_multicast::run()]

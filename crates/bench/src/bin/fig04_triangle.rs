@@ -1,4 +1,9 @@
 //! Regenerates Figure 4 (triangle-routing penalty sweep). See DESIGN.md E4.
+//!
+//! Scale-ready telemetry knobs apply here like every experiment binary:
+//! `--sample-flows N` / `NETSIM_SAMPLE=N` (1-in-N flow capture, anomalies
+//! always promoted), `--topk K`, `--sketch-threshold N`, and
+//! `NETSIM_TELEMETRY_SEED` — see `bench::runbin::telemetry_requested`.
 fn main() {
     bench::runbin::run("fig04_triangle", || {
         vec![bench::experiments::fig04_triangle::run(&[

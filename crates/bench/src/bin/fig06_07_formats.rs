@@ -1,4 +1,9 @@
 //! Regenerates Figures 6-9 (packet formats and sizes). See DESIGN.md E6/E7.
+//!
+//! Scale-ready telemetry knobs apply here like every experiment binary:
+//! `--sample-flows N` / `NETSIM_SAMPLE=N` (1-in-N flow capture, anomalies
+//! always promoted), `--topk K`, `--sketch-threshold N`, and
+//! `NETSIM_TELEMETRY_SEED` — see `bench::runbin::telemetry_requested`.
 fn main() {
     bench::runbin::run("fig06_07_formats", bench::experiments::fig06_formats::run);
 }

@@ -1,4 +1,9 @@
 //! Regenerates Figure 10 (the empirical 4x4 grid). See DESIGN.md E8.
+//!
+//! Scale-ready telemetry knobs apply here like every experiment binary:
+//! `--sample-flows N` / `NETSIM_SAMPLE=N` (1-in-N flow capture, anomalies
+//! always promoted), `--topk K`, `--sketch-threshold N`, and
+//! `NETSIM_TELEMETRY_SEED` — see `bench::runbin::telemetry_requested`.
 fn main() {
     bench::runbin::run("fig10_grid", || {
         vec![

@@ -17,7 +17,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use netsim::{Lifecycle, World};
+use netsim::{Lifecycle, TelemetryConfig, World};
 use parking_lot::Mutex;
 use serde::{Serialize, Value};
 
@@ -36,6 +36,23 @@ static COLLECTOR: Mutex<Collector> = Mutex::new(Collector {
     enabled: false,
     snapshots: Vec::new(),
 });
+
+/// Process-global telemetry configuration, set from CLI flags/environment
+/// by [`crate::run_experiments`] before any experiment builds a world.
+/// `None` means full-fidelity observation — today's default.
+static TELEMETRY: Mutex<Option<TelemetryConfig>> = Mutex::new(None);
+
+/// Install the telemetry configuration every subsequently observed world
+/// receives (sampling, sketches, invariant monitors). Binaries call this
+/// once, from flags like `--sample-flows` / `NETSIM_SAMPLE`.
+pub fn set_telemetry_config(cfg: TelemetryConfig) {
+    *TELEMETRY.lock() = Some(cfg);
+}
+
+/// The installed telemetry configuration, if any.
+pub fn telemetry_config() -> Option<TelemetryConfig> {
+    *TELEMETRY.lock()
+}
 
 /// Turn snapshot collection on for this process (binaries call this first).
 pub fn enable() {
@@ -60,6 +77,13 @@ const SAMPLE_CAP: usize = 256;
 pub fn observe_world(world: &mut World) {
     if enabled() {
         world.enable_metrics();
+        // Invariant monitors ride along with every observed world: they
+        // cost one branch and a hash-set op per trace event, and turn
+        // conservation bugs into report sections instead of silence.
+        world.enable_invariants();
+        if let Some(cfg) = telemetry_config() {
+            world.apply_telemetry(&cfg);
+        }
     }
     if netsim::profile::enabled() {
         world.enable_sampling(netsim::SimDuration(SAMPLE_INTERVAL_US), SAMPLE_CAP);
@@ -75,6 +99,15 @@ pub fn record_world(label: &str, world: &World) {
     if !c.enabled || !world.metrics.enabled() {
         return;
     }
+    let snap = world_snapshot(world);
+    c.snapshots.push((label.to_string(), snap));
+}
+
+/// The report snapshot for one world, exactly as [`record_world`] embeds
+/// it. Pure (no collector involved) so tests can assert on report bytes —
+/// in particular that sampled runs are deterministic and that default
+/// (unsampled, unmonitored) snapshots carry no extra sections.
+pub fn world_snapshot(world: &World) -> Value {
     let mut snap = vec![(
         "metrics".to_string(),
         world.metrics.snapshot(&world.node_names(), world.now()),
@@ -82,6 +115,33 @@ pub fn record_world(label: &str, world: &World) {
     if !world.trace.events().is_empty() {
         let lc = Lifecycle::reconstruct(&world.trace, &world.node_names());
         snap.push(("lifecycle".into(), lc.report_value(LIFECYCLE_SPAN_CAP)));
+    }
+    // Flow sampling is opt-in, so this section only appears when a
+    // telemetry config asked for it — default reports are untouched.
+    if let Some(n) = world.trace.flow_sample_rate() {
+        snap.push((
+            "sampling".into(),
+            Value::Object(vec![
+                ("flow_sample_rate".into(), Value::U64(n)),
+                (
+                    "suppressed_events".into(),
+                    Value::U64(world.trace.suppressed_events()),
+                ),
+                (
+                    "promoted_flows".into(),
+                    Value::U64(world.trace.promoted_flows() as u64),
+                ),
+            ]),
+        ));
+    }
+    // The invariant section appears when monitoring found a violation
+    // (always worth surfacing) or when telemetry was explicitly
+    // configured (the CI smoke job reads the `ok` flag). Clean default
+    // runs stay byte-identical to v3 apart from the schema bump.
+    if world.invariants.enabled()
+        && (telemetry_config().is_some() || world.has_invariant_violations())
+    {
+        snap.push(("invariants".into(), world.invariant_report()));
     }
     // Flight-recorder extras are wall-clock derived and so nondeterministic;
     // they only appear when profiling was explicitly switched on, keeping
@@ -98,7 +158,7 @@ pub fn record_world(label: &str, world: &World) {
             snap.push(("profile_samples".into(), samples));
         }
     }
-    c.snapshots.push((label.to_string(), Value::Object(snap)));
+    Value::Object(snap)
 }
 
 /// Attach any serializable value (audit trails, sweep parameters, …) to
@@ -132,7 +192,7 @@ pub fn build(name: &str, tables: &[Table]) -> Value {
     snapshots.sort_by(|(a, _), (b, _)| a.cmp(b));
     let mut fields = vec![
         ("name".into(), Value::Str(name.to_string())),
-        ("schema".into(), Value::Str("run-report/v3".into())),
+        ("schema".into(), Value::Str("run-report/v4".into())),
         (
             "tables".into(),
             Value::Array(tables.iter().map(|t| t.to_value()).collect()),
@@ -193,7 +253,7 @@ mod tests {
         let v = build("demo", &[t]);
         let json = serde_json::to_string(&v).unwrap();
         assert!(json.contains("\"name\":\"demo\""));
-        assert!(json.contains("\"schema\":\"run-report/v3\""));
+        assert!(json.contains("\"schema\":\"run-report/v4\""));
         assert!(json.contains("\"tables\":["));
     }
 

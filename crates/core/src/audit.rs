@@ -349,6 +349,16 @@ impl AuditTrail {
         self.shed
     }
 
+    /// Total events ever recorded, retained or shed.
+    pub fn recorded(&self) -> u64 {
+        self.entries.len() as u64 + self.shed
+    }
+
+    /// The ring's capacity: the most entries it will retain.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Forget everything recorded so far (capacity and clock kept).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -358,13 +368,21 @@ impl AuditTrail {
 
 impl Serialize for AuditTrail {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             (
-                "entries".into(),
+                "entries".to_string(),
                 Value::Array(self.entries.iter().map(|e| e.to_value()).collect()),
             ),
-            ("shed".into(), Value::U64(self.shed)),
-        ])
+            ("shed".to_string(), Value::U64(self.shed)),
+        ];
+        if self.shed > 0 {
+            // A truncated history must be legible as such: say how big the
+            // window was and how much passed through it. Omitted when
+            // nothing was shed so untruncated reports stay byte-stable.
+            fields.push(("capacity".to_string(), Value::U64(self.capacity as u64)));
+            fields.push(("recorded".to_string(), Value::U64(self.recorded())));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -403,6 +421,11 @@ mod tests {
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.shed(), 3);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.capacity(), 2);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"capacity\":2"), "{json}");
+        assert!(json.contains("\"recorded\":5"), "{json}");
         let kept: Vec<u16> = t
             .entries()
             .map(|e| match e.event {
@@ -446,6 +469,9 @@ mod tests {
         t.set_now(SimTime(42));
         t.record(decision("10.0.0.9", OutMode::IE, DecisionReason::Privacy));
         let json = serde_json::to_string(&t).unwrap();
+        // Untruncated trails omit the capacity fields: reports from runs
+        // that never shed stay byte-identical.
+        assert!(!json.contains("capacity"), "{json}");
         assert!(json.contains("\"t_us\":42"), "{json}");
         assert!(json.contains("\"kind\":\"decision\""), "{json}");
         assert!(json.contains("\"mode\":\"Out-IE\""), "{json}");

@@ -747,12 +747,26 @@ impl Host {
         if !self.hook_taken {
             if let Some(mut h) = self.hook.take() {
                 self.hook_taken = true;
+                // The conservation monitor needs the pre-hook identity:
+                // a consuming hook terminates the packet with no trace
+                // event, a rewriting hook changes its identity.
+                let before = ctx.invariants_enabled().then(|| pkt.clone());
                 let verdict = h.incoming(pkt, &layers, iface, self, ctx);
                 self.hook_taken = false;
                 self.hook = Some(h);
                 match verdict {
-                    Some(p) => pkt = p,
-                    None => return,
+                    Some(p) => {
+                        if let Some(b) = &before {
+                            ctx.note_rewrite(b, &p);
+                        }
+                        pkt = p;
+                    }
+                    None => {
+                        if let Some(b) = &before {
+                            ctx.note_consumed(b);
+                        }
+                        return;
+                    }
                 }
             }
         }

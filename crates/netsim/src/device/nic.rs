@@ -284,9 +284,11 @@ impl Nic {
                 .position(|p| p.iface == iface && p.next_hop == next_hop)
                 .unwrap();
             let old = self.pending.remove(ix);
+            ctx.note_unparked();
             ctx.trace_packet(TraceEventKind::Dropped(DropReason::ArpFailure), &old.pkt);
         }
         self.send_arp_request(ctx, iface, next_hop);
+        ctx.note_parked();
         self.pending.push(Pending {
             iface,
             next_hop,
@@ -407,6 +409,7 @@ impl Nic {
             ready
         };
         for p in ready {
+            ctx.note_unparked();
             self.emit(ctx, iface, mac, &p.pkt, p.kind);
         }
     }

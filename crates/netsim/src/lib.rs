@@ -38,6 +38,7 @@ pub mod link;
 pub mod metrics;
 pub mod profile;
 pub mod route;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod wire;
@@ -56,8 +57,13 @@ pub use event::{
 };
 pub use lifecycle::{FlowSummary, Lifecycle, PacketLifecycle, PacketOutcome};
 pub use link::{FaultInjector, LinkConfig, LinkId, SegmentId};
-pub use metrics::{Histogram, MetricsRegistry, NodeMetrics, SegmentMetrics};
+pub use metrics::{
+    Histogram, MetricsRegistry, NodeMetrics, SegmentMetrics, SketchConfig, SketchedMetrics,
+};
 pub use route::RouteTable;
+pub use telemetry::{
+    InvariantMonitor, InvariantViolation, Reservoir, SketchEntry, SpaceSaving, TelemetryConfig,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     DropReason, FlowId, PacketId, PacketTrace, TraceEvent, TraceEventKind, TransformKind,

@@ -13,6 +13,7 @@ use rand::Rng;
 
 use crate::event::{EventKind, EventQueue, IfaceNo, NodeId};
 use crate::time::{SimDuration, SimTime};
+use crate::wire::ethernet::MacAddr;
 
 /// Identifies a segment in the [`crate::world::World`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -176,6 +177,10 @@ pub struct Segment {
     /// Static link parameters.
     pub config: LinkConfig,
     attachments: Vec<(NodeId, IfaceNo)>,
+    /// Link-layer addresses of the attached interfaces, kept by the world
+    /// so the conservation monitor can tell a deliverable unicast frame
+    /// from one addressed to a MAC that has left the wire.
+    macs: Vec<((NodeId, IfaceNo), MacAddr)>,
     /// When the shared medium next becomes free (serialization queueing).
     next_free: SimTime,
     /// Traffic counters.
@@ -188,6 +193,7 @@ impl Segment {
         Segment {
             config,
             attachments: Vec::new(),
+            macs: Vec::new(),
             next_free: SimTime::ZERO,
             stats: LinkStats::default(),
         }
@@ -198,9 +204,23 @@ impl Segment {
         self.attachments.push((node, iface));
     }
 
+    /// Record the MAC of an attached interface (the world calls this at
+    /// attach time; [`Segment::detach`] forgets it).
+    pub fn register_mac(&mut self, node: NodeId, iface: IfaceNo, mac: MacAddr) {
+        self.macs.retain(|&(a, _)| a != (node, iface));
+        self.macs.push(((node, iface), mac));
+    }
+
+    /// Is any attached interface configured with `mac`? Frames unicast to
+    /// an unclaimed MAC die on the wire: every NIC ignores them.
+    pub fn mac_attached(&self, mac: MacAddr) -> bool {
+        self.macs.iter().any(|&(_, m)| m == mac)
+    }
+
     /// Detach a node interface (the mobile host leaving a network).
     pub fn detach(&mut self, node: NodeId, iface: IfaceNo) {
         self.attachments.retain(|&a| a != (node, iface));
+        self.macs.retain(|&(a, _)| a != (node, iface));
     }
 
     /// Everything plugged into this segment.

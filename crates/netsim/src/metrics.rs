@@ -46,6 +46,44 @@ fn encap_format_of(pkt: &Ipv4Packet) -> Option<EncapFormat> {
         .find(|f| f.protocol() == pkt.protocol)
 }
 
+/// Apply one packet event to a counter block — shared by the dense
+/// per-node path and the sketched global-totals path so both count
+/// identically (the exact/sketched agreement tests depend on this).
+#[inline]
+fn apply_packet(
+    m: &mut NodeMetrics,
+    kind: TraceEventKind,
+    wire_len: u64,
+    tunnel: Option<EncapFormat>,
+) {
+    match kind {
+        TraceEventKind::Sent => {
+            m.packets_sent += 1;
+            m.bytes_sent += wire_len;
+        }
+        TraceEventKind::Forwarded => {
+            m.packets_forwarded += 1;
+            m.bytes_forwarded += wire_len;
+        }
+        TraceEventKind::DeliveredLocal => {
+            m.packets_delivered += 1;
+            m.bytes_delivered += wire_len;
+        }
+        TraceEventKind::Dropped(reason) => {
+            m.drops[reason.index()] += 1;
+        }
+        // Not a wire event: the packet changed shape inside the node.
+        TraceEventKind::Transformed(_) => {
+            m.transforms += 1;
+        }
+    }
+    if matches!(kind, TraceEventKind::Sent | TraceEventKind::Forwarded) {
+        if let Some(f) = tunnel {
+            m.encap_bytes[encap_index(f)] += wire_len;
+        }
+    }
+}
+
 /// Sub-buckets per octave: each power-of-two range splits into 16 linear
 /// sub-buckets, bounding relative quantile error at 1/16 (6.25%).
 const HDR_SUB_BITS: u32 = 4;
@@ -150,6 +188,21 @@ impl Histogram {
     /// Largest sample (`None` when empty).
     pub fn max(&self) -> Option<u64> {
         (self.n > 0).then_some(self.max)
+    }
+
+    /// Fold another histogram into this one. Bucket layouts are
+    /// identical by construction, so the merge is elementwise and the
+    /// result is exactly the histogram that would have recorded both
+    /// sample streams — sharded/parallel worlds combine telemetry
+    /// without re-recording.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Approximate percentile (`p` in 0..=100): the upper bound of the
@@ -294,6 +347,32 @@ impl NodeMetrics {
     pub fn encap_bytes(&self, format: EncapFormat) -> u64 {
         self.encap_bytes[encap_index(format)]
     }
+
+    /// Fold another node's counters into this one (all counters add;
+    /// histograms merge elementwise).
+    pub fn merge(&mut self, other: &NodeMetrics) {
+        self.packets_sent += other.packets_sent;
+        self.packets_forwarded += other.packets_forwarded;
+        self.packets_delivered += other.packets_delivered;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_forwarded += other.bytes_forwarded;
+        self.bytes_delivered += other.bytes_delivered;
+        for (d, o) in self.drops.iter_mut().zip(other.drops.iter()) {
+            *d += o;
+        }
+        self.transforms += other.transforms;
+        for (e, o) in self.encap_bytes.iter_mut().zip(other.encap_bytes.iter()) {
+            *e += o;
+        }
+        self.tcp.segments_sent += other.tcp.segments_sent;
+        self.tcp.retransmissions += other.tcp.retransmissions;
+        self.tcp.segments_received += other.tcp.segments_received;
+        self.tcp.rtt_us.merge(&other.tcp.rtt_us);
+        self.udp.datagrams_sent += other.udp.datagrams_sent;
+        self.udp.bytes_sent += other.udp.bytes_sent;
+        self.udp.datagrams_received += other.udp.datagrams_received;
+        self.udp.bytes_received += other.udp.bytes_received;
+    }
 }
 
 impl serde::Serialize for NodeMetrics {
@@ -382,6 +461,16 @@ impl SegmentMetrics {
             self.busy.as_micros() as f64 / elapsed.as_micros() as f64
         }
     }
+
+    /// Fold another segment's counters into this one.
+    pub fn merge(&mut self, other: &SegmentMetrics) {
+        self.frames += other.frames;
+        self.bytes += other.bytes;
+        self.wire_drops += other.wire_drops;
+        self.crc_drops += other.crc_drops;
+        self.busy = self.busy + other.busy;
+        self.queue_wait_us.merge(&other.queue_wait_us);
+    }
 }
 
 impl serde::Serialize for SegmentMetrics {
@@ -397,13 +486,87 @@ impl serde::Serialize for SegmentMetrics {
     }
 }
 
+/// Parameters for the registry's sketched (collapsed) mode — see
+/// [`MetricsRegistry::arm_sketch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchConfig {
+    /// Distinct-node count above which dense per-node storage collapses.
+    pub node_threshold: usize,
+    /// Slots in each heavy-hitter sketch.
+    pub topk: usize,
+    /// RTT exemplar reservoir capacity.
+    pub reservoir: usize,
+    /// Seed for the exemplar reservoir.
+    pub seed: u64,
+}
+
+impl Default for SketchConfig {
+    fn default() -> SketchConfig {
+        let t = crate::telemetry::TelemetryConfig::default();
+        SketchConfig {
+            node_threshold: t.sketch_node_threshold,
+            topk: t.topk,
+            reservoir: t.reservoir,
+            seed: t.seed,
+        }
+    }
+}
+
+/// Collapsed storage: global totals plus fixed-size sketches. Memory is
+/// O(topk + reservoir) regardless of node, segment or flow count.
+#[derive(Debug)]
+pub struct SketchedMetrics {
+    /// The parameters this collapse was armed with.
+    pub cfg: SketchConfig,
+    /// Aggregate of every node's counters (what dense mode would sum to).
+    pub totals: NodeMetrics,
+    /// Aggregate of every segment's counters.
+    pub seg_totals: SegmentMetrics,
+    /// Heavy-hitter nodes, weighted by packet events (sent + forwarded +
+    /// delivered + dropped + transformed).
+    pub node_hitters: crate::telemetry::SpaceSaving<NodeId>,
+    /// Heavy-hitter flows by normalized outer header (wire events only),
+    /// see [`crate::telemetry::flow_label`].
+    pub flow_hitters: crate::telemetry::SpaceSaving<crate::telemetry::FlowLabel>,
+    /// Seeded uniform sample of measured TCP RTTs (µs) — exact exemplars
+    /// that survive even though per-node histograms are gone.
+    pub rtt_exemplars: crate::telemetry::Reservoir<u64>,
+}
+
+impl SketchedMetrics {
+    fn new(cfg: SketchConfig) -> SketchedMetrics {
+        SketchedMetrics {
+            cfg,
+            totals: NodeMetrics::default(),
+            seg_totals: SegmentMetrics::default(),
+            node_hitters: crate::telemetry::SpaceSaving::new(cfg.topk),
+            flow_hitters: crate::telemetry::SpaceSaving::new(cfg.topk),
+            rtt_exemplars: crate::telemetry::Reservoir::new(cfg.reservoir, cfg.seed),
+        }
+    }
+}
+
 /// The registry: one [`NodeMetrics`] per node and one [`SegmentMetrics`]
 /// per segment, lazily grown as ids are first seen.
+///
+/// **Sketched mode.** Dense per-node/per-segment vectors are exact but
+/// O(nodes) — unaffordable at the 10⁵⁺-node scale on the ROADMAP. When a
+/// [`SketchConfig`] is armed (see [`MetricsRegistry::arm_sketch`]) and
+/// the distinct-node count crosses its threshold, the registry collapses:
+/// dense vectors fold into global totals plus Space-Saving top-k sketches
+/// (per node and per flow) and a seeded RTT exemplar reservoir, and all
+/// further recording goes to those fixed-size structures. Aggregate
+/// totals are preserved exactly across the collapse; only per-node
+/// attribution degrades (to top-k with explicit error bounds). Below the
+/// threshold nothing changes — exact and sketched-armed registries agree
+/// bit-for-bit, which the tests assert.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     enabled: bool,
     nodes: Vec<NodeMetrics>,
     segments: Vec<SegmentMetrics>,
+    sketch: Option<SketchConfig>,
+    sketched: Option<Box<SketchedMetrics>>,
 }
 
 impl MetricsRegistry {
@@ -413,6 +576,8 @@ impl MetricsRegistry {
             enabled,
             nodes: Vec::new(),
             segments: Vec::new(),
+            sketch: None,
+            sketched: None,
         }
     }
 
@@ -426,10 +591,60 @@ impl MetricsRegistry {
         self.enabled = on;
     }
 
-    /// Zero every counter.
+    /// Zero every counter (sketches reset too; the armed config is kept).
     pub fn clear(&mut self) {
         self.nodes.clear();
         self.segments.clear();
+        self.sketched = None;
+    }
+
+    /// Arm sketched mode: once more than `cfg.node_threshold` distinct
+    /// nodes have recorded, the registry collapses (see type docs). If
+    /// the threshold is already exceeded the collapse happens now.
+    pub fn arm_sketch(&mut self, cfg: SketchConfig) {
+        self.sketch = Some(cfg);
+        if self.nodes.len() > cfg.node_threshold {
+            self.collapse_now();
+        }
+    }
+
+    /// Is the registry currently collapsed?
+    pub fn is_sketched(&self) -> bool {
+        self.sketched.is_some()
+    }
+
+    /// The collapsed storage, when in sketched mode.
+    pub fn sketched(&self) -> Option<&SketchedMetrics> {
+        self.sketched.as_deref()
+    }
+
+    /// Collapse dense storage into sketches immediately (normally driven
+    /// by the armed threshold; public for tests and merges).
+    pub fn collapse_now(&mut self) {
+        if self.sketched.is_some() {
+            return;
+        }
+        let cfg = self.sketch.unwrap_or_default();
+        let mut sk = Box::new(SketchedMetrics::new(cfg));
+        for (i, n) in self.nodes.iter().enumerate() {
+            sk.totals.merge(n);
+            let events = n.packets_sent
+                + n.packets_forwarded
+                + n.packets_delivered
+                + n.total_drops()
+                + n.transforms;
+            if events > 0 {
+                sk.node_hitters.offer(NodeId(i), events);
+            }
+        }
+        for s in &self.segments {
+            sk.seg_totals.merge(s);
+        }
+        // Per-flow history and raw RTT exemplars cannot be reconstructed
+        // from dense counters; their sketches fill from here on.
+        self.nodes = Vec::new();
+        self.segments = Vec::new();
+        self.sketched = Some(sk);
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut NodeMetrics {
@@ -476,6 +691,9 @@ impl MetricsRegistry {
 
     /// Drops across all nodes, summed by reason (nonzero reasons only).
     pub fn total_drops_by_reason(&self) -> Vec<(DropReason, u64)> {
+        if let Some(sk) = &self.sketched {
+            return sk.totals.drops_by_reason().collect();
+        }
         let mut totals = [0u64; DropReason::ALL.len()];
         for n in &self.nodes {
             for r in DropReason::ALL {
@@ -487,6 +705,91 @@ impl MetricsRegistry {
             .map(|r| (r, totals[r.index()]))
             .filter(|&(_, n)| n > 0)
             .collect()
+    }
+
+    /// Aggregate of every node's counters — identical whether the
+    /// registry is dense or sketched (the collapse preserves totals
+    /// exactly), which is what the invariant monitor reconciles against.
+    pub fn totals(&self) -> NodeMetrics {
+        if let Some(sk) = &self.sketched {
+            return sk.totals.clone();
+        }
+        let mut t = NodeMetrics::default();
+        for n in &self.nodes {
+            t.merge(n);
+        }
+        t
+    }
+
+    /// Aggregate of every segment's counters (dense or sketched).
+    pub fn segment_totals(&self) -> SegmentMetrics {
+        if let Some(sk) = &self.sketched {
+            return sk.seg_totals.clone();
+        }
+        let mut t = SegmentMetrics::default();
+        for s in &self.segments {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Fold another registry into this one without re-recording —
+    /// sharded/parallel worlds combine telemetry by merging. Dense +
+    /// dense merges stay dense (elementwise by id); if either side is
+    /// sketched the result is sketched (totals add exactly, sketches
+    /// union-merge with error bounds intact).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        if self.sketched.is_none() && other.sketched.is_none() {
+            if self.nodes.len() < other.nodes.len() {
+                self.nodes.resize(other.nodes.len(), NodeMetrics::default());
+            }
+            for (m, o) in self.nodes.iter_mut().zip(other.nodes.iter()) {
+                m.merge(o);
+            }
+            if self.segments.len() < other.segments.len() {
+                self.segments
+                    .resize(other.segments.len(), SegmentMetrics::default());
+            }
+            for (m, o) in self.segments.iter_mut().zip(other.segments.iter()) {
+                m.merge(o);
+            }
+            if let Some(cfg) = self.sketch {
+                if self.nodes.len() > cfg.node_threshold {
+                    self.collapse_now();
+                }
+            }
+            return;
+        }
+        if self.sketched.is_none() {
+            // Adopt the other side's parameters so both halves sketch alike.
+            if self.sketch.is_none() {
+                self.sketch = other.sketched.as_ref().map(|sk| sk.cfg);
+            }
+            self.collapse_now();
+        }
+        let sk = self.sketched.as_deref_mut().expect("collapsed above");
+        if let Some(o) = other.sketched.as_deref() {
+            sk.totals.merge(&o.totals);
+            sk.seg_totals.merge(&o.seg_totals);
+            sk.node_hitters.merge(&o.node_hitters);
+            sk.flow_hitters.merge(&o.flow_hitters);
+            sk.rtt_exemplars.merge(&o.rtt_exemplars);
+        } else {
+            for (i, n) in other.nodes.iter().enumerate() {
+                sk.totals.merge(n);
+                let events = n.packets_sent
+                    + n.packets_forwarded
+                    + n.packets_delivered
+                    + n.total_drops()
+                    + n.transforms;
+                if events > 0 {
+                    sk.node_hitters.offer(NodeId(i), events);
+                }
+            }
+            for s in &other.segments {
+                sk.seg_totals.merge(s);
+            }
+        }
     }
 
     // ---- recording (each entry point starts with the enabled check) -------
@@ -501,31 +804,21 @@ impl MetricsRegistry {
         }
         let wire_len = pkt.wire_len() as u64;
         let tunnel = encap_format_of(pkt);
-        let m = self.node_mut(node);
-        match kind {
-            TraceEventKind::Sent => {
-                m.packets_sent += 1;
-                m.bytes_sent += wire_len;
+        if let Some(sk) = self.sketched.as_deref_mut() {
+            apply_packet(&mut sk.totals, kind, wire_len, tunnel);
+            sk.node_hitters.offer(node, 1);
+            if matches!(
+                kind,
+                TraceEventKind::Sent | TraceEventKind::Forwarded | TraceEventKind::DeliveredLocal
+            ) {
+                sk.flow_hitters.offer(crate::telemetry::flow_label(pkt), 1);
             }
-            TraceEventKind::Forwarded => {
-                m.packets_forwarded += 1;
-                m.bytes_forwarded += wire_len;
-            }
-            TraceEventKind::DeliveredLocal => {
-                m.packets_delivered += 1;
-                m.bytes_delivered += wire_len;
-            }
-            TraceEventKind::Dropped(reason) => {
-                m.drops[reason.index()] += 1;
-            }
-            // Not a wire event: the packet changed shape inside the node.
-            TraceEventKind::Transformed(_) => {
-                m.transforms += 1;
-            }
+            return;
         }
-        if matches!(kind, TraceEventKind::Sent | TraceEventKind::Forwarded) {
-            if let Some(f) = tunnel {
-                m.encap_bytes[encap_index(f)] += wire_len;
+        apply_packet(self.node_mut(node), kind, wire_len, tunnel);
+        if let Some(cfg) = self.sketch {
+            if self.nodes.len() > cfg.node_threshold {
+                self.collapse_now();
             }
         }
     }
@@ -546,7 +839,11 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        let m = self.segment_mut(seg);
+        let m = if self.sketched.is_some() {
+            &mut self.sketched.as_deref_mut().expect("checked").seg_totals
+        } else {
+            self.segment_mut(seg)
+        };
         match outcome {
             FaultOutcome::Drop => {
                 m.wire_drops += 1;
@@ -561,13 +858,23 @@ impl MetricsRegistry {
         m.queue_wait_us.record(queue_wait.as_micros());
     }
 
+    /// The block transport counters land in: the node's own in dense
+    /// mode, the global totals once sketched.
+    fn node_or_totals(&mut self, node: NodeId) -> &mut NodeMetrics {
+        if self.sketched.is_some() {
+            &mut self.sketched.as_deref_mut().expect("checked").totals
+        } else {
+            self.node_mut(node)
+        }
+    }
+
     /// Record a TCP segment transmission at `node`.
     #[inline]
     pub fn record_tcp_segment_sent(&mut self, node: NodeId, retransmission: bool) {
         if !self.enabled {
             return;
         }
-        let m = &mut self.node_mut(node).tcp;
+        let m = &mut self.node_or_totals(node).tcp;
         m.segments_sent += 1;
         if retransmission {
             m.retransmissions += 1;
@@ -580,7 +887,7 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        self.node_mut(node).tcp.segments_received += 1;
+        self.node_or_totals(node).tcp.segments_received += 1;
     }
 
     /// Record one measured TCP round-trip time at `node`.
@@ -589,7 +896,13 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        self.node_mut(node).tcp.rtt_us.record(rtt.as_micros());
+        let us = rtt.as_micros();
+        if let Some(sk) = self.sketched.as_deref_mut() {
+            sk.totals.tcp.rtt_us.record(us);
+            sk.rtt_exemplars.offer(us);
+            return;
+        }
+        self.node_mut(node).tcp.rtt_us.record(us);
     }
 
     /// Record a UDP datagram sent from `node`.
@@ -598,7 +911,7 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        let m = &mut self.node_mut(node).udp;
+        let m = &mut self.node_or_totals(node).udp;
         m.datagrams_sent += 1;
         m.bytes_sent += payload_bytes as u64;
     }
@@ -609,7 +922,7 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        let m = &mut self.node_mut(node).udp;
+        let m = &mut self.node_or_totals(node).udp;
         m.datagrams_received += 1;
         m.bytes_received += payload_bytes as u64;
     }
@@ -617,7 +930,14 @@ impl MetricsRegistry {
     /// A serializable snapshot of every counter, labelling nodes with
     /// `names` (by `NodeId` index) where provided and taking `now` so
     /// segment utilization can be derived by consumers.
+    ///
+    /// Dense (exact) snapshots keep their historical shape byte-for-byte;
+    /// sketched snapshots emit totals + heavy hitters + exemplars instead
+    /// of per-node sections.
     pub fn snapshot(&self, names: &[String], now: SimTime) -> serde::Value {
+        if let Some(sk) = &self.sketched {
+            return self.sketched_snapshot(sk, names, now);
+        }
         let nodes: Vec<(String, serde::Value)> = self
             .nodes
             .iter()
@@ -652,6 +972,96 @@ impl MetricsRegistry {
             ("sim_time_us".into(), now.as_micros().to_value()),
             ("nodes".into(), serde::Value::Object(nodes)),
             ("segments".into(), serde::Value::Object(segments)),
+            ("total_drops".into(), serde::Value::Object(drops)),
+        ])
+    }
+
+    /// Snapshot shape for the collapsed registry: exact global totals,
+    /// top-k heavy hitters with their error bounds, and RTT exemplars.
+    fn sketched_snapshot(
+        &self,
+        sk: &SketchedMetrics,
+        names: &[String],
+        now: SimTime,
+    ) -> serde::Value {
+        let node_top: Vec<serde::Value> = sk
+            .node_hitters
+            .top()
+            .into_iter()
+            .map(|e| {
+                let label = names
+                    .get(e.key.0)
+                    .cloned()
+                    .unwrap_or_else(|| format!("node{}", e.key.0));
+                serde::Value::Object(vec![
+                    ("node".into(), serde::Value::Str(label)),
+                    ("events".into(), e.count.to_value()),
+                    ("error".into(), e.error.to_value()),
+                ])
+            })
+            .collect();
+        let flow_top: Vec<serde::Value> = sk
+            .flow_hitters
+            .top()
+            .into_iter()
+            .map(|e| {
+                let (a, b, proto) = e.key;
+                serde::Value::Object(vec![
+                    (
+                        "flow".into(),
+                        serde::Value::Str(format!("{a}<->{b}/{proto}")),
+                    ),
+                    ("wire_events".into(), e.count.to_value()),
+                    ("error".into(), e.error.to_value()),
+                ])
+            })
+            .collect();
+        let mut seg_totals = match sk.seg_totals.to_value() {
+            serde::Value::Object(fields) => fields,
+            _ => unreachable!("segment snapshot is an object"),
+        };
+        seg_totals.push((
+            "utilization".into(),
+            sk.seg_totals
+                .utilization(now.since(SimTime::ZERO))
+                .to_value(),
+        ));
+        let drops: Vec<(String, serde::Value)> = self
+            .total_drops_by_reason()
+            .into_iter()
+            .map(|(r, n)| (r.to_string(), n.to_value()))
+            .collect();
+        serde::Value::Object(vec![
+            ("sim_time_us".into(), now.as_micros().to_value()),
+            ("mode".into(), serde::Value::Str("sketched".into())),
+            ("totals".into(), sk.totals.to_value()),
+            ("segments_total".into(), serde::Value::Object(seg_totals)),
+            (
+                "node_hitters".into(),
+                serde::Value::Object(vec![
+                    ("k".into(), sk.node_hitters.capacity().to_value()),
+                    ("exact".into(), sk.node_hitters.is_exact().to_value()),
+                    ("top".into(), serde::Value::Array(node_top)),
+                ]),
+            ),
+            (
+                "flow_hitters".into(),
+                serde::Value::Object(vec![
+                    ("k".into(), sk.flow_hitters.capacity().to_value()),
+                    ("exact".into(), sk.flow_hitters.is_exact().to_value()),
+                    ("top".into(), serde::Value::Array(flow_top)),
+                ]),
+            ),
+            (
+                "rtt_exemplars_us".into(),
+                serde::Value::Object(vec![
+                    ("seen".into(), sk.rtt_exemplars.seen().to_value()),
+                    (
+                        "samples".into(),
+                        sk.rtt_exemplars.items().to_vec().to_value(),
+                    ),
+                ]),
+            ),
             ("total_drops".into(), serde::Value::Object(drops)),
         ])
     }
@@ -810,5 +1220,155 @@ mod tests {
         reg.clear();
         assert_eq!(reg.node(NodeId(0)).packets_sent, 0);
         assert!(reg.enabled(), "clear keeps the enabled flag");
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [1u64, 7, 300, 90_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 12, 4_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both, "merge equals recording the union stream");
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn registry_merge_dense_is_elementwise() {
+        let mut a = MetricsRegistry::new(true);
+        let mut b = MetricsRegistry::new(true);
+        let p = pkt();
+        a.record_packet(NodeId(0), TraceEventKind::Sent, &p);
+        b.record_packet(NodeId(0), TraceEventKind::Sent, &p);
+        b.record_packet(NodeId(2), TraceEventKind::DeliveredLocal, &p);
+        b.record_tcp_rtt(NodeId(2), SimDuration::from_millis(5));
+        b.record_transmit(
+            SegmentId(1),
+            64,
+            SimDuration::ZERO,
+            SimDuration::from_micros(10),
+            FaultOutcome::Deliver,
+        );
+        a.merge(&b);
+        assert_eq!(a.node(NodeId(0)).packets_sent, 2);
+        assert_eq!(a.node(NodeId(2)).packets_delivered, 1);
+        assert_eq!(a.node(NodeId(2)).tcp.rtt_us.count(), 1);
+        assert_eq!(a.segment(SegmentId(1)).frames, 1);
+        assert!(!a.is_sketched());
+    }
+
+    #[test]
+    fn armed_registry_below_threshold_is_bit_identical_to_exact() {
+        let build = |arm: bool| {
+            let mut reg = MetricsRegistry::new(true);
+            if arm {
+                reg.arm_sketch(SketchConfig {
+                    node_threshold: 100,
+                    ..SketchConfig::default()
+                });
+            }
+            let p = pkt();
+            for i in 0..10 {
+                reg.record_packet(NodeId(i), TraceEventKind::Sent, &p);
+                reg.record_packet(NodeId(i), TraceEventKind::DeliveredLocal, &p);
+            }
+            reg.record_tcp_rtt(NodeId(3), SimDuration::from_millis(20));
+            serde_json::to_string(&reg.snapshot(&[], SimTime(1_000))).unwrap()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn collapse_preserves_totals_and_caps_memory() {
+        let mut exact = MetricsRegistry::new(true);
+        let mut armed = MetricsRegistry::new(true);
+        armed.arm_sketch(SketchConfig {
+            node_threshold: 16,
+            topk: 8,
+            reservoir: 4,
+            seed: 1,
+        });
+        let p = pkt();
+        for i in 0..1000 {
+            for reg in [&mut exact, &mut armed] {
+                reg.record_packet(NodeId(i), TraceEventKind::Sent, &p);
+                if i % 3 == 0 {
+                    reg.record_packet(NodeId(i), TraceEventKind::Dropped(DropReason::NoRoute), &p);
+                }
+            }
+        }
+        assert!(armed.is_sketched());
+        let sk = armed.sketched().unwrap();
+        assert_eq!(sk.node_hitters.len(), 8, "sketch memory capped at k");
+        // Aggregate totals survive the collapse exactly.
+        let (e, s) = (exact.totals(), armed.totals());
+        assert_eq!(e.packets_sent, s.packets_sent);
+        assert_eq!(e.bytes_sent, s.bytes_sent);
+        assert_eq!(e.total_drops(), s.total_drops());
+        assert_eq!(exact.total_drops_by_reason(), armed.total_drops_by_reason());
+    }
+
+    #[test]
+    fn sketched_merge_combines_totals_and_hitters() {
+        let mk = || {
+            let mut reg = MetricsRegistry::new(true);
+            reg.arm_sketch(SketchConfig {
+                node_threshold: 0,
+                topk: 8,
+                reservoir: 4,
+                seed: 9,
+            });
+            reg
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let p = pkt();
+        a.record_packet(NodeId(1), TraceEventKind::Sent, &p);
+        a.record_packet(NodeId(1), TraceEventKind::Sent, &p);
+        b.record_packet(NodeId(1), TraceEventKind::Sent, &p);
+        b.record_packet(NodeId(2), TraceEventKind::DeliveredLocal, &p);
+        b.record_tcp_rtt(NodeId(2), SimDuration::from_millis(7));
+        a.merge(&b);
+        let sk = a.sketched().unwrap();
+        assert_eq!(a.totals().packets_sent, 3);
+        assert_eq!(a.totals().packets_delivered, 1);
+        assert_eq!(sk.node_hitters.count(&NodeId(1)), Some(3));
+        assert_eq!(sk.node_hitters.count(&NodeId(2)), Some(1));
+        assert_eq!(sk.rtt_exemplars.items(), &[7_000]);
+        // Dense + sketched: the dense side collapses on merge.
+        let mut dense = MetricsRegistry::new(true);
+        dense.record_packet(NodeId(5), TraceEventKind::Sent, &p);
+        dense.merge(&b);
+        assert!(dense.is_sketched());
+        assert_eq!(dense.totals().packets_sent, 2);
+    }
+
+    #[test]
+    fn sketched_snapshot_shape() {
+        let mut reg = MetricsRegistry::new(true);
+        reg.arm_sketch(SketchConfig {
+            node_threshold: 0,
+            topk: 4,
+            reservoir: 4,
+            seed: 3,
+        });
+        reg.record_packet(NodeId(0), TraceEventKind::Sent, &pkt());
+        reg.record_tcp_rtt(NodeId(0), SimDuration::from_millis(1));
+        let json = serde_json::to_string(&reg.snapshot(&["alice".into()], SimTime(1_000))).unwrap();
+        assert!(json.contains("\"mode\":\"sketched\""));
+        assert!(json.contains("\"totals\""));
+        assert!(json.contains("\"node_hitters\""));
+        assert!(json.contains("\"flow_hitters\""));
+        assert!(json.contains("\"alice\""));
+        assert!(json.contains("\"rtt_exemplars_us\""));
     }
 }

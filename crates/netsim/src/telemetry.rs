@@ -1,0 +1,982 @@
+//! Scale-ready telemetry primitives: heavy-hitter sketches, seeded
+//! reservoirs, and online invariant monitors.
+//!
+//! The dense observability in [`crate::metrics`] and [`crate::trace`]
+//! keeps one counter block per node and one record per packet event —
+//! perfect at today's experiment sizes, unaffordable at the 10⁵⁺-node
+//! scale the ROADMAP aims for. This module provides the pieces that let
+//! observability degrade *deliberately* instead of falling over:
+//!
+//! * [`SpaceSaving`] — the Metwally/Agrawal/El Abbadi top-k heavy-hitter
+//!   sketch: fixed `k` slots regardless of how many distinct keys stream
+//!   through, per-key counts exact whenever the distinct-key count never
+//!   exceeded `k`, and an explicit per-entry error bound otherwise.
+//! * [`Reservoir`] — seeded Algorithm-R reservoir sampling: a uniform,
+//!   deterministic sample of an unbounded stream in fixed memory, for
+//!   latency/RTT exemplars that survive aggregation.
+//! * [`TelemetryConfig`] — the single knob block (flow-sampling rate,
+//!   sketch width, collapse threshold, seed) that
+//!   [`crate::world::World::apply_telemetry`] fans out to the metrics
+//!   registry, the packet trace and the invariant monitor.
+//! * [`InvariantMonitor`] — online conservation/reconciliation checks
+//!   evaluated incrementally while the world runs, reporting
+//!   [`InvariantViolation`]s into the run report instead of panicking.
+//!
+//! Everything here is deterministic: sketches and reservoirs are seeded,
+//! so the same world and seed produce byte-identical sampled reports.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Serialize, Value};
+
+use crate::event::{NodeId, SchedulerStats};
+use crate::time::SimTime;
+use crate::trace::{DropReason, TraceEventKind};
+use crate::wire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
+
+/// SplitMix64 step — the deterministic generator behind [`Reservoir`] and
+/// the trace's head-based flow-sampling decision. Public within the crate
+/// so both sample the *same* stream given the same seed.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One stateless hash draw (for per-key sampling decisions).
+pub(crate) fn hash64(x: u64) -> u64 {
+    let mut s = x;
+    splitmix64(&mut s)
+}
+
+// ---------------------------------------------------------------------------
+// Space-Saving top-k sketch
+// ---------------------------------------------------------------------------
+
+/// One monitored counter in a [`SpaceSaving`] sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchEntry<K> {
+    /// The key this slot currently tracks.
+    pub key: K,
+    /// Estimated count: an overestimate by at most [`SketchEntry::error`].
+    pub count: u64,
+    /// Maximum overestimation: the count the slot held when this key
+    /// took it over (0 when the key was inserted into a free slot, so the
+    /// count is exact).
+    pub error: u64,
+}
+
+/// The Space-Saving top-k heavy-hitter sketch (Metwally et al., 2005).
+///
+/// Holds at most `k` `(key, count, error)` entries. While the number of
+/// distinct keys offered stays ≤ `k` every count is exact (`error == 0`
+/// everywhere and [`SpaceSaving::is_exact`] holds); past that, the
+/// minimum-count entry is evicted and the newcomer inherits its count as
+/// error bound — true counts are within `[count - error, count]`.
+/// Memory is O(k) regardless of stream length or key cardinality.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K> {
+    k: usize,
+    entries: Vec<SketchEntry<K>>,
+    index: HashMap<K, usize>,
+    /// Keys evicted at least once — when 0 the sketch is an exact map.
+    evictions: u64,
+}
+
+impl<K: Clone + Eq + std::hash::Hash + Ord> SpaceSaving<K> {
+    /// An empty sketch with `k` slots (`k` ≥ 1 enforced).
+    pub fn new(k: usize) -> SpaceSaving<K> {
+        let k = k.max(1);
+        SpaceSaving {
+            k,
+            entries: Vec::with_capacity(k),
+            index: HashMap::with_capacity(k),
+            evictions: 0,
+        }
+    }
+
+    /// Slot budget `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Occupied slots (≤ `k`, never more).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No keys offered yet?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether every count is exact: no slot was ever recycled, i.e. the
+    /// distinct keys seen never exceeded `k`.
+    pub fn is_exact(&self) -> bool {
+        self.evictions == 0
+    }
+
+    /// Offer `weight` occurrences of `key`.
+    pub fn offer(&mut self, key: K, weight: u64) {
+        if let Some(&slot) = self.index.get(&key) {
+            self.entries[slot].count += weight;
+            return;
+        }
+        if self.entries.len() < self.k {
+            self.index.insert(key.clone(), self.entries.len());
+            self.entries.push(SketchEntry {
+                key,
+                count: weight,
+                error: 0,
+            });
+            return;
+        }
+        // Recycle the minimum-count slot (ties broken by key order so
+        // merges and repeat runs stay deterministic).
+        let slot = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.count.cmp(&b.count).then_with(|| a.key.cmp(&b.key)))
+            .map(|(i, _)| i)
+            .expect("k >= 1");
+        let old = &mut self.entries[slot];
+        self.index.remove(&old.key);
+        self.index.insert(key.clone(), slot);
+        old.error = old.count;
+        old.count += weight;
+        old.key = key;
+        self.evictions += 1;
+    }
+
+    /// Estimated count for `key` (`None` when not currently tracked —
+    /// which, if [`SpaceSaving::is_exact`], means it was never offered).
+    pub fn count(&self, key: &K) -> Option<u64> {
+        self.index.get(key).map(|&s| self.entries[s].count)
+    }
+
+    /// The tracked entries, heaviest first (ties broken by key order, so
+    /// output is deterministic).
+    pub fn top(&self) -> Vec<SketchEntry<K>> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Fold another sketch in (sharded/parallel worlds combining
+    /// telemetry). Counts and error bounds of shared keys add; disjoint
+    /// keys compete for slots as if replayed. Exactness is preserved when
+    /// the union of distinct keys still fits in `k` slots.
+    pub fn merge(&mut self, other: &SpaceSaving<K>) {
+        // Deterministic order: heaviest first so the survivors of a
+        // capacity squeeze are the keys that matter.
+        for e in other.top() {
+            if let Some(&slot) = self.index.get(&e.key) {
+                self.entries[slot].count += e.count;
+                self.entries[slot].error += e.error;
+            } else if self.entries.len() < self.k {
+                self.index.insert(e.key.clone(), self.entries.len());
+                self.entries.push(e.clone());
+            } else {
+                let slot = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.count.cmp(&b.count).then_with(|| a.key.cmp(&b.key)))
+                    .map(|(i, _)| i)
+                    .expect("k >= 1");
+                let old = &mut self.entries[slot];
+                self.index.remove(&old.key);
+                self.index.insert(e.key.clone(), slot);
+                old.error = old.count + e.error;
+                old.count += e.count;
+                old.key = e.key.clone();
+                self.evictions += 1;
+            }
+        }
+        self.evictions += other.evictions;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded reservoir sampling
+// ---------------------------------------------------------------------------
+
+/// Seeded Algorithm-R reservoir: a uniform sample of at most `cap` items
+/// from an unbounded stream, in O(cap) memory, fully deterministic given
+/// the seed and the stream.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    cap: usize,
+    seen: u64,
+    items: Vec<T>,
+    rng: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// An empty reservoir holding at most `cap` exemplars.
+    pub fn new(cap: usize, seed: u64) -> Reservoir<T> {
+        Reservoir {
+            cap,
+            seen: 0,
+            items: Vec::with_capacity(cap.min(1024)),
+            rng: seed,
+        }
+    }
+
+    /// Capacity (the memory bound).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Stream length observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained exemplars, in retention order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Offer one item from the stream.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.cap {
+            self.items.push(item);
+            return;
+        }
+        if self.cap == 0 {
+            return;
+        }
+        let j = splitmix64(&mut self.rng) % self.seen;
+        if (j as usize) < self.cap {
+            self.items[j as usize] = item;
+        }
+    }
+}
+
+impl<T: Clone> Reservoir<T> {
+    /// Fold another reservoir in. Each of the other's exemplars is kept
+    /// with probability proportional to the stream weight it represents —
+    /// approximate (a merged reservoir is not byte-identical to one fed
+    /// the concatenated stream) but unbiased enough for exemplar duty,
+    /// and deterministic given both seeds.
+    pub fn merge(&mut self, other: &Reservoir<T>) {
+        let other_stream = other.seen;
+        for item in &other.items {
+            self.seen += 1;
+            if self.items.len() < self.cap {
+                self.items.push(item.clone());
+                continue;
+            }
+            if self.cap == 0 {
+                continue;
+            }
+            let j = splitmix64(&mut self.rng) % self.seen;
+            if (j as usize) < self.cap {
+                self.items[j as usize] = item.clone();
+            }
+        }
+        // Account for the part of the other stream its reservoir had
+        // already compressed away, so relative weights stay honest.
+        self.seen += other_stream.saturating_sub(other.items.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// The telemetry knob block. [`crate::world::World::apply_telemetry`]
+/// fans it out; the bench harness builds it from `NETSIM_SAMPLE`,
+/// `--sample-flows`, `--topk` and `NETSIM_SKETCH_THRESHOLD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Head-based flow sampling: record 1-in-N flows fully (anomalous
+    /// flows are always promoted). `None` records every flow — today's
+    /// full-fidelity default.
+    pub sample_flows: Option<u64>,
+    /// Slots per heavy-hitter sketch when the registry is collapsed.
+    pub topk: usize,
+    /// Node count above which the metrics registry collapses per-node
+    /// counters into sketches + global totals.
+    pub sketch_node_threshold: usize,
+    /// Exemplar reservoir capacity (RTT samples in sketched mode).
+    pub reservoir: usize,
+    /// Seed for every sampling decision this config drives.
+    pub seed: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            sample_flows: None,
+            topk: 64,
+            sketch_node_threshold: 4096,
+            reservoir: 64,
+            seed: 0x4d49_5034_7834, // "MIP4x4"
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online invariant monitors
+// ---------------------------------------------------------------------------
+
+/// One detected invariant breach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which monitor fired (stable machine-readable name).
+    pub invariant: &'static str,
+    /// Human-readable account with the numbers that disagreed.
+    pub detail: String,
+    /// Simulated time of detection.
+    pub at: SimTime,
+}
+
+impl Serialize for InvariantViolation {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("invariant".into(), Value::Str(self.invariant.into())),
+            ("detail".into(), Value::Str(self.detail.clone())),
+            ("t_us".into(), Value::U64(self.at.0)),
+        ])
+    }
+}
+
+/// Header identity that survives forwarding (mirrors the trace's key):
+/// source, final destination (looking through loose source routes),
+/// protocol, IP ident.
+/// The in-flight identity tracked by the conservation monitor:
+/// `(src, final-dst, protocol, ident)`.
+pub type LiveKey = (Ipv4Addr, Ipv4Addr, IpProtocol, u16);
+
+fn live_key(pkt: &Ipv4Packet) -> LiveKey {
+    let dst = if pkt.options.is_empty() {
+        pkt.dst
+    } else {
+        crate::wire::srcroute::SourceRoute::parse(&pkt.options)
+            .and_then(|r| r.final_destination())
+            .unwrap_or(pkt.dst)
+    };
+    (pkt.src, dst, pkt.protocol, pkt.ident)
+}
+
+/// Cap on stored violations — the first breaches are the interesting
+/// ones; repeats past the cap are counted, not stored.
+const VIOLATION_CAP: usize = 32;
+
+/// Online invariant monitor, owned by the [`crate::world::World`] and fed
+/// from the same choke points as the trace and metrics. Disabled by
+/// default (one branch per event); when enabled it maintains O(1)
+/// counters plus a live-packet set bounded by the number of packets
+/// currently in flight — *not* by the total ever sent — so it stays
+/// affordable at scale.
+///
+/// Monitors:
+/// * **packet-conservation** — every packet put on the wire must end as a
+///   delivery, an attributed drop, a transform input, or an attributable
+///   wire/detach loss; whatever is still "in flight" at quiescence beyond
+///   those allowances is a leak (`sent == delivered + dropped + in-flight`
+///   with the loss ledger carried explicitly).
+/// * **metrics-reconciliation** — the registry's aggregate totals must
+///   equal the monitor's independent event counts (both observe the same
+///   choke point, so any disagreement is a counting bug).
+/// * **scheduler-reconciliation** — `pushed == dispatched + cancelled +
+///   pending` on the event queue, checked incrementally every batch.
+///
+/// Violations are reported into the run report (see
+/// [`crate::world::World::invariant_report`]), never panicked on.
+#[derive(Debug, Default)]
+pub struct InvariantMonitor {
+    enabled: bool,
+    // Event counters (every trace event, including re-sends).
+    sent_events: u64,
+    forwarded_events: u64,
+    delivered_events: u64,
+    dropped_events: u64,
+    transform_events: u64,
+    // Conservation ledger.
+    originated: u64,
+    adopted: u64,
+    extra_terminations: u64,
+    wire_losses: u64,
+    detached_frames: u64,
+    parked: u64,
+    unparked: u64,
+    unclaimed_frames: u64,
+    hook_consumed: u64,
+    live: HashSet<LiveKey>,
+    // Incremental checking.
+    checks: u64,
+    scheduler_flagged: bool,
+    violations: Vec<InvariantViolation>,
+    suppressed_violations: u64,
+}
+
+impl InvariantMonitor {
+    /// A disabled monitor (the default inside every world).
+    pub fn new() -> InvariantMonitor {
+        InvariantMonitor::default()
+    }
+
+    /// Is the monitor recording?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn monitoring on or off (state is kept).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Packets currently unaccounted for (in flight or leaked).
+    pub fn in_flight(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Violations recorded by the incremental checks so far.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    fn record_violation(&mut self, invariant: &'static str, detail: String, at: SimTime) {
+        if self.violations.len() < VIOLATION_CAP {
+            self.violations.push(InvariantViolation {
+                invariant,
+                detail,
+                at,
+            });
+        } else {
+            self.suppressed_violations += 1;
+        }
+    }
+
+    /// Observe one packet event — called from the
+    /// [`crate::world::NetCtx::trace_packet`] choke point.
+    #[inline]
+    pub fn record_packet(&mut self, kind: TraceEventKind, pkt: &Ipv4Packet) {
+        if !self.enabled {
+            return;
+        }
+        match kind {
+            TraceEventKind::Sent => {
+                self.sent_events += 1;
+                if self.live.insert(live_key(pkt)) {
+                    self.originated += 1;
+                }
+            }
+            TraceEventKind::Forwarded => {
+                self.forwarded_events += 1;
+                if self.live.insert(live_key(pkt)) {
+                    // First sighting mid-path (e.g. a transform recorded
+                    // only at the metrics layer): adopt rather than lose.
+                    self.adopted += 1;
+                }
+            }
+            TraceEventKind::DeliveredLocal => {
+                self.delivered_events += 1;
+                if !self.live.remove(&live_key(pkt)) {
+                    // Broadcast/multicast fan-out and duplicated frames
+                    // terminate one identity several times; that is
+                    // expected, so it is a gauge, not a violation.
+                    self.extra_terminations += 1;
+                }
+            }
+            TraceEventKind::Dropped(_) => {
+                self.dropped_events += 1;
+                if !self.live.remove(&live_key(pkt)) {
+                    self.extra_terminations += 1;
+                }
+            }
+            TraceEventKind::Transformed(_) => {
+                // Normally arrives via record_transform; count defensively.
+                self.transform_events += 1;
+            }
+        }
+    }
+
+    /// Observe one transform — called from the
+    /// [`crate::world::NetCtx::trace_transform`] choke point. The parent
+    /// identity (when given) leaves flight; the child enters it.
+    #[inline]
+    pub fn record_transform(&mut self, parent: Option<&Ipv4Packet>, child: &Ipv4Packet) {
+        if !self.enabled {
+            return;
+        }
+        self.transform_events += 1;
+        if let Some(p) = parent {
+            self.live.remove(&live_key(p));
+        }
+        self.live.insert(live_key(child));
+    }
+
+    /// Note a frame that never made it across a segment (fault drop or
+    /// FCS-rejected corruption): any packet it carried is attributably
+    /// lost, not leaked.
+    #[inline]
+    pub fn note_wire_loss(&mut self) {
+        if self.enabled {
+            self.wire_losses += 1;
+        }
+    }
+
+    /// Note a frame delivered to a node/interface that detached while it
+    /// was in flight (mid-handoff losses — real, and attributable).
+    #[inline]
+    pub fn note_detached_frame(&mut self) {
+        if self.enabled {
+            self.detached_frames += 1;
+        }
+    }
+
+    /// Note a packet parked in a link-layer pending queue (awaiting ARP
+    /// resolution). Parked packets are legitimately in flight even at
+    /// quiescence: a neighbour that never answers strands them forever —
+    /// visible as `parked_net`, not a conservation leak.
+    #[inline]
+    pub fn note_parked(&mut self) {
+        if self.enabled {
+            self.parked += 1;
+        }
+    }
+
+    /// Note a parked packet leaving the pending queue (flushed onto the
+    /// wire after resolution, or evicted with an attributed drop).
+    #[inline]
+    pub fn note_unparked(&mut self) {
+        if self.enabled {
+            self.unparked += 1;
+        }
+    }
+
+    /// Packets currently parked in pending queues (cumulative parks minus
+    /// departures; packets discarded when an interface detaches stay
+    /// counted, matching their stranded live entries).
+    pub fn parked_net(&self) -> u64 {
+        self.parked.saturating_sub(self.unparked)
+    }
+
+    /// Note a frame unicast to a MAC not present on its segment: every
+    /// NIC ignores it, so the packet it carried dies on the wire. The
+    /// classic post-handoff fate of frames sent via a stale ARP entry.
+    #[inline]
+    pub fn note_unclaimed_frame(&mut self) {
+        if self.enabled {
+            self.unclaimed_frames += 1;
+        }
+    }
+
+    /// Note a packet consumed by a mobility hook before local delivery
+    /// (registration signalling never reaches a socket, but it *did*
+    /// terminate) — the packet leaves flight without a trace event.
+    #[inline]
+    pub fn note_consumed(&mut self, pkt: &Ipv4Packet) {
+        if !self.enabled {
+            return;
+        }
+        self.hook_consumed += 1;
+        if !self.live.remove(&live_key(pkt)) {
+            self.extra_terminations += 1;
+        }
+    }
+
+    /// Note a hook rewriting a packet's identity in place (no trace
+    /// transform fires): the old identity leaves flight, the new enters.
+    #[inline]
+    pub fn note_rewrite(&mut self, before: &Ipv4Packet, after: &Ipv4Packet) {
+        if !self.enabled {
+            return;
+        }
+        let (b, a) = (live_key(before), live_key(after));
+        if b != a {
+            self.live.remove(&b);
+            self.live.insert(a);
+        }
+    }
+
+    /// The identities currently considered in flight — `(src, dst, proto,
+    /// ident)` tuples. A diagnostic surface: when conservation is
+    /// violated, these are the leaked packets.
+    pub fn live_keys(&self) -> impl Iterator<Item = &LiveKey> {
+        self.live.iter()
+    }
+
+    /// Incremental scheduler-stats reconciliation, run per dispatch batch:
+    /// `pushed == dispatched + cancelled + pending`. Records the first
+    /// breach only (a broken queue would otherwise flood the report).
+    #[inline]
+    pub fn check_scheduler(&mut self, at: SimTime, stats: &SchedulerStats, pending: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.checks += 1;
+        if self.scheduler_flagged {
+            return;
+        }
+        let accounted = stats.dispatched + stats.cancelled + pending;
+        if stats.pushed != accounted {
+            self.scheduler_flagged = true;
+            self.record_violation(
+                "scheduler-reconciliation",
+                format!(
+                    "pushed={} != dispatched={} + cancelled={} + pending={}",
+                    stats.pushed, stats.dispatched, stats.cancelled, pending
+                ),
+                at,
+            );
+        }
+    }
+
+    /// Final-check violations, computed without mutating the monitor so
+    /// reports can be built from a shared borrow. `quiescent` gates the
+    /// conservation check (mid-run, in-flight packets are legitimate);
+    /// `totals` (with the registry's transform/drop sums) enables the
+    /// metrics reconciliation.
+    pub fn final_violations(
+        &self,
+        at: SimTime,
+        stats: &SchedulerStats,
+        pending: u64,
+        quiescent: bool,
+        totals: Option<&crate::metrics::NodeMetrics>,
+    ) -> Vec<InvariantViolation> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        if !self.scheduler_flagged {
+            let accounted = stats.dispatched + stats.cancelled + pending;
+            if stats.pushed != accounted {
+                out.push(InvariantViolation {
+                    invariant: "scheduler-reconciliation",
+                    detail: format!(
+                        "pushed={} != dispatched={} + cancelled={} + pending={}",
+                        stats.pushed, stats.dispatched, stats.cancelled, pending
+                    ),
+                    at,
+                });
+            }
+        }
+        if quiescent {
+            let in_flight = self.live.len() as u64;
+            let allowance =
+                self.wire_losses + self.detached_frames + self.parked_net() + self.unclaimed_frames;
+            if in_flight > allowance {
+                out.push(InvariantViolation {
+                    invariant: "packet-conservation",
+                    detail: format!(
+                        "sent={} != delivered={} + dropped={} + in-flight accounted: \
+                         {} packets still unaccounted at quiescence, only {} attributable \
+                         (wire_losses={} detached_frames={} parked={} unclaimed={})",
+                        self.originated + self.adopted,
+                        self.delivered_events,
+                        self.dropped_events,
+                        in_flight,
+                        allowance,
+                        self.wire_losses,
+                        self.detached_frames,
+                        self.parked_net(),
+                        self.unclaimed_frames
+                    ),
+                    at,
+                });
+            }
+        }
+        if let Some(t) = totals {
+            let pairs = [
+                ("packets_sent", t.packets_sent, self.sent_events),
+                (
+                    "packets_forwarded",
+                    t.packets_forwarded,
+                    self.forwarded_events,
+                ),
+                (
+                    "packets_delivered",
+                    t.packets_delivered,
+                    self.delivered_events,
+                ),
+                ("drops", t.total_drops(), self.dropped_events),
+                ("transforms", t.transforms, self.transform_events),
+            ];
+            for (name, registry, monitor) in pairs {
+                if registry != monitor {
+                    out.push(InvariantViolation {
+                        invariant: "metrics-reconciliation",
+                        detail: format!("registry {name}={registry} != monitor count {monitor}"),
+                        at,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The monitor's run-report section: counters, check count, and the
+    /// union of incrementally recorded and freshly computed violations.
+    pub fn report_value(
+        &self,
+        at: SimTime,
+        stats: &SchedulerStats,
+        pending: u64,
+        quiescent: bool,
+        totals: Option<&crate::metrics::NodeMetrics>,
+    ) -> Value {
+        let mut violations: Vec<Value> = self.violations.iter().map(|v| v.to_value()).collect();
+        violations.extend(
+            self.final_violations(at, stats, pending, quiescent, totals)
+                .iter()
+                .map(|v| v.to_value()),
+        );
+        let ok = violations.is_empty() && self.suppressed_violations == 0;
+        Value::Object(vec![
+            ("ok".into(), Value::Bool(ok)),
+            ("checks".into(), Value::U64(self.checks)),
+            (
+                "counters".into(),
+                Value::Object(vec![
+                    ("sent_events".into(), Value::U64(self.sent_events)),
+                    ("forwarded_events".into(), Value::U64(self.forwarded_events)),
+                    ("delivered_events".into(), Value::U64(self.delivered_events)),
+                    ("dropped_events".into(), Value::U64(self.dropped_events)),
+                    ("transform_events".into(), Value::U64(self.transform_events)),
+                    ("originated".into(), Value::U64(self.originated)),
+                    ("adopted".into(), Value::U64(self.adopted)),
+                    ("in_flight".into(), Value::U64(self.live.len() as u64)),
+                    (
+                        "extra_terminations".into(),
+                        Value::U64(self.extra_terminations),
+                    ),
+                    ("wire_losses".into(), Value::U64(self.wire_losses)),
+                    ("detached_frames".into(), Value::U64(self.detached_frames)),
+                    ("parked".into(), Value::U64(self.parked_net())),
+                    ("unclaimed_frames".into(), Value::U64(self.unclaimed_frames)),
+                    ("hook_consumed".into(), Value::U64(self.hook_consumed)),
+                ]),
+            ),
+            ("violations".into(), Value::Array(violations)),
+            (
+                "suppressed_violations".into(),
+                Value::U64(self.suppressed_violations),
+            ),
+        ])
+    }
+
+    /// Whether any violation has been observed so far (incremental checks
+    /// only; final checks are recomputed by [`InvariantMonitor::final_violations`]).
+    pub fn violated(&self) -> bool {
+        !self.violations.is_empty() || self.suppressed_violations > 0
+    }
+}
+
+/// Normalized per-flow sketch key: outer-header endpoints (direction
+/// insensitive) plus IANA protocol number. Outer rather than logical
+/// endpoints keeps the sketched hot path free of tunnel parsing; at wire
+/// level the tunnel aggregate (HA ↔ care-of) *is* the heavy hitter.
+pub type FlowLabel = (Ipv4Addr, Ipv4Addr, u8);
+
+/// The [`FlowLabel`] of a packet.
+pub fn flow_label(pkt: &Ipv4Packet) -> FlowLabel {
+    if pkt.src <= pkt.dst {
+        (pkt.src, pkt.dst, pkt.protocol.number())
+    } else {
+        (pkt.dst, pkt.src, pkt.protocol.number())
+    }
+}
+
+/// Re-exported for sketches keyed by node.
+pub type NodeKey = NodeId;
+
+/// Stable drop-reason listing used by diff tooling.
+pub fn drop_reason_tags() -> impl Iterator<Item = &'static str> {
+    DropReason::ALL.into_iter().map(|r| r.tag())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use bytes::Bytes;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn pkt(src: &str, dst: &str, ident: u16) -> Ipv4Packet {
+        let mut p = Ipv4Packet::new(ip(src), ip(dst), IpProtocol::Udp, Bytes::from_static(b"x"));
+        p.ident = ident;
+        p
+    }
+
+    #[test]
+    fn space_saving_exact_below_capacity() {
+        let mut s: SpaceSaving<u64> = SpaceSaving::new(4);
+        for (k, n) in [(1u64, 10u64), (2, 5), (3, 1)] {
+            for _ in 0..n {
+                s.offer(k, 1);
+            }
+        }
+        assert!(s.is_exact());
+        assert_eq!(s.count(&1), Some(10));
+        assert_eq!(s.count(&3), Some(1));
+        let top = s.top();
+        assert_eq!(top[0].key, 1);
+        assert_eq!(top[0].count, 10);
+        assert_eq!(top[0].error, 0);
+    }
+
+    #[test]
+    fn space_saving_bounds_memory_and_error_above_capacity() {
+        let mut s: SpaceSaving<u64> = SpaceSaving::new(8);
+        // One true heavy hitter among 10k distinct light keys.
+        for i in 0..10_000u64 {
+            s.offer(i, 1);
+            s.offer(42, 1);
+        }
+        assert_eq!(s.len(), 8, "memory bound holds");
+        assert!(!s.is_exact());
+        let c = s.count(&42).expect("heavy hitter retained");
+        assert!(c >= 10_000, "count is an overestimate, was {c}");
+        let e = s.top().iter().find(|e| e.key == 42).unwrap().error;
+        assert!(c - e <= 10_000 + 1, "true count within error bound");
+    }
+
+    #[test]
+    fn space_saving_merge_exact_when_union_fits() {
+        let mut a: SpaceSaving<u64> = SpaceSaving::new(8);
+        let mut b: SpaceSaving<u64> = SpaceSaving::new(8);
+        a.offer(1, 3);
+        a.offer(2, 2);
+        b.offer(2, 5);
+        b.offer(9, 1);
+        a.merge(&b);
+        assert!(a.is_exact());
+        assert_eq!(a.count(&1), Some(3));
+        assert_eq!(a.count(&2), Some(7));
+        assert_eq!(a.count(&9), Some(1));
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_and_bounded() {
+        let run = || {
+            let mut r: Reservoir<u64> = Reservoir::new(8, 7);
+            for i in 0..10_000u64 {
+                r.offer(i);
+            }
+            r.items().to_vec()
+        };
+        let a = run();
+        assert_eq!(a.len(), 8);
+        assert_eq!(a, run(), "same seed, same sample");
+        let mut other: Reservoir<u64> = Reservoir::new(8, 8);
+        for i in 0..10_000u64 {
+            other.offer(i);
+        }
+        let mut merged: Reservoir<u64> = Reservoir::new(8, 7);
+        for i in 0..10_000u64 {
+            merged.offer(i);
+        }
+        merged.merge(&other);
+        assert_eq!(merged.items().len(), 8);
+        assert_eq!(merged.seen(), 20_000);
+    }
+
+    #[test]
+    fn monitor_clean_run_reports_no_violations() {
+        let mut m = InvariantMonitor::new();
+        m.set_enabled(true);
+        let p = pkt("1.1.1.1", "2.2.2.2", 1);
+        m.record_packet(TraceEventKind::Sent, &p);
+        m.record_packet(TraceEventKind::Forwarded, &p);
+        m.record_packet(TraceEventKind::DeliveredLocal, &p);
+        let stats = SchedulerStats {
+            pushed: 10,
+            dispatched: 7,
+            cancelled: 3,
+        };
+        let v = m.final_violations(SimTime(5), &stats, 0, true, None);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn monitor_detects_leaked_packet() {
+        let mut m = InvariantMonitor::new();
+        m.set_enabled(true);
+        m.record_packet(TraceEventKind::Sent, &pkt("1.1.1.1", "2.2.2.2", 1));
+        let stats = SchedulerStats {
+            pushed: 0,
+            dispatched: 0,
+            cancelled: 0,
+        };
+        let v = m.final_violations(SimTime(5), &stats, 0, true, None);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "packet-conservation");
+        // The same leak is forgiven when a wire loss explains it.
+        m.note_wire_loss();
+        let v = m.final_violations(SimTime(5), &stats, 0, true, None);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn monitor_transform_hands_flight_over() {
+        let mut m = InvariantMonitor::new();
+        m.set_enabled(true);
+        let inner = pkt("1.1.1.1", "2.2.2.2", 1);
+        let outer = pkt("9.9.9.9", "8.8.8.8", 77);
+        m.record_packet(TraceEventKind::Sent, &inner);
+        m.record_transform(Some(&inner), &outer);
+        assert_eq!(m.in_flight(), 1, "child replaced parent");
+        m.record_packet(TraceEventKind::DeliveredLocal, &outer);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn monitor_scheduler_reconciliation_fires_once() {
+        let mut m = InvariantMonitor::new();
+        m.set_enabled(true);
+        let bad = SchedulerStats {
+            pushed: 10,
+            dispatched: 3,
+            cancelled: 1,
+        };
+        m.check_scheduler(SimTime(1), &bad, 2);
+        m.check_scheduler(SimTime(2), &bad, 2);
+        assert_eq!(m.violations().len(), 1, "flagged once, not per batch");
+        assert_eq!(m.violations()[0].invariant, "scheduler-reconciliation");
+    }
+
+    #[test]
+    fn monitor_metrics_reconciliation() {
+        let mut m = InvariantMonitor::new();
+        m.set_enabled(true);
+        m.record_packet(TraceEventKind::Sent, &pkt("1.1.1.1", "2.2.2.2", 1));
+        let mut totals = crate::metrics::NodeMetrics::default();
+        totals.packets_sent = 2; // registry claims one more than observed
+        let stats = SchedulerStats {
+            pushed: 0,
+            dispatched: 0,
+            cancelled: 0,
+        };
+        let v = m.final_violations(SimTime(1), &stats, 0, false, Some(&totals));
+        assert!(v.iter().any(|v| v.invariant == "metrics-reconciliation"));
+    }
+
+    #[test]
+    fn disabled_monitor_costs_and_stores_nothing() {
+        let mut m = InvariantMonitor::new();
+        m.record_packet(TraceEventKind::Sent, &pkt("1.1.1.1", "2.2.2.2", 1));
+        m.note_wire_loss();
+        assert_eq!(m.in_flight(), 0);
+        let stats = SchedulerStats {
+            pushed: 5,
+            dispatched: 0,
+            cancelled: 0,
+        };
+        let v = m.final_violations(SimTime(1), &stats, 0, true, None);
+        assert!(v.is_empty(), "disabled monitor never reports");
+    }
+}

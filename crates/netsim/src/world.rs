@@ -16,7 +16,8 @@ use crate::event::{
     TimerHandle, TimerToken,
 };
 use crate::link::{FaultOutcome, LinkConfig, LinkStats, Segment, SegmentId};
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{MetricsRegistry, SketchConfig};
+use crate::telemetry::{InvariantMonitor, TelemetryConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{PacketTrace, TraceEventKind, TransformKind};
 use crate::wire::ethernet::{EthernetFrame, MacAddr};
@@ -109,6 +110,7 @@ pub struct NetCtx<'a> {
     rng: &'a mut StdRng,
     trace: &'a mut PacketTrace,
     metrics: &'a mut MetricsRegistry,
+    invariants: &'a mut InvariantMonitor,
     pcap: &'a mut Option<crate::wire::pcap::PcapWriter<Box<dyn std::io::Write>>>,
 }
 
@@ -151,6 +153,22 @@ impl NetCtx<'_> {
         );
         self.metrics
             .record_transmit(seg, wire_len, queue_wait, serialize, outcome);
+        if matches!(outcome, FaultOutcome::Drop | FaultOutcome::Corrupt) {
+            // Whatever packet the frame carried is attributably lost on
+            // the wire, not leaked — the conservation monitor's ledger.
+            self.invariants.note_wire_loss();
+        } else if self.invariants.enabled() && frame.len() >= 6 {
+            // A frame unicast to a MAC no longer on this wire (stale ARP
+            // after a handoff, a vanished care-of address) is ignored by
+            // every NIC and dies here — attributable, not leaked.
+            let dst = crate::wire::ethernet::MacAddr([
+                frame[0], frame[1], frame[2], frame[3], frame[4], frame[5],
+            ]);
+            if !dst.is_broadcast() && !dst.is_multicast() && !self.segments[seg.0].mac_attached(dst)
+            {
+                self.invariants.note_unclaimed_frame();
+            }
+        }
         if outcome != FaultOutcome::Drop {
             if let Some(pcap) = self.pcap.as_mut() {
                 // Capture what was put on the wire (post fault injection is
@@ -200,6 +218,7 @@ impl NetCtx<'_> {
     pub fn trace_packet(&mut self, kind: TraceEventKind, pkt: &Ipv4Packet) {
         self.trace.record(self.now, self.node, kind, pkt);
         self.metrics.record_packet(self.node, kind, pkt);
+        self.invariants.record_packet(kind, pkt);
     }
 
     /// Record that `child` was produced from `parent` by `kind` at this
@@ -219,12 +238,56 @@ impl NetCtx<'_> {
             .record_transform(self.now, self.node, kind, parent, child);
         self.metrics
             .record_packet(self.node, TraceEventKind::Transformed(kind), child);
+        self.invariants.record_transform(parent, child);
     }
 
     /// The world's metrics registry — how the transport layer records TCP
     /// and UDP counters against the node being dispatched.
     pub fn metrics(&mut self) -> &mut MetricsRegistry {
         self.metrics
+    }
+
+    /// Flag an anomaly on the conversation between `a` and `b` over
+    /// `proto` — protocol layers call this for failures the trace cannot
+    /// see in the packet stream itself (e.g. a mobile host's registration
+    /// denial or retry exhaustion), promoting the flow to full capture
+    /// under flow sampling. No-op when sampling is off.
+    pub fn flag_anomaly(&mut self, a: Ipv4Addr, b: Ipv4Addr, proto: crate::wire::ipv4::IpProtocol) {
+        self.trace.promote_endpoints(a, b, proto);
+    }
+
+    /// Tell the conservation monitor a packet was parked in a link-layer
+    /// pending queue (awaiting ARP); see [`InvariantMonitor::note_parked`].
+    #[inline]
+    pub fn note_parked(&mut self) {
+        self.invariants.note_parked();
+    }
+
+    /// Tell the conservation monitor a parked packet left its pending
+    /// queue (flushed or evicted).
+    #[inline]
+    pub fn note_unparked(&mut self) {
+        self.invariants.note_unparked();
+    }
+
+    /// Whether the invariant monitors are on — lets hot paths skip the
+    /// bookkeeping (e.g. a packet clone) feeding them.
+    #[inline]
+    pub fn invariants_enabled(&self) -> bool {
+        self.invariants.enabled()
+    }
+
+    /// Tell the conservation monitor a packet was consumed by a mobility
+    /// hook before local delivery (no trace event fires for it).
+    #[inline]
+    pub fn note_consumed(&mut self, pkt: &Ipv4Packet) {
+        self.invariants.note_consumed(pkt);
+    }
+
+    /// Tell the conservation monitor a hook rewrote a packet's identity.
+    #[inline]
+    pub fn note_rewrite(&mut self, before: &Ipv4Packet, after: &Ipv4Packet) {
+        self.invariants.note_rewrite(before, after);
     }
 }
 
@@ -240,6 +303,10 @@ pub struct World {
     /// Aggregate counters; disabled by default (near-zero cost), enabled
     /// with [`World::enable_metrics`].
     pub metrics: MetricsRegistry,
+    /// Online invariant monitors; disabled by default (one branch per
+    /// event), enabled with [`World::enable_invariants`] or
+    /// [`World::apply_telemetry`].
+    pub invariants: InvariantMonitor,
     next_mac: u32,
     pcap: Option<crate::wire::pcap::PcapWriter<Box<dyn std::io::Write>>>,
     /// Reusable same-timestamp batch buffer for [`World::run_until`] /
@@ -263,6 +330,7 @@ impl World {
             rng: StdRng::seed_from_u64(seed),
             trace: PacketTrace::new(true),
             metrics: MetricsRegistry::new(false),
+            invariants: InvariantMonitor::new(),
             next_mac: 1,
             pcap: None,
             batch: Vec::new(),
@@ -280,6 +348,57 @@ impl World {
     /// back goes through [`World::metrics`].
     pub fn enable_metrics(&mut self) {
         self.metrics.set_enabled(true);
+    }
+
+    /// Start the online invariant monitors (packet conservation,
+    /// metrics/scheduler reconciliation). Violations are reported through
+    /// [`World::invariant_report`], never panicked on.
+    pub fn enable_invariants(&mut self) {
+        self.invariants.set_enabled(true);
+    }
+
+    /// Fan a [`TelemetryConfig`] out to every observability layer: arm
+    /// the metrics registry's sketched mode, enable head-based flow
+    /// sampling on the trace (when configured), and turn the invariant
+    /// monitors on. The scale-ready telemetry entry point.
+    pub fn apply_telemetry(&mut self, cfg: &TelemetryConfig) {
+        if let Some(n) = cfg.sample_flows {
+            self.trace.enable_flow_sampling(n, cfg.seed);
+        }
+        self.metrics.arm_sketch(SketchConfig {
+            node_threshold: cfg.sketch_node_threshold,
+            topk: cfg.topk,
+            reservoir: cfg.reservoir,
+            seed: cfg.seed,
+        });
+        self.invariants.set_enabled(true);
+    }
+
+    /// The invariant monitors' run-report section: counters plus every
+    /// violation (incrementally recorded and final-check). Conservation
+    /// is only judged when the world is quiescent — mid-run, in-flight
+    /// packets are legitimate.
+    pub fn invariant_report(&self) -> serde::Value {
+        let stats = self.queue.stats();
+        let pending = self.queue.len() as u64;
+        let totals = self.metrics.enabled().then(|| self.metrics.totals());
+        self.invariants
+            .report_value(self.now, &stats, pending, pending == 0, totals.as_ref())
+    }
+
+    /// Whether any invariant violation has been detected (incremental or
+    /// final-check) — what CI smoke jobs assert on.
+    pub fn has_invariant_violations(&self) -> bool {
+        if self.invariants.violated() {
+            return true;
+        }
+        let stats = self.queue.stats();
+        let pending = self.queue.len() as u64;
+        let totals = self.metrics.enabled().then(|| self.metrics.totals());
+        !self
+            .invariants
+            .final_violations(self.now, &stats, pending, pending == 0, totals.as_ref())
+            .is_empty()
     }
 
     /// Human-readable node names indexed by `NodeId`, for labelling
@@ -354,6 +473,7 @@ impl World {
         }
         n.invalidate_route_cache();
         self.segments[seg.0].attach(node, iface);
+        self.segments[seg.0].register_mac(node, iface, mac);
         iface
     }
 
@@ -364,8 +484,10 @@ impl World {
         let mtu = self.segments[seg.0].config.mtu;
         let n = self.nodes[node.0].as_mut().expect("node exists");
         n.nic_mut().set_segment(iface, Some(seg), mtu);
+        let mac = n.nic().mac(iface);
         n.invalidate_route_cache();
         self.segments[seg.0].attach(node, iface);
+        self.segments[seg.0].register_mac(node, iface, mac);
     }
 
     /// Unplug an interface from whatever segment it is on.
@@ -432,6 +554,7 @@ impl World {
                 rng: &mut self.rng,
                 trace: &mut self.trace,
                 metrics: &mut self.metrics,
+                invariants: &mut self.invariants,
                 pcap: &mut self.pcap,
             };
             match &mut node {
@@ -464,15 +587,20 @@ impl World {
             EventKind::Deliver { node, iface, frame } => (node, Some((iface, frame)), None),
             EventKind::Timer(t) => (t.node, None, Some(t.token)),
         };
+        let kind_was_frame = iface_frame.is_some();
         // A node may have been detached between scheduling and delivery
         // (mid-flight frames to a departed mobile host are lost, as in
         // reality).
         let Some(mut n) = self.nodes.get_mut(node.0).and_then(Option::take) else {
+            if kind_was_frame {
+                self.invariants.note_detached_frame();
+            }
             return;
         };
         if let Some((iface, _)) = &iface_frame {
             if n.nic().segment(*iface).is_none() {
                 self.nodes[node.0] = Some(n);
+                self.invariants.note_detached_frame();
                 return;
             }
         }
@@ -484,6 +612,7 @@ impl World {
             rng: &mut self.rng,
             trace: &mut self.trace,
             metrics: &mut self.metrics,
+            invariants: &mut self.invariants,
             pcap: &mut self.pcap,
         };
         match (iface_frame, token) {
@@ -504,6 +633,11 @@ impl World {
         self.now = at;
         if self.sampler.is_some() {
             self.maybe_sample();
+        }
+        if self.invariants.enabled() {
+            let stats = self.queue.stats();
+            let pending = self.queue.len() as u64;
+            self.invariants.check_scheduler(self.now, &stats, pending);
         }
         self.dispatch(kind);
         true
@@ -530,6 +664,14 @@ impl World {
             self.now = t;
             if self.sampler.is_some() {
                 self.maybe_sample();
+            }
+            if self.invariants.enabled() {
+                let stats = self.queue.stats();
+                // The just-popped batch is dispatched-but-not-yet-run;
+                // it is already counted in `dispatched`, and `len` no
+                // longer includes it, so the ledger balances here.
+                let pending = self.queue.len() as u64;
+                self.invariants.check_scheduler(self.now, &stats, pending);
             }
             let _prof = crate::profile::scope("world/dispatch");
             for Event { kind, .. } in batch.drain(..) {
@@ -562,6 +704,11 @@ impl World {
             self.now = t;
             if self.sampler.is_some() {
                 self.maybe_sample();
+            }
+            if self.invariants.enabled() {
+                let stats = self.queue.stats();
+                let pending = self.queue.len() as u64;
+                self.invariants.check_scheduler(self.now, &stats, pending);
             }
             let _prof = crate::profile::scope("world/dispatch");
             for Event { kind, .. } in batch.drain(..) {
@@ -1152,5 +1299,85 @@ mod tests {
             .first_delivery_latency(|s| s.dst == ip("10.0.2.10"))
             .unwrap();
         assert!(lat.as_millis() >= 30, "latency was {lat}");
+    }
+
+    #[test]
+    fn invariant_monitor_clean_on_healthy_run() {
+        let (mut w, alice, _, _) = two_lan_world();
+        w.enable_metrics();
+        w.enable_invariants();
+        w.host_do(alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1);
+        });
+        w.run_until_idle(10_000);
+        assert!(!w.has_invariant_violations(), "{:?}", w.invariant_report());
+        assert_eq!(w.invariants.in_flight(), 0);
+    }
+
+    #[test]
+    fn invariant_monitor_tolerates_wire_loss() {
+        let (mut w, alice, _, _) = {
+            let mut w = World::new(7);
+            let mut lossy = LinkConfig::lan();
+            lossy.fault.drop_prob = 1.0;
+            let lan_a = w.add_segment(lossy);
+            let lan_b = w.add_segment(LinkConfig::lan());
+            let alice = w.add_host(HostConfig::conventional("alice"));
+            let bob = w.add_host(HostConfig::conventional("bob"));
+            let r = w.add_router(RouterConfig::named("r"));
+            w.attach(alice, lan_a, Some("10.0.1.10/24"));
+            w.attach(bob, lan_b, Some("10.0.2.10/24"));
+            w.attach(r, lan_a, Some("10.0.1.1/24"));
+            w.attach(r, lan_b, Some("10.0.2.1/24"));
+            w.compute_routes();
+            (w, alice, bob, r)
+        };
+        w.enable_metrics();
+        w.enable_invariants();
+        w.host_do(alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1);
+        });
+        w.run_until_idle(10_000);
+        // Every frame is lost on the wire; the conservation monitor must
+        // attribute the leaked packets to wire losses, not flag them.
+        assert!(!w.has_invariant_violations(), "{:?}", w.invariant_report());
+    }
+
+    #[test]
+    fn apply_telemetry_arms_every_layer() {
+        let (mut w, alice, _, _) = two_lan_world();
+        w.enable_metrics();
+        let cfg = TelemetryConfig {
+            sample_flows: Some(4),
+            sketch_node_threshold: 1,
+            ..TelemetryConfig::default()
+        };
+        w.apply_telemetry(&cfg);
+        assert_eq!(w.trace.flow_sample_rate(), Some(4));
+        assert!(w.invariants.enabled());
+        w.host_do(alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1);
+        });
+        w.run_until_idle(10_000);
+        assert!(!w.has_invariant_violations(), "{:?}", w.invariant_report());
+        // Three nodes saw traffic, threshold is 1 — the registry must
+        // have collapsed into sketched mode mid-run.
+        assert!(w.metrics.is_sketched());
+        let sk = w.metrics.sketched().expect("sketched");
+        assert!(sk.totals.packets_sent >= 1);
+    }
+
+    #[test]
+    fn invariant_report_shape() {
+        let (mut w, alice, _, _) = two_lan_world();
+        w.enable_invariants();
+        w.host_do(alice, |h, ctx| {
+            h.send_ping(ctx, ip("10.0.1.10"), ip("10.0.2.10"), 1);
+        });
+        w.run_until_idle(10_000);
+        let v = w.invariant_report();
+        let s = serde_json::to_string(&v).unwrap();
+        assert!(s.contains("\"ok\":true"), "{s}");
+        assert!(s.contains("\"violations\":[]"), "{s}");
     }
 }
