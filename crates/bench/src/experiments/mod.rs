@@ -297,16 +297,40 @@ impl<T, F: FnOnce() -> T> Batch<T, F> {
 /// the `threads` runners. A panicking job is resurfaced on the caller
 /// after the rest of the batch finishes.
 ///
-/// `threads` is additionally capped at the machine's available
-/// parallelism: the jobs are CPU-bound simulations, so extra runners past
-/// that point cannot overlap any work and only add context switches.
+/// `threads` is normally capped at the machine's available parallelism:
+/// the jobs are CPU-bound simulations, so extra runners past that point
+/// cannot overlap any work and only add context switches. An **explicit**
+/// `NETSIM_BENCH_THREADS` asking for exactly this width overrides the cap
+/// (with a warning, once) — oversubscription is sometimes what you want,
+/// e.g. to exercise pool handoff on a small box or to overlap jobs that
+/// block on I/O under profiling.
 pub fn pool_map<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
     let cap = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
-    pool_map_exact(jobs, threads.min(cap))
+    if threads > cap {
+        if explicit_env_threads() == Some(threads) {
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "netsim-bench: NETSIM_BENCH_THREADS={threads} exceeds available \
+                     parallelism ({cap}); oversubscribing as requested"
+                );
+            });
+            return pool_map_exact(jobs, threads);
+        }
+        return pool_map_exact(jobs, cap);
+    }
+    pool_map_exact(jobs, threads)
+}
+
+/// The worker-thread count the user explicitly asked for via
+/// `NETSIM_BENCH_THREADS`, if the variable is set to a positive integer.
+fn explicit_env_threads() -> Option<usize> {
+    let v = std::env::var("NETSIM_BENCH_THREADS").ok()?;
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
 /// [`pool_map`] without the hardware-parallelism cap. Exposed so tests can
@@ -374,14 +398,8 @@ where
 /// environment variable when set to a positive integer, else the number of
 /// available cores (else 4 when that cannot be determined).
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("NETSIM_BENCH_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(4, |n| n.get())
+    explicit_env_threads()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
 }
 
 /// Run every experiment at full scale and collect the output tables, in
@@ -487,5 +505,27 @@ mod tests {
             .or_else(|| err.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "<non-string panic>".into());
         assert!(msg.contains("job five exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn pool_map_honors_explicit_env_width_above_core_count() {
+        // `set_var` is process-global; this is the only test touching the
+        // variable, and it restores the prior value before returning.
+        let prior = std::env::var("NETSIM_BENCH_THREADS").ok();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let want = cores + 3;
+        std::env::set_var("NETSIM_BENCH_THREADS", want.to_string());
+        assert_eq!(explicit_env_threads(), Some(want));
+        assert_eq!(default_threads(), want);
+        // The oversubscribed width must actually run (and in order).
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..want * 2)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let got = pool_map(jobs, want);
+        assert_eq!(got, (0..want * 2).map(|i| i + 1).collect::<Vec<_>>());
+        match prior {
+            Some(v) => std::env::set_var("NETSIM_BENCH_THREADS", v),
+            None => std::env::remove_var("NETSIM_BENCH_THREADS"),
+        }
     }
 }

@@ -14,6 +14,13 @@
 //! [`telemetry_requested`]) install a [`netsim::TelemetryConfig`] that
 //! every observed world receives — head-based flow sampling, heavy-hitter
 //! sketches, and the online invariant monitors' report section.
+//!
+//! Sharded execution is opt-in per process: `--shards N` /
+//! `NETSIM_SHARDS=N` makes every subsequently built world partition
+//! itself into up to `N` conservatively synchronized shards. Output is
+//! byte-identical to a serial run, so the flag is safe on any
+//! experiment; per-shard counters land in the profile-gated `scheduler`
+//! report section.
 
 use crate::report;
 use crate::Table;
@@ -78,6 +85,16 @@ pub fn telemetry_requested() -> Option<TelemetryConfig> {
     any.then_some(cfg)
 }
 
+/// The shard count for sharded world execution: the `--shards N` flag
+/// wins over the `NETSIM_SHARDS` environment variable. `None` when
+/// neither is present (worlds run serially, today's default).
+pub fn shards_requested() -> Option<usize> {
+    arg_value("--shards")
+        .and_then(|v| v.parse().ok())
+        .or_else(|| env_u64("NETSIM_SHARDS").map(|n| n as usize))
+        .filter(|&n| n >= 1)
+}
+
 /// Run an experiment binary body under the standard harness: report
 /// collection on, profiling on when requested, the whole run wrapped in a
 /// root scope named after the binary, tables printed, and the run report
@@ -86,6 +103,9 @@ pub fn run(name: &'static str, f: impl FnOnce() -> Vec<Table>) -> Vec<Table> {
     report::enable();
     if let Some(cfg) = telemetry_requested() {
         report::set_telemetry_config(cfg);
+    }
+    if let Some(n) = shards_requested() {
+        netsim::set_default_shards(n);
     }
     let profiling = profile_requested();
     if profiling {

@@ -90,7 +90,7 @@ pub struct FeedbackEvent {
 /// The mobility layer a `Host` may carry. All methods default to the
 /// behaviour of a conventional, mobility-unaware host.
 #[allow(unused_variables)]
-pub trait MobilityHook: Any {
+pub trait MobilityHook: Any + Send {
     /// Consulted before the normal route table for every locally-originated
     /// packet (unless the sender set [`TxMeta::skip_override`]).
     fn route_outgoing(
@@ -144,7 +144,7 @@ pub trait MobilityHook: Any {
 
 /// A transport-layer protocol handler (UDP, TCP, …) registered with a host.
 #[allow(unused_variables)]
-pub trait ProtocolHandler: Any {
+pub trait ProtocolHandler: Any + Send {
     /// The packet's destination was local and its protocol matched.
     fn on_packet(&mut self, pkt: &Ipv4Packet, iface: IfaceNo, host: &mut Host, ctx: &mut NetCtx);
 
@@ -157,7 +157,7 @@ pub trait ProtocolHandler: Any {
 
 /// An in-simulation application, polled after every event its host handles.
 #[allow(unused_variables)]
-pub trait App: Any {
+pub trait App: Any + Send {
     /// Called after every event the host handles; do work, schedule wake-ups.
     fn poll(&mut self, host: &mut Host, ctx: &mut NetCtx);
     /// Downcast support (see `Host::hook_as`/`handler_as`/`app_as`).

@@ -9,9 +9,10 @@
 //! the IP destination "does not belong" on that network.
 
 use bytes::Bytes;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use crate::event::{EventKind, EventQueue, IfaceNo, NodeId};
+use crate::event::{lane_key, segment_lane, EventKind, EventSink, IfaceNo, NodeId};
 use crate::time::{SimDuration, SimTime};
 use crate::wire::ethernet::MacAddr;
 
@@ -59,6 +60,14 @@ pub enum FaultOutcome {
 }
 
 impl FaultInjector {
+    /// Does this injector ever draw from the RNG? Fault-free segments skip
+    /// RNG seeding entirely, which keeps their outcome predictable from the
+    /// frame alone — the property sharded execution relies on at shard
+    /// borders.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.corrupt_prob > 0.0 || self.duplicate_prob > 0.0
+    }
+
     /// Decide this frame's fate, possibly corrupting it in place.
     pub fn apply<R: Rng>(&self, frame: &mut [u8], rng: &mut R) -> FaultOutcome {
         let (outcome, flip) = self.decide_impl(frame.len(), rng);
@@ -171,7 +180,52 @@ serde::impl_serialize!(LinkStats {
     oversize_drops
 });
 
+/// The mutable, per-run side of a segment: medium occupancy, traffic
+/// counters, the segment's event-ordering lane sequence and its lazily
+/// seeded fault RNG. Split out of [`Segment`] so sharded execution can
+/// share the immutable topology (`&[Segment]`) across worker threads while
+/// each shard owns the states of the segments it simulates.
+#[derive(Debug, Clone)]
+pub struct SegState {
+    /// When the shared medium next becomes free (serialization queueing).
+    pub(crate) next_free: SimTime,
+    /// Traffic counters.
+    pub stats: LinkStats,
+    /// Next sequence number on this segment's event lane. Delivery events
+    /// are keyed `(segment lane, lane_seq)`, so their global tie-break order
+    /// depends only on which segment carried them — not on which thread or
+    /// shard happened to schedule them.
+    pub(crate) lane_seq: u64,
+    /// Fault-injection RNG, seeded from the segment's `rng_seed` on first
+    /// use. Fault-free segments never touch it.
+    pub(crate) rng: Option<StdRng>,
+}
+
+impl Default for SegState {
+    fn default() -> Self {
+        SegState {
+            next_free: SimTime::ZERO,
+            stats: LinkStats::default(),
+            lane_seq: 0,
+            rng: None,
+        }
+    }
+}
+
+impl SegState {
+    /// How long the medium is already committed beyond `now`: the
+    /// sender-side queueing delay a frame offered at `now` would see.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.next_free.since(now)
+    }
+}
+
 /// A broadcast domain. Two attachments = point-to-point wire.
+///
+/// Holds only the parts that are immutable while events are dispatched:
+/// link parameters, attachments and the MAC registry (topology changes
+/// happen inside node handlers via deferred world ops, never concurrently
+/// with a transmit). The mutable side lives in [`SegState`].
 #[derive(Debug)]
 pub struct Segment {
     /// Static link parameters.
@@ -181,21 +235,26 @@ pub struct Segment {
     /// so the conservation monitor can tell a deliverable unicast frame
     /// from one addressed to a MAC that has left the wire.
     macs: Vec<((NodeId, IfaceNo), MacAddr)>,
-    /// When the shared medium next becomes free (serialization queueing).
-    next_free: SimTime,
-    /// Traffic counters.
-    pub stats: LinkStats,
+    /// The event-ordering lane for deliveries on this segment; the world
+    /// assigns it from the segment index at creation.
+    pub(crate) lane: u64,
+    /// Seed for this segment's private fault RNG, derived by the world from
+    /// the world seed and the segment index so fault decisions are
+    /// reproducible regardless of how many shards run the simulation.
+    pub(crate) rng_seed: u64,
 }
 
 impl Segment {
-    /// A segment with no attachments.
+    /// A segment with no attachments. Standalone construction (tests,
+    /// benches) gets lane 0's segment lane and a fixed RNG seed; the world
+    /// overwrites both when the segment is added to a topology.
     pub fn new(config: LinkConfig) -> Segment {
         Segment {
             config,
             attachments: Vec::new(),
             macs: Vec::new(),
-            next_free: SimTime::ZERO,
-            stats: LinkStats::default(),
+            lane: segment_lane(0),
+            rng_seed: 0,
         }
     }
 
@@ -233,57 +292,61 @@ impl Segment {
         self.attachments.contains(&(node, iface))
     }
 
-    /// How long the medium is already committed beyond `now`: the
-    /// sender-side queueing delay a frame offered at `now` would see.
-    pub fn backlog(&self, now: SimTime) -> SimDuration {
-        self.next_free.since(now)
-    }
-
     /// Transmit `frame` from `from`, scheduling delivery events to every
-    /// other attachment. Applies serialization delay, propagation latency
-    /// and fault injection. Returns the fault outcome (for link stats and
-    /// drop tracing by the caller).
-    pub fn transmit<R: Rng>(
-        &mut self,
+    /// other attachment through `sink`. Applies serialization delay,
+    /// propagation latency and fault injection, mutating only the segment's
+    /// [`SegState`]. Returns the fault outcome (for link stats and drop
+    /// tracing by the caller). Delivery events carry `(segment lane,
+    /// lane_seq)` keys, so equal-timestamp ordering is a pure function of
+    /// the topology and traffic — identical however the world is sharded.
+    pub fn transmit(
+        &self,
+        state: &mut SegState,
         from: (NodeId, IfaceNo),
         frame: Bytes,
         now: SimTime,
-        queue: &mut EventQueue,
-        rng: &mut R,
+        sink: &mut impl EventSink,
     ) -> FaultOutcome {
         // Frames larger than MTU + Ethernet header indicate an IP-layer bug
         // upstream (fragmentation should have happened); drop and count.
         let max_frame = self.config.mtu + crate::wire::ethernet::ETHERNET_HEADER_LEN;
         if frame.len() > max_frame {
-            self.stats.oversize_drops += 1;
+            state.stats.oversize_drops += 1;
             return FaultOutcome::Drop;
         }
 
         // Corrupt frames are never delivered (the FCS check below discards
         // them), so the fault decision only needs the length — the frame
-        // buffer stays shared and untouched, no copy.
-        let outcome = {
+        // buffer stays shared and untouched, no copy. The RNG is private to
+        // the segment and seeded from the world seed + segment index, so
+        // the fault stream never depends on interleaving with other
+        // segments' traffic.
+        let outcome = if self.config.fault.is_active() {
             let _prof = crate::profile::scope("link/fault");
+            let seed = self.rng_seed;
+            let rng = state.rng.get_or_insert_with(|| StdRng::seed_from_u64(seed));
             self.config.fault.decide(frame.len(), rng)
+        } else {
+            FaultOutcome::Deliver
         };
         if outcome == FaultOutcome::Drop {
-            self.stats.fault_drops += 1;
+            state.stats.fault_drops += 1;
             return outcome;
         }
 
-        self.stats.frames += 1;
-        self.stats.bytes += frame.len() as u64;
+        state.stats.frames += 1;
+        state.stats.bytes += frame.len() as u64;
 
-        let tx_start = now.max(self.next_free);
+        let tx_start = now.max(state.next_free);
         let tx_end = tx_start + self.config.serialize_time(frame.len());
-        self.next_free = tx_end;
+        state.next_free = tx_end;
         let arrival = tx_end + self.config.latency;
 
         // A corrupted frame monopolizes the medium like any other but every
         // receiving NIC rejects it on the FCS check — model that as
         // "no delivery events".
         if outcome == FaultOutcome::Corrupt {
-            self.stats.crc_drops += 1;
+            state.stats.crc_drops += 1;
             return outcome;
         }
 
@@ -297,8 +360,11 @@ impl Segment {
                 if (node, iface) == from {
                     continue;
                 }
-                queue.push(
+                let key = lane_key(self.lane, state.lane_seq);
+                state.lane_seq += 1;
+                sink.push_keyed(
                     arrival,
+                    key,
                     EventKind::Deliver {
                         node,
                         iface,
@@ -314,12 +380,7 @@ impl Segment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
-    }
+    use crate::event::EventQueue;
 
     fn frame(n: usize) -> Bytes {
         Bytes::from(vec![0xabu8; n])
@@ -335,20 +396,15 @@ mod tests {
         });
         seg.attach(NodeId(0), 0);
         seg.attach(NodeId(1), 0);
+        let mut st = SegState::default();
         let mut q = EventQueue::new();
-        seg.transmit(
-            (NodeId(0), 0),
-            frame(1000),
-            SimTime::ZERO,
-            &mut q,
-            &mut rng(),
-        );
+        seg.transmit(&mut st, (NodeId(0), 0), frame(1000), SimTime::ZERO, &mut q);
         let ev = q.pop().unwrap();
         // 1000 bytes at 1 byte/µs = 1000 µs + 10 ms latency.
         assert_eq!(ev.at, SimTime(11_000));
         assert!(q.pop().is_none(), "sender must not hear its own frame");
-        assert_eq!(seg.stats.frames, 1);
-        assert_eq!(seg.stats.bytes, 1000);
+        assert_eq!(st.stats.frames, 1);
+        assert_eq!(st.stats.bytes, 1000);
     }
 
     #[test]
@@ -357,8 +413,9 @@ mod tests {
         for i in 0..4 {
             seg.attach(NodeId(i), 0);
         }
+        let mut st = SegState::default();
         let mut q = EventQueue::new();
-        seg.transmit((NodeId(2), 0), frame(64), SimTime::ZERO, &mut q, &mut rng());
+        seg.transmit(&mut st, (NodeId(2), 0), frame(64), SimTime::ZERO, &mut q);
         let mut receivers: Vec<usize> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Deliver { node, .. } => node.0,
@@ -380,22 +437,11 @@ mod tests {
         let mut seg = Segment::new(cfg);
         seg.attach(NodeId(0), 0);
         seg.attach(NodeId(1), 0);
+        let mut st = SegState::default();
         let mut q = EventQueue::new();
         // Two back-to-back 500-byte frames at t=0: second must wait.
-        seg.transmit(
-            (NodeId(0), 0),
-            frame(500),
-            SimTime::ZERO,
-            &mut q,
-            &mut rng(),
-        );
-        seg.transmit(
-            (NodeId(0), 0),
-            frame(500),
-            SimTime::ZERO,
-            &mut q,
-            &mut rng(),
-        );
+        seg.transmit(&mut st, (NodeId(0), 0), frame(500), SimTime::ZERO, &mut q);
+        seg.transmit(&mut st, (NodeId(0), 0), frame(500), SimTime::ZERO, &mut q);
         let t1 = q.pop().unwrap().at;
         let t2 = q.pop().unwrap().at;
         assert_eq!(t1, SimTime(500));
@@ -410,8 +456,9 @@ mod tests {
         assert!(seg.is_attached(NodeId(1), 0));
         seg.detach(NodeId(1), 0);
         assert!(!seg.is_attached(NodeId(1), 0));
+        let mut st = SegState::default();
         let mut q = EventQueue::new();
-        seg.transmit((NodeId(0), 0), frame(64), SimTime::ZERO, &mut q, &mut rng());
+        seg.transmit(&mut st, (NodeId(0), 0), frame(64), SimTime::ZERO, &mut q);
         assert!(q.is_empty());
     }
 
@@ -420,25 +467,20 @@ mod tests {
         let mut seg = Segment::new(LinkConfig::lan()); // mtu 1500
         seg.attach(NodeId(0), 0);
         seg.attach(NodeId(1), 0);
+        let mut st = SegState::default();
         let mut q = EventQueue::new();
         let out = seg.transmit(
+            &mut st,
             (NodeId(0), 0),
             frame(1515), // > 1500 + 14
             SimTime::ZERO,
             &mut q,
-            &mut rng(),
         );
         assert_eq!(out, FaultOutcome::Drop);
-        assert_eq!(seg.stats.oversize_drops, 1);
+        assert_eq!(st.stats.oversize_drops, 1);
         assert!(q.is_empty());
         // Exactly MTU + header is fine.
-        let out = seg.transmit(
-            (NodeId(0), 0),
-            frame(1514),
-            SimTime::ZERO,
-            &mut q,
-            &mut rng(),
-        );
+        let out = seg.transmit(&mut st, (NodeId(0), 0), frame(1514), SimTime::ZERO, &mut q);
         assert_eq!(out, FaultOutcome::Deliver);
     }
 
@@ -453,18 +495,19 @@ mod tests {
         });
         seg.attach(NodeId(0), 0);
         seg.attach(NodeId(1), 0);
+        seg.rng_seed = 42;
+        let mut st = SegState::default();
         let mut q = EventQueue::new();
-        let mut r = rng();
         let mut dropped = 0;
         for _ in 0..1000 {
-            if seg.transmit((NodeId(0), 0), frame(64), SimTime::ZERO, &mut q, &mut r)
+            if seg.transmit(&mut st, (NodeId(0), 0), frame(64), SimTime::ZERO, &mut q)
                 == FaultOutcome::Drop
             {
                 dropped += 1;
             }
         }
         assert!((400..600).contains(&dropped), "dropped {dropped}/1000");
-        assert_eq!(seg.stats.fault_drops, dropped);
+        assert_eq!(st.stats.fault_drops, dropped);
     }
 
     #[test]
@@ -473,7 +516,7 @@ mod tests {
             corrupt_prob: 1.0,
             ..Default::default()
         };
-        let mut r = rng();
+        let mut r = StdRng::seed_from_u64(42);
         let orig = vec![0u8; 100];
         let mut data = orig.clone();
         assert_eq!(inj.apply(&mut data, &mut r), FaultOutcome::Corrupt);
@@ -496,8 +539,9 @@ mod tests {
         });
         seg.attach(NodeId(0), 0);
         seg.attach(NodeId(1), 0);
+        let mut st = SegState::default();
         let mut q = EventQueue::new();
-        let out = seg.transmit((NodeId(0), 0), frame(64), SimTime::ZERO, &mut q, &mut rng());
+        let out = seg.transmit(&mut st, (NodeId(0), 0), frame(64), SimTime::ZERO, &mut q);
         assert_eq!(out, FaultOutcome::Duplicate);
         assert_eq!(q.len(), 2);
     }
@@ -507,13 +551,18 @@ mod tests {
         let mut seg = Segment::new(LinkConfig::lan());
         seg.attach(NodeId(0), 0);
         seg.attach(NodeId(1), 0);
+        let mut st = SegState::default();
         let mut q = EventQueue::new();
         for _ in 0..100 {
             assert_eq!(
-                seg.transmit((NodeId(0), 0), frame(64), SimTime::ZERO, &mut q, &mut rng()),
+                seg.transmit(&mut st, (NodeId(0), 0), frame(64), SimTime::ZERO, &mut q),
                 FaultOutcome::Deliver
             );
         }
         assert_eq!(q.len(), 100);
+        assert!(
+            st.rng.is_none(),
+            "fault-free segment must never seed its RNG"
+        );
     }
 }

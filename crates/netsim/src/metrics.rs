@@ -608,6 +608,13 @@ impl MetricsRegistry {
         }
     }
 
+    /// Is sketched mode armed (whether or not the collapse has fired)?
+    /// Sketch collapse is order-sensitive, so armed registries force the
+    /// sharded scheduler into merged (serial-order) execution.
+    pub fn sketch_armed(&self) -> bool {
+        self.sketch.is_some()
+    }
+
     /// Is the registry currently collapsed?
     pub fn is_sketched(&self) -> bool {
         self.sketched.is_some()

@@ -526,6 +526,11 @@ impl PacketTrace {
         self.enabled = on;
     }
 
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// The ring-buffer bound, if any.
     pub fn capacity(&self) -> Option<usize> {
         self.capacity

@@ -1189,16 +1189,42 @@ mod tests {
             st.segs_retransmitted,
         );
         let first_flow = w.trace.events().front().unwrap().flow_id;
+        let mut linked = 0u64;
         for e in &retx {
             assert_eq!(e.flow_id, first_flow, "retransmission stays in the flow");
-            let parent = e.parent_id.expect("retransmission links its parent");
-            assert_ne!(parent, e.packet_id);
-            assert_eq!(
-                w.trace.flow_of(parent),
-                Some(first_flow),
-                "the presumed parent is a packet of the same flow"
-            );
+            match e.parent_id {
+                Some(parent) => {
+                    linked += 1;
+                    assert_ne!(parent, e.packet_id);
+                    assert_eq!(
+                        w.trace.flow_of(parent),
+                        Some(first_flow),
+                        "the presumed parent is a packet of the same flow"
+                    );
+                }
+                None => {
+                    // Legitimate orphan: the original never reached the
+                    // wire (parked on ARP whose request the fault injector
+                    // ate), so the retransmission is the first packet the
+                    // trace ever saw of this flow.
+                    let ix = w
+                        .trace
+                        .events()
+                        .iter()
+                        .position(|x| x.packet_id == e.packet_id)
+                        .unwrap();
+                    assert!(
+                        w.trace
+                            .events()
+                            .iter()
+                            .take(ix)
+                            .all(|x| x.flow_id != first_flow),
+                        "an unlinked retransmission must be its flow's first event"
+                    );
+                }
+            }
         }
+        assert!(linked > 0, "data retransmissions link their parents");
     }
 
     #[test]

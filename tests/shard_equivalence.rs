@@ -1,0 +1,129 @@
+//! Sharded execution must be observationally identical to serial
+//! execution across every experiment world in the repository: same
+//! tables, same metrics, same packet-lifecycle spans, byte for byte.
+//!
+//! The sweep test flips the process-global default shard count, so it is
+//! kept apart from the per-world property test below, which only ever
+//! builds worlds through `World::with_shards` (explicit counts) and is
+//! therefore immune to the global.
+
+use bench::experiments::run_all_with;
+use bench::report;
+use mobility4x4::netsim::{set_default_shards, HostConfig, LinkConfig, RouterConfig, World};
+use proptest::prelude::*;
+
+#[test]
+fn all_experiment_worlds_are_byte_identical_across_shard_counts() {
+    report::enable();
+
+    set_default_shards(1);
+    let serial_tables = run_all_with(1);
+    let serial = serde_json::to_string(&report::build("all_experiments", &serial_tables))
+        .expect("serialize");
+
+    for shards in [2usize, 4] {
+        set_default_shards(shards);
+        let sharded_tables = run_all_with(1);
+        let sharded = serde_json::to_string(&report::build("all_experiments", &sharded_tables))
+            .expect("serialize");
+        assert_eq!(
+            serial_tables.len(),
+            sharded_tables.len(),
+            "experiment count diverged at {shards} shards"
+        );
+        assert_eq!(
+            serde_json::to_string(&serial_tables).unwrap(),
+            serde_json::to_string(&sharded_tables).unwrap(),
+            "experiment tables diverged at {shards} shards"
+        );
+        assert_eq!(serial, sharded, "run reports diverged at {shards} shards");
+    }
+    set_default_shards(1);
+}
+
+/// One scripted injection: which host sends, at what absolute time, with
+/// what ICMP sequence number. Equal times across senders are the point —
+/// they force same-timestamp events on both sides of the shard border.
+#[derive(Debug, Clone, Copy)]
+struct Send {
+    from_a: bool,
+    at_us: u64,
+    seq: u16,
+}
+
+fn arb_sends() -> impl Strategy<Value = Vec<Send>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0u64..6, any::<u16>()).prop_map(|(from_a, slot, seq)| Send {
+            from_a,
+            // A handful of coarse slots so distinct ops routinely land on
+            // the same timestamp from both sides of the border.
+            at_us: slot * 500,
+            seq,
+        }),
+        1..12,
+    )
+}
+
+/// Run the scripted workload on the two-LAN-and-router world at a given
+/// shard count and fingerprint everything observable.
+fn run_script(shards: usize, sends: &[Send]) -> (u64, usize, String, String) {
+    let mut w = World::with_shards(7, shards);
+    let lan_a = w.add_segment(LinkConfig::lan());
+    let lan_b = w.add_segment(LinkConfig::lan());
+    let a = w.add_host(HostConfig::conventional("a"));
+    let b = w.add_host(HostConfig::conventional("b"));
+    let r = w.add_router(RouterConfig::named("r"));
+    w.attach(a, lan_a, Some("10.0.1.10/24"));
+    w.attach(b, lan_b, Some("10.0.2.10/24"));
+    w.attach(r, lan_a, Some("10.0.1.1/24"));
+    w.attach(r, lan_b, Some("10.0.2.1/24"));
+    w.compute_routes();
+    w.enable_metrics();
+    w.enable_invariants();
+
+    let ip_a: mobility4x4::netsim::Ipv4Addr = "10.0.1.10".parse().unwrap();
+    let ip_b: mobility4x4::netsim::Ipv4Addr = "10.0.2.10".parse().unwrap();
+    let mut ordered: Vec<Send> = sends.to_vec();
+    ordered.sort_by_key(|s| s.at_us);
+    for s in ordered {
+        w.run_until(mobility4x4::netsim::SimTime(s.at_us));
+        let (node, src, dst) = if s.from_a {
+            (a, ip_a, ip_b)
+        } else {
+            (b, ip_b, ip_a)
+        };
+        w.host_do(node, |h, ctx| h.send_ping(ctx, src, dst, s.seq));
+    }
+    w.run_until_idle(200_000);
+    assert!(!w.has_invariant_violations(), "shards={shards}");
+
+    let names = w.node_names();
+    let now = w.now();
+    let metrics = serde_json::to_string(&w.metrics.snapshot(&names, now)).unwrap();
+    let trace: Vec<String> = w
+        .trace
+        .events()
+        .iter()
+        .map(|e| format!("{:?}", e))
+        .collect();
+    (now.0, w.trace.events().len(), metrics, trace.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cross-shard sends interleaved at equal timestamps replay in the
+    /// same global order as the serial scheduler: time, trace (events and
+    /// their order), and metrics all match at 2 and 4 shards.
+    #[test]
+    fn interleaved_equal_timestamp_sends_match_serial(sends in arb_sends()) {
+        let serial = run_script(1, &sends);
+        for shards in [2usize, 4] {
+            let sharded = run_script(shards, &sends);
+            prop_assert_eq!(serial.0, sharded.0, "now diverged at {} shards", shards);
+            prop_assert_eq!(serial.1, sharded.1, "trace len diverged at {} shards", shards);
+            prop_assert_eq!(&serial.2, &sharded.2, "metrics diverged at {} shards", shards);
+            prop_assert_eq!(&serial.3, &sharded.3, "trace diverged at {} shards", shards);
+        }
+    }
+}
