@@ -11,6 +11,9 @@
 //! - `scheduler` — the hierarchical timing wheel vs the reference binary
 //!   heap on a timer-heavy pop-one/push-one churn (the PR-5 optimisation
 //!   surface).
+//! - `scale` — hierarchical world construction (routes installed
+//!   arithmetically, no shortest-path pass) and the mass-churn driver
+//!   (the PR-9 optimisation surface).
 //!
 //! Quick CI snapshots: `CRITERION_QUICK=1 CRITERION_JSON=BENCH_pr5.json
 //! cargo bench -p bench --bench perf`.
@@ -408,6 +411,38 @@ fn bench_shards(c: &mut Criterion) {
     g.finish();
 }
 
+/// Hierarchical world construction and the mass-churn driver. Build cost
+/// is dominated by arithmetic route installation (no shortest-path pass
+/// at any size), so it should scale linearly in hosts; the churn row
+/// exercises the whole handoff/flash/re-registration pipeline on a
+/// two-thousand-host world.
+fn bench_scale(c: &mut Criterion) {
+    use bench::scale::{build_world, run_churn, ChurnParams, ScaleParams};
+    let mut g = c.benchmark_group("scale");
+    g.sample_size(10);
+    for hosts in [2_000usize, 20_000] {
+        let params = ScaleParams {
+            seed: 1,
+            ..ScaleParams::with_hosts(hosts)
+        };
+        g.bench_function(format!("build_{hosts}_hosts"), |b| {
+            b.iter(|| black_box(build_world(&params).1.hosts.len()))
+        });
+    }
+    g.bench_function("churn_2000_hosts", |b| {
+        let params = ScaleParams {
+            seed: 1,
+            ..ScaleParams::with_hosts(2_000)
+        };
+        let churn = ChurnParams::default();
+        b.iter(|| {
+            let (mut w, ix) = build_world(&params);
+            black_box(run_churn(&mut w, &ix, &churn).events)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_forward_fastpath,
@@ -418,5 +453,6 @@ criterion_group!(
     bench_profile,
     bench_telemetry,
     bench_shards,
+    bench_scale,
 );
 criterion_main!(benches);

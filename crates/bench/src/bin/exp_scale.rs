@@ -1,0 +1,73 @@
+//! E18 — mass churn on hierarchical worlds, sized from the command line.
+//!
+//! ```text
+//! exp_scale [--hosts N] [--seed S] [--handoffs N] [--flash N] [--rereg N]
+//!           [--shards N] [--sample-flows N] [--topk K] [--profile]
+//! ```
+//!
+//! Environment fallbacks: `NETSIM_SCALE_HOSTS`, `NETSIM_SCALE_SEED`,
+//! `NETSIM_SCALE_HANDOFFS`, `NETSIM_SCALE_FLASH`, `NETSIM_SCALE_REREG`.
+//!
+//! The printed table and the emitted run report contain only deterministic
+//! quantities; wall-clock build time, per-host steady-state memory (from
+//! the counting allocator's live-byte gauge), and churn throughput go to
+//! stderr, keeping reports byte-comparable across shard counts and runs.
+
+use std::time::Instant;
+
+use bench::experiments::exp_scale;
+use bench::runbin::{self, u64_knob};
+use bench::scale::{build_world, run_churn, ChurnParams, ScaleParams};
+
+fn main() {
+    let hosts = u64_knob("--hosts", "NETSIM_SCALE_HOSTS").unwrap_or(10_000) as usize;
+    let seed = u64_knob("--seed", "NETSIM_SCALE_SEED").unwrap_or(1);
+    let defaults = ChurnParams::default();
+    let churn = ChurnParams {
+        handoffs: u64_knob("--handoffs", "NETSIM_SCALE_HANDOFFS")
+            .map_or(defaults.handoffs, |n| n as usize),
+        flash_crowd: u64_knob("--flash", "NETSIM_SCALE_FLASH")
+            .map_or(defaults.flash_crowd, |n| n as usize),
+        rereg: u64_knob("--rereg", "NETSIM_SCALE_REREG").map_or(defaults.rereg, |n| n as usize),
+        lifetime: defaults.lifetime,
+    };
+
+    runbin::run("exp_scale", || {
+        let params = ScaleParams {
+            seed,
+            ..ScaleParams::with_hosts(hosts)
+        };
+        let live_before = netsim::profile::live_bytes();
+        let t_build = Instant::now();
+        let (mut world, index) = build_world(&params);
+        let build_wall = t_build.elapsed();
+        let live_world = netsim::profile::live_bytes() - live_before;
+
+        bench::report::observe_world(&mut world);
+        let t_churn = Instant::now();
+        let stats = run_churn(&mut world, &index, &churn);
+        let churn_wall = t_churn.elapsed();
+        let live_steady = netsim::profile::live_bytes() - live_before;
+        bench::report::record_value("scale/churn", &stats);
+
+        let n = index.hosts.len() as i64;
+        eprintln!(
+            "exp_scale: built {} hosts ({} nodes, {} stubs) in {:.2?}; \
+             {} B/host after build, {} B/host steady-state",
+            n,
+            params.total_nodes(),
+            index.stubs.len(),
+            build_wall,
+            live_world / n.max(1),
+            live_steady / n.max(1),
+        );
+        eprintln!(
+            "exp_scale: {} churn events over {:.2?} wall ({:.0} events/s), {} sim-us",
+            stats.events,
+            churn_wall,
+            stats.events as f64 / churn_wall.as_secs_f64().max(1e-9),
+            stats.sim_elapsed_us,
+        );
+        vec![exp_scale::table(index.hosts.len(), &stats)]
+    });
+}

@@ -9,6 +9,9 @@ pub mod exp_http;
 pub mod exp_lsr;
 pub mod exp_multicast;
 pub mod exp_probing;
+/// Not part of [`run_all`]: scale runs are sized by flags and wall-clock
+/// sensitive, so `all_experiments` output stays byte-stable without them.
+pub mod exp_scale;
 pub mod fig01_basic;
 pub mod fig02_filtering;
 pub mod fig03_bitunnel;

@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod forced;
 pub mod report;
 pub mod runbin;
+pub mod scale;
 pub mod util;
 
 pub use util::Table;

@@ -35,7 +35,7 @@ pub fn profile_requested() -> bool {
 }
 
 /// The value following `flag` in argv, when present.
-fn arg_value(flag: &str) -> Option<String> {
+pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     let ix = args.iter().position(|a| a == flag)?;
     args.get(ix + 1).filter(|v| !v.starts_with("--")).cloned()
@@ -43,6 +43,14 @@ fn arg_value(flag: &str) -> Option<String> {
 
 fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// An integer knob settable as `--flag N` (wins) or `ENV=N` — the pattern
+/// every scale/churn size shares.
+pub fn u64_knob(flag: &str, env: &str) -> Option<u64> {
+    arg_value(flag)
+        .and_then(|v| v.parse().ok())
+        .or_else(|| env_u64(env))
 }
 
 /// Parse the scale-ready telemetry configuration from argv and the

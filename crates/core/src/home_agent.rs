@@ -179,6 +179,31 @@ impl HomeAgent {
         host.set_hook(Box::new(HomeAgent::new(config)));
     }
 
+    /// Simulate a home-agent crash and reboot on `node`: the binding table,
+    /// redirect throttle, and multicast subscriptions are volatile state and
+    /// are lost, and the host stops intercepting and proxy-ARPing for every
+    /// previously registered mobile. Mobiles notice when traffic stops
+    /// flowing and must re-register — the mass re-registration scenario.
+    /// Returns the number of bindings dropped.
+    pub fn restart(world: &mut World, node: NodeId) -> usize {
+        let host = world.host_mut(node);
+        let homes: Vec<Ipv4Addr> = {
+            let Some(ha) = host.hook_as::<HomeAgent>() else {
+                return 0;
+            };
+            let homes = ha.bindings.keys().copied().collect();
+            ha.bindings.clear();
+            ha.redirect_sent.clear();
+            ha.multicast_subs.clear();
+            homes
+        };
+        for &home in &homes {
+            host.remove_intercept(home);
+            host.remove_proxy_arp(home);
+        }
+        homes.len()
+    }
+
     /// The current binding for a home address, if registered.
     pub fn binding(&self, home: Ipv4Addr) -> Option<&Binding> {
         self.bindings.get(&home)
@@ -500,6 +525,24 @@ mod tests {
             ip("36.186.0.99")
         );
         assert_eq!(hook.stats.registrations_accepted, 1);
+    }
+
+    #[test]
+    fn restart_drops_bindings_and_host_capture_state() {
+        let mut f = fixture();
+        register(&mut f, 300);
+        assert!(f.w.host_mut(f.ha).intercepts(ip("171.64.15.9")));
+        assert_eq!(HomeAgent::restart(&mut f.w, f.ha), 1);
+        let ha = f.w.host_mut(f.ha);
+        assert!(!ha.intercepts(ip("171.64.15.9")));
+        let hook = ha.hook_as::<HomeAgent>().unwrap();
+        assert!(hook.binding(ip("171.64.15.9")).is_none());
+        // Re-registration restores service as if from scratch.
+        let reply = register(&mut f, 300);
+        assert_eq!(reply.code, ReplyCode::Accepted);
+        assert!(f.w.host_mut(f.ha).intercepts(ip("171.64.15.9")));
+        // A host without the hook is a no-op.
+        assert_eq!(HomeAgent::restart(&mut f.w, f.server), 0);
     }
 
     #[test]

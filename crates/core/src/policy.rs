@@ -76,6 +76,13 @@ pub struct PolicyConfig {
     pub demote_threshold: u32,
     /// Success signals before a pessimistic upgrade probe.
     pub promote_after: u32,
+    /// Method-cache entries kept before the cache resets. A mobile that
+    /// talks to more correspondents than this (a flash crowd) forgets its
+    /// history rather than growing without bound — mirroring the paper's
+    /// framing of the cache as an LRU-ish scarce resource. Reset (not
+    /// per-entry eviction) keeps behaviour deterministic regardless of
+    /// hash-map iteration order.
+    pub cache_cap: usize,
 }
 
 impl Default for PolicyConfig {
@@ -88,6 +95,7 @@ impl Default for PolicyConfig {
             feedback_demotion: true,
             demote_threshold: 2,
             promote_after: 8,
+            cache_cap: 4096,
         }
     }
 }
@@ -214,6 +222,9 @@ impl Policy {
     /// entry on first contact.
     pub fn mode_for(&mut self, correspondent: Ipv4Addr) -> OutMode {
         let (strategy, source) = self.config.strategy_with_source(correspondent);
+        if self.cache.len() >= self.config.cache_cap && !self.cache.contains_key(&correspondent) {
+            self.clear_cache();
+        }
         let (mode, reason) = match self.cache.entry(correspondent) {
             Entry::Occupied(e) => (e.get().mode, DecisionReason::CacheHit),
             Entry::Vacant(v) => (
@@ -547,6 +558,29 @@ mod tests {
             .audit
             .entries()
             .any(|e| matches!(e.event, AuditEvent::CacheCleared { entries: 2 })));
+    }
+
+    #[test]
+    fn cache_resets_at_cap_instead_of_growing() {
+        let mut p = Policy::new(PolicyConfig {
+            cache_cap: 4,
+            ..PolicyConfig::optimistic()
+        });
+        for i in 0..4u32 {
+            p.mode_for(Ipv4Addr(0x0a00_0000 | i));
+        }
+        assert!(p.entry(Ipv4Addr(0x0a00_0000)).is_some());
+        // A fifth distinct correspondent trips the reset; history is gone
+        // but the table never exceeds the cap.
+        p.mode_for(Ipv4Addr(0x0a00_0004));
+        assert!(p.entry(Ipv4Addr(0x0a00_0000)).is_none());
+        assert!(p.entry(Ipv4Addr(0x0a00_0004)).is_some());
+        // Re-touching a cached correspondent at the cap does not reset.
+        for i in 0..3u32 {
+            p.mode_for(Ipv4Addr(0x0a00_0000 | i));
+        }
+        p.mode_for(Ipv4Addr(0x0a00_0004));
+        assert!(p.entry(Ipv4Addr(0x0a00_0000)).is_some());
     }
 
     #[test]

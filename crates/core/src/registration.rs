@@ -70,6 +70,15 @@ impl RegistrationRequest {
     /// Serialize to wire bytes.
     pub fn emit(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(REQUEST_LEN);
+        self.emit_into(&mut b);
+        b
+    }
+
+    /// Serialize into a caller-provided buffer, appending [`REQUEST_LEN`]
+    /// bytes. Mass-registration drivers reuse one buffer across thousands
+    /// of requests instead of allocating per packet.
+    pub fn emit_into(&self, b: &mut Vec<u8>) {
+        b.reserve(REQUEST_LEN);
         b.push(1); // type
         b.push(0); // flags (no FA relay, no minimal-encap request)
         b.extend_from_slice(&self.lifetime.to_be_bytes());
@@ -77,7 +86,6 @@ impl RegistrationRequest {
         b.extend_from_slice(&self.home_agent.octets());
         b.extend_from_slice(&self.care_of.octets());
         b.extend_from_slice(&self.ident.to_be_bytes());
-        b
     }
 
     /// Parse from wire bytes.

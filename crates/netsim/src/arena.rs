@@ -1,0 +1,102 @@
+//! Global string interner: `u32` symbols for node labels and addresses.
+//!
+//! At 10⁵–10⁶ nodes, carrying a heap `String` per label in every metrics
+//! snapshot, trace reconstruction, or audit record dominates memory and
+//! allocator traffic. Interning maps each distinct label to a small
+//! [`Sym`] once; every later use is a 4-byte copy, and resolution returns
+//! a `&'static str` that never moves, so snapshot code can build label
+//! tables without cloning.
+//!
+//! The interner is process-global and append-only: interned strings are
+//! leaked (a deliberate arena — labels live as long as the process, and a
+//! world's label set is tiny next to its node state). Symbols are handed
+//! out in first-intern order, so a deterministic build order yields
+//! deterministic symbols; nothing observable depends on the numeric value.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string: a dense index into the global symbol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+struct Interner {
+    /// string → symbol, keyed by the leaked `&'static str` so each
+    /// distinct string is stored exactly once.
+    map: HashMap<&'static str, u32>,
+    /// symbol → string, in first-intern order.
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// Intern `s`, returning its symbol. The first intern of a distinct
+/// string leaks one copy of it; every subsequent call is a hash lookup.
+pub fn intern(s: &str) -> Sym {
+    let mut i = interner().lock().expect("interner poisoned");
+    if let Some(&ix) = i.map.get(s) {
+        return Sym(ix);
+    }
+    let ix = u32::try_from(i.strings.len()).expect("interner full");
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    i.strings.push(leaked);
+    i.map.insert(leaked, ix);
+    Sym(ix)
+}
+
+/// The string behind a symbol. Panics on a symbol that was never handed
+/// out by [`intern`] (impossible through the public API).
+pub fn resolve(sym: Sym) -> &'static str {
+    interner().lock().expect("interner poisoned").strings[sym.0 as usize]
+}
+
+/// Resolve a batch of symbols in one lock acquisition — how snapshot
+/// paths turn a world's `Vec<Sym>` into a label table.
+pub fn resolve_all(syms: &[Sym]) -> Vec<&'static str> {
+    let i = interner().lock().expect("interner poisoned");
+    syms.iter().map(|s| i.strings[s.0 as usize]).collect()
+}
+
+/// Number of distinct strings interned so far (diagnostics).
+pub fn len() -> usize {
+    interner().lock().expect("interner poisoned").strings.len()
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(resolve(*self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolves() {
+        let a = intern("arena-test-alpha");
+        let b = intern("arena-test-beta");
+        assert_ne!(a, b);
+        assert_eq!(a, intern("arena-test-alpha"));
+        assert_eq!(resolve(a), "arena-test-alpha");
+        assert_eq!(resolve(b), "arena-test-beta");
+        assert_eq!(
+            resolve_all(&[b, a]),
+            vec!["arena-test-beta", "arena-test-alpha"]
+        );
+    }
+
+    #[test]
+    fn display_goes_through_the_table() {
+        let s = intern("arena-test-display");
+        assert_eq!(s.to_string(), "arena-test-display");
+    }
+}

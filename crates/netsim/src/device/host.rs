@@ -454,15 +454,19 @@ impl Host {
     }
 
     /// Answer ARP requests for `addr` on behalf of its absent owner (RFC 1027).
+    /// The list is kept sorted so membership checks stay O(log n) even when a
+    /// home agent proxies for tens of thousands of registered mobile hosts.
     pub fn add_proxy_arp(&mut self, addr: Ipv4Addr) {
-        if !self.proxy_arp.contains(&addr) {
-            self.proxy_arp.push(addr);
+        if let Err(at) = self.proxy_arp.binary_search(&addr) {
+            self.proxy_arp.insert(at, addr);
         }
     }
 
     /// Stop proxy-ARPing for `addr`.
     pub fn remove_proxy_arp(&mut self, addr: Ipv4Addr) {
-        self.proxy_arp.retain(|&a| a != addr);
+        if let Ok(at) = self.proxy_arp.binary_search(&addr) {
+            self.proxy_arp.remove(at);
+        }
     }
 
     /// Broadcast a gratuitous ARP binding `ip` to this interface's MAC (capture/reclaim).
@@ -679,10 +683,9 @@ impl Host {
         let mut own = self.nic.addrs();
         // Also answer ARP for intercepted addresses via the proxy list.
         own.extend(self.intercept.iter().copied());
-        let proxy = self.proxy_arp.clone();
         let identity = ArpIdentity {
             own: &own,
-            proxy: &proxy,
+            proxy: &self.proxy_arp,
         };
         match self.nic.on_frame(ctx, iface, frame, &identity) {
             NicRx::Ip(pkt) => self.receive_ip(ctx, iface, pkt),

@@ -2,8 +2,6 @@
 //! (RFC 826) with proxy-ARP support (RFC 1027), fragmentation to the link
 //! MTU, and frame transmission.
 
-use std::collections::HashMap;
-
 use bytes::Bytes;
 
 use crate::event::IfaceNo;
@@ -19,6 +17,13 @@ use crate::world::NetCtx;
 const ARP_TTL: SimDuration = SimDuration::from_secs(60);
 /// Maximum packets queued awaiting one ARP resolution.
 const ARP_PENDING_CAP: usize = 8;
+/// Cap on learned neighbours per interface. Routers on large LANs touch
+/// at most this many entries; when a new neighbour would exceed the cap,
+/// expired entries are dropped first, then the least recently learned —
+/// so long churn runs (handoff storms re-learning thousands of moved
+/// hosts) cannot grow ARP tables unboundedly. Far above anything the
+/// 48-node experiment suite learns, so small worlds never evict.
+const ARP_CACHE_CAP: usize = 512;
 
 /// Interface configuration kept unmasked: `addr` is the host address and
 /// `prefix` the on-link subnet.
@@ -69,10 +74,22 @@ pub enum NextHop {
     Multicast(Ipv4Addr),
 }
 
+/// One learned neighbour on one interface. Stored in a flat per-iface
+/// vector: the tables are small (bounded by [`ARP_CACHE_CAP`]), entries
+/// are `Copy`, and a linear probe over contiguous memory beats tuple
+/// hashing at every size the simulator sees — and needs no per-lookup
+/// hasher state or heap buckets.
 #[derive(Debug, Clone, Copy)]
 struct ArpEntry {
+    ip: Ipv4Addr,
     mac: MacAddr,
     learned_at: SimTime,
+    /// Last send that resolved through this entry. Eviction under
+    /// [`ARP_CACHE_CAP`] picks the least recently *used* entry, so a
+    /// neighbour the node actively forwards to (a router's next hop, a
+    /// segment's home agent) survives a flood of passively learned
+    /// bindings; expiry stays on `learned_at`, as ARP caches age.
+    last_used: SimTime,
 }
 
 #[derive(Debug)]
@@ -88,7 +105,9 @@ struct Pending {
 #[derive(Debug)]
 pub struct Nic {
     ifaces: Vec<InterfaceState>,
-    arp: HashMap<(IfaceNo, Ipv4Addr), ArpEntry>,
+    /// Per-interface neighbour tables, indexed by the dense iface number
+    /// (no `(IfaceNo, Ipv4Addr)` tuple hashing on the hot lookup path).
+    arp: Vec<Vec<ArpEntry>>,
     pending: Vec<Pending>,
 }
 
@@ -122,7 +141,7 @@ impl Nic {
     pub fn new() -> Nic {
         Nic {
             ifaces: Vec::new(),
-            arp: HashMap::new(),
+            arp: Vec::new(),
             pending: Vec::new(),
         }
     }
@@ -135,6 +154,7 @@ impl Nic {
             segment: None,
             mtu: 1500,
         });
+        self.arp.push(Vec::new());
         self.ifaces.len() - 1
     }
 
@@ -169,7 +189,7 @@ impl Nic {
         self.ifaces[iface].segment = seg;
         self.ifaces[iface].mtu = mtu;
         // Stale neighbours and queued packets are meaningless on a new wire.
-        self.arp.retain(|(i, _), _| *i != iface);
+        self.arp[iface].clear();
         self.pending.retain(|p| p.iface != iface);
     }
 
@@ -256,11 +276,57 @@ impl Nic {
         }
     }
 
-    fn lookup_arp(&self, iface: IfaceNo, ip: Ipv4Addr, now: SimTime) -> Option<MacAddr> {
-        self.arp
-            .get(&(iface, ip))
+    fn lookup_arp(&mut self, iface: IfaceNo, ip: Ipv4Addr, now: SimTime) -> Option<MacAddr> {
+        self.arp[iface]
+            .iter_mut()
+            .find(|e| e.ip == ip)
             .filter(|e| now.since(e.learned_at) <= ARP_TTL)
-            .map(|e| e.mac)
+            .map(|e| {
+                e.last_used = now;
+                e.mac
+            })
+    }
+
+    /// Update an existing binding without creating one — what overheard
+    /// broadcast traffic is allowed to do.
+    fn refresh_arp(&mut self, iface: IfaceNo, ip: Ipv4Addr, mac: MacAddr, now: SimTime) {
+        if let Some(e) = self.arp[iface].iter_mut().find(|e| e.ip == ip) {
+            e.mac = mac;
+            e.learned_at = now;
+            e.last_used = now;
+        }
+    }
+
+    /// Learn (or refresh) a neighbour binding, evicting to stay within
+    /// [`ARP_CACHE_CAP`]: expired entries go first, then the least
+    /// recently used — deterministic, and an active next hop outlives any
+    /// flood of passively learned neighbours (see [`ArpEntry::last_used`]).
+    fn learn_arp(&mut self, iface: IfaceNo, ip: Ipv4Addr, mac: MacAddr, now: SimTime) {
+        let table = &mut self.arp[iface];
+        if let Some(e) = table.iter_mut().find(|e| e.ip == ip) {
+            e.mac = mac;
+            e.learned_at = now;
+            e.last_used = now;
+            return;
+        }
+        if table.len() >= ARP_CACHE_CAP {
+            table.retain(|e| now.since(e.learned_at) <= ARP_TTL);
+        }
+        if table.len() >= ARP_CACHE_CAP {
+            let oldest = table
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.last_used, e.learned_at))
+                .map(|(i, _)| i)
+                .expect("table at cap is non-empty");
+            table.remove(oldest);
+        }
+        table.push(ArpEntry {
+            ip,
+            mac,
+            learned_at: now,
+            last_used: now,
+        });
     }
 
     fn queue_pending(
@@ -374,15 +440,25 @@ impl Nic {
     ) {
         // Learn / refresh the sender's binding. Gratuitous replies overwrite
         // stale entries, which is exactly how proxy-ARP capture usurps the
-        // mobile host's address on the home segment.
+        // mobile host's address on the home segment. A fresh entry is
+        // created only when the sender addresses *us* (it is about to talk
+        // to us) or we were resolving it ourselves; broadcasts overheard on
+        // a big LAN — someone else's resolution, a mover's announcement —
+        // refresh what is already cached but do not populate it (RFC 826's
+        // merge-then-check, as BSD implements it). Without that rule one
+        // gratuitous announce costs an ARP allocation on every resident of
+        // the segment.
         if !arp.spa.is_unspecified() {
-            self.arp.insert(
-                (iface, arp.spa),
-                ArpEntry {
-                    mac: arp.sha,
-                    learned_at: ctx.now,
-                },
-            );
+            let for_us = identity.covers(arp.tpa);
+            let awaited = self
+                .pending
+                .iter()
+                .any(|p| p.iface == iface && p.next_hop == arp.spa);
+            if for_us || awaited {
+                self.learn_arp(iface, arp.spa, arp.sha, ctx.now);
+            } else {
+                self.refresh_arp(iface, arp.spa, arp.sha, ctx.now);
+            }
             self.flush_pending(ctx, iface, arp.spa, arp.sha);
         }
         if arp.op == ArpOp::Request && identity.covers(arp.tpa) {
@@ -416,11 +492,16 @@ impl Nic {
 
     /// Forget a neighbour (tests and handoff logic).
     pub fn evict_arp(&mut self, iface: IfaceNo, ip: Ipv4Addr) {
-        self.arp.remove(&(iface, ip));
+        self.arp[iface].retain(|e| e.ip != ip);
     }
 
-    /// Peek at the ARP cache (tests).
+    /// Peek at the ARP cache (tests). Read-only: does not refresh the
+    /// entry's LRU clock the way a real send would.
     pub fn arp_lookup(&self, iface: IfaceNo, ip: Ipv4Addr, now: SimTime) -> Option<MacAddr> {
-        self.lookup_arp(iface, ip, now)
+        self.arp[iface]
+            .iter()
+            .find(|e| e.ip == ip)
+            .filter(|e| now.since(e.learned_at) <= ARP_TTL)
+            .map(|e| e.mac)
     }
 }

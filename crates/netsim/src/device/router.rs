@@ -14,8 +14,6 @@
 //! bi-directional tunneling works: "the inner packets are protected from
 //! scrutiny by routers" (§3.1).
 
-use std::collections::HashMap;
-
 use bytes::Bytes;
 
 use super::nic::{ArpIdentity, NextHop, Nic, NicRx};
@@ -275,9 +273,14 @@ pub struct Router {
     pub filters: Vec<FilterRule>,
     icmp_errors: bool,
     option_delay: SimDuration,
-    /// Packets parked on the options slow path, keyed by timer token.
-    slow_path: HashMap<u64, (IfaceNo, Ipv4Packet)>,
-    next_slow_token: u64,
+    /// Packets parked on the options slow path. A slab indexed by timer
+    /// token: every parked packet's timer fires exactly once, so a slot
+    /// freed at fire time can be reused by the next parked packet — a
+    /// miss storm of option packets recycles the same few slots instead
+    /// of re-hashing and re-allocating map storage per packet.
+    slow_path: Vec<Option<(IfaceNo, Ipv4Packet)>>,
+    /// Free slots in `slow_path`, reused LIFO.
+    slow_free: Vec<u32>,
     ident: u16,
     /// Packets that took the options slow path (observability).
     pub slow_path_packets: u64,
@@ -301,8 +304,8 @@ impl Router {
             filters: Vec::new(),
             icmp_errors: config.icmp_errors,
             option_delay: config.option_delay,
-            slow_path: HashMap::new(),
-            next_slow_token: 0,
+            slow_path: Vec::new(),
+            slow_free: Vec::new(),
             ident: 1,
             slow_path_packets: 0,
             fast_forward: true,
@@ -386,9 +389,16 @@ impl Router {
         // Packets with IP options take the slow path (§4): park them and
         // resume after the per-router option-processing delay.
         if !pkt.options.is_empty() && self.option_delay > SimDuration::ZERO {
-            let token = self.next_slow_token;
-            self.next_slow_token += 1;
-            self.slow_path.insert(token, (iface, pkt));
+            let token = match self.slow_free.pop() {
+                Some(slot) => {
+                    self.slow_path[slot as usize] = Some((iface, pkt));
+                    u64::from(slot)
+                }
+                None => {
+                    self.slow_path.push(Some((iface, pkt)));
+                    (self.slow_path.len() - 1) as u64
+                }
+            };
             self.slow_path_packets += 1;
             ctx.set_timer(self.option_delay, TimerToken(token));
             return;
@@ -625,8 +635,12 @@ impl Router {
 
     pub(crate) fn on_timer(&mut self, ctx: &mut NetCtx, token: TimerToken) {
         // The only router timers are options-slow-path resumptions.
-        if let Some((iface, pkt)) = self.slow_path.remove(&token.0) {
-            self.continue_after_ingress(ctx, iface, pkt);
+        let slot = token.0 as usize;
+        if let Some(parked) = self.slow_path.get_mut(slot) {
+            if let Some((iface, pkt)) = parked.take() {
+                self.slow_free.push(slot as u32);
+                self.continue_after_ingress(ctx, iface, pkt);
+            }
         }
     }
 }

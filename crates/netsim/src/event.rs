@@ -440,6 +440,24 @@ impl Wheel {
         }
     }
 
+    /// Release bucket/overflow capacity grown during event bursts. Only
+    /// empty buffers are dropped, so entries (tombstoned or live) are
+    /// never touched: steady-state memory reflects the world, not the
+    /// largest broadcast storm the queue ever absorbed.
+    fn shrink(&mut self) {
+        for v in &mut self.slots {
+            if v.is_empty() && v.capacity() > 32 {
+                *v = Vec::new();
+            }
+        }
+        if self.overflow.is_empty() && self.overflow.capacity() > 32 {
+            self.overflow = BinaryHeap::new();
+        }
+        if self.ready.is_empty() && self.ready.capacity() > 32 {
+            self.ready = VecDeque::new();
+        }
+    }
+
     /// Occupied-slot popcount per level.
     fn occupancy(&self) -> [u64; LEVELS] {
         let mut occ = [0u64; LEVELS];
@@ -944,6 +962,22 @@ impl EventQueue {
         self.stats.dispatched += n as u64;
         debug_assert!(n > 0, "peeked batch cannot be empty");
         Some(t)
+    }
+
+    /// Release internal capacity grown during event bursts (a broadcast
+    /// storm fanning one frame out to a two-hundred-host LAN grows bucket
+    /// vectors that otherwise never give the memory back). Only empty
+    /// buffers are dropped, so the call is unobservable except through
+    /// the allocator; the world invokes it when a run drains the queue.
+    pub fn shrink(&mut self) {
+        match &mut self.backend {
+            Backend::Wheel(w) => w.shrink(),
+            Backend::Heap(h) => {
+                if h.is_empty() && h.capacity() > 32 {
+                    *h = BinaryHeap::new();
+                }
+            }
+        }
     }
 
     /// Number of queued (non-cancelled) events.

@@ -31,6 +31,7 @@
 //! event-driven stacks like smoltcp rather than an async runtime, which keeps
 //! tests reproducible.
 
+pub mod arena;
 pub mod device;
 pub mod event;
 pub mod lifecycle;

@@ -234,7 +234,7 @@ impl Lifecycle {
     /// Fold a trace's event log into per-packet spans and per-flow
     /// summaries. Works purely from the retained events: a bounded trace
     /// that shed history yields truncated spans, never a panic.
-    pub fn reconstruct(trace: &PacketTrace, node_names: &[String]) -> Lifecycle {
+    pub fn reconstruct(trace: &PacketTrace, node_names: &[&str]) -> Lifecycle {
         let mut by_packet: BTreeMap<PacketId, Vec<TraceEvent>> = BTreeMap::new();
         let mut child_of: HashMap<PacketId, PacketId> = HashMap::new();
         for e in trace.events() {
@@ -359,7 +359,7 @@ impl Lifecycle {
         }
 
         Lifecycle {
-            node_names: node_names.to_vec(),
+            node_names: node_names.iter().map(|s| (*s).to_string()).collect(),
             shed_events: trace.dropped_events(),
             packets,
             flows: flows.into_values().collect(),
@@ -823,8 +823,8 @@ mod tests {
         )
     }
 
-    fn names() -> Vec<String> {
-        vec!["mh".into(), "r1".into(), "server".into()]
+    fn names() -> Vec<&'static str> {
+        vec!["mh", "r1", "server"]
     }
 
     /// A three-node story: mh sends, r1 forwards, server delivers; a second

@@ -941,7 +941,7 @@ impl MetricsRegistry {
     /// Dense (exact) snapshots keep their historical shape byte-for-byte;
     /// sketched snapshots emit totals + heavy hitters + exemplars instead
     /// of per-node sections.
-    pub fn snapshot(&self, names: &[String], now: SimTime) -> serde::Value {
+    pub fn snapshot(&self, names: &[&str], now: SimTime) -> serde::Value {
         if let Some(sk) = &self.sketched {
             return self.sketched_snapshot(sk, names, now);
         }
@@ -950,7 +950,10 @@ impl MetricsRegistry {
             .iter()
             .enumerate()
             .map(|(i, m)| {
-                let label = names.get(i).cloned().unwrap_or_else(|| format!("node{i}"));
+                let label = names
+                    .get(i)
+                    .map(|s| (*s).to_string())
+                    .unwrap_or_else(|| format!("node{i}"));
                 (label, m.to_value())
             })
             .collect();
@@ -988,7 +991,7 @@ impl MetricsRegistry {
     fn sketched_snapshot(
         &self,
         sk: &SketchedMetrics,
-        names: &[String],
+        names: &[&str],
         now: SimTime,
     ) -> serde::Value {
         let node_top: Vec<serde::Value> = sk
@@ -998,7 +1001,7 @@ impl MetricsRegistry {
             .map(|e| {
                 let label = names
                     .get(e.key.0)
-                    .cloned()
+                    .map(|s| (*s).to_string())
                     .unwrap_or_else(|| format!("node{}", e.key.0));
                 serde::Value::Object(vec![
                     ("node".into(), serde::Value::Str(label)),
@@ -1211,7 +1214,7 @@ mod tests {
             SimDuration::from_micros(51),
             FaultOutcome::Deliver,
         );
-        let v = reg.snapshot(&["alice".to_string()], SimTime(1_000));
+        let v = reg.snapshot(&["alice"], SimTime(1_000));
         let json = serde_json::to_string(&v).unwrap();
         assert!(json.contains("\"alice\""));
         assert!(json.contains("\"packets_sent\":1"));
@@ -1370,7 +1373,7 @@ mod tests {
         });
         reg.record_packet(NodeId(0), TraceEventKind::Sent, &pkt());
         reg.record_tcp_rtt(NodeId(0), SimDuration::from_millis(1));
-        let json = serde_json::to_string(&reg.snapshot(&["alice".into()], SimTime(1_000))).unwrap();
+        let json = serde_json::to_string(&reg.snapshot(&["alice"], SimTime(1_000))).unwrap();
         assert!(json.contains("\"mode\":\"sketched\""));
         assert!(json.contains("\"totals\""));
         assert!(json.contains("\"node_hitters\""));

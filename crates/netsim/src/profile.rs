@@ -33,7 +33,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -84,6 +84,25 @@ thread_local! {
     static TL_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
 }
 
+/// Process-wide live heap bytes: every allocation adds its size, every
+/// free subtracts it. Unlike the monotonic thread-local tallies this is
+/// dealloc-aware, so diffing two readings measures *steady-state* memory
+/// (what stays resident), not allocator churn — the number the scale
+/// experiments publish as per-host bytes.
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+#[inline]
+fn count_live(delta: i64) {
+    LIVE_BYTES.fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Current live heap bytes (allocated minus freed since process start).
+/// Racy only to the extent other threads are allocating concurrently;
+/// single-threaded measurement regions read it exactly.
+pub fn live_bytes() -> i64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
 #[inline]
 fn count_alloc(bytes: usize) {
     // `try_with` + const-initialized `Cell`s (no destructor, no lazy
@@ -104,20 +123,33 @@ pub struct CountingAllocator;
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_alloc(layout.size());
-        System.alloc(layout)
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            count_live(layout.size() as i64);
+        }
+        p
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         count_alloc(layout.size());
-        System.alloc_zeroed(layout)
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            count_live(layout.size() as i64);
+        }
+        p
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count_alloc(new_size);
-        System.realloc(ptr, layout, new_size)
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            count_live(new_size as i64 - layout.size() as i64);
+        }
+        p
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        count_live(-(layout.size() as i64));
         System.dealloc(ptr, layout)
     }
 }

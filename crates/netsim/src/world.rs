@@ -686,6 +686,10 @@ impl NetCtx<'_, '_> {
 /// The simulated internetwork.
 pub struct World {
     nodes: Vec<Option<Node>>,
+    /// Interned node labels, following `nodes` index-for-index: metrics,
+    /// trace and report labelling read these 4-byte symbols instead of
+    /// cloning each node's heap `String` per snapshot.
+    node_syms: Vec<crate::arena::Sym>,
     /// Per-node lane sequence counters: the seq half of every timer's
     /// `(node lane, seq)` key. Follows `nodes` index-for-index.
     node_seq: Vec<u64>,
@@ -752,6 +756,7 @@ impl World {
         let kind = crate::event::default_scheduler();
         World {
             nodes: Vec::new(),
+            node_syms: Vec::new(),
             node_seq: Vec::new(),
             node_rng: Vec::new(),
             segments: Vec::new(),
@@ -854,14 +859,16 @@ impl World {
     }
 
     /// Human-readable node names indexed by `NodeId`, for labelling
-    /// metrics snapshots and reports.
-    pub fn node_names(&self) -> Vec<String> {
-        (0..self.nodes.len())
-            .map(|i| match &self.nodes[i] {
-                Some(n) => n.name().to_string(),
-                None => format!("node{i}"),
-            })
-            .collect()
+    /// metrics snapshots and reports. Resolved from the interned symbols
+    /// recorded at node creation — no per-snapshot `String` cloning, and
+    /// the returned `&'static str`s are valid for the process lifetime.
+    pub fn node_names(&self) -> Vec<&'static str> {
+        crate::arena::resolve_all(&self.node_syms)
+    }
+
+    /// The interned label symbols, indexed by `NodeId`.
+    pub fn node_syms(&self) -> &[crate::arena::Sym] {
+        &self.node_syms
     }
 
     /// Capture every transmitted frame into a pcap stream (e.g. a
@@ -886,6 +893,20 @@ impl World {
 
     // ---- construction -----------------------------------------------------
 
+    /// Reserve capacity for `nodes` further nodes and `segments` further
+    /// segments, exactly. Bulk builders (the hierarchical topology
+    /// generator) call this so the node vectors are sized once instead of
+    /// doubling their way up — at 10⁵ hosts, growth-doubling overshoot
+    /// alone is worth hundreds of bytes per host.
+    pub fn reserve(&mut self, nodes: usize, segments: usize) {
+        self.nodes.reserve_exact(nodes);
+        self.node_syms.reserve_exact(nodes);
+        self.node_seq.reserve_exact(nodes);
+        self.node_rng.reserve_exact(nodes);
+        self.segments.reserve_exact(segments);
+        self.seg_states.reserve_exact(segments);
+    }
+
     /// Create a broadcast segment; attach nodes with [`World::attach`].
     pub fn add_segment(&mut self, config: LinkConfig) -> SegmentId {
         let s = self.segments.len();
@@ -903,6 +924,7 @@ impl World {
     /// Create a host node.
     pub fn add_host(&mut self, config: HostConfig) -> NodeId {
         let id = NodeId(self.nodes.len());
+        self.node_syms.push(crate::arena::intern(&config.name));
         self.nodes.push(Some(Node::Host(Host::new(id, config))));
         self.node_seq.push(0);
         self.node_rng
@@ -913,6 +935,7 @@ impl World {
     /// Create a router node.
     pub fn add_router(&mut self, config: RouterConfig) -> NodeId {
         let id = NodeId(self.nodes.len());
+        self.node_syms.push(crate::arena::intern(&config.name));
         self.nodes.push(Some(Node::Router(Router::new(id, config))));
         self.node_seq.push(0);
         self.node_rng
@@ -1357,6 +1380,7 @@ impl World {
         self.ensure_runtime();
         if self.rt.is_none() {
             self.run_serial(deadline, limit);
+            self.shrink_after_run();
             return;
         }
         self.flush_step_batch();
@@ -1385,6 +1409,23 @@ impl World {
                 self.metrics.merge(m);
                 *m = MetricsRegistry::new(enabled);
             }
+        }
+        self.shrink_after_run();
+    }
+
+    /// Give back burst capacity once a run has drained: scheduler bucket
+    /// vectors (and the dispatch batch buffer) grow to the largest
+    /// same-instant fan-out they ever carried — a broadcast storm on one
+    /// big LAN — and would otherwise hold that high-water mark forever.
+    fn shrink_after_run(&mut self) {
+        self.queue.shrink();
+        if let Some(rt) = &mut self.rt {
+            for q in &mut rt.queues {
+                q.shrink();
+            }
+        }
+        if self.batch.is_empty() && self.batch.capacity() > 32 {
+            self.batch = Vec::new();
         }
     }
 

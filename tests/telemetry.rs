@@ -278,7 +278,8 @@ proptest! {
                 armed.node(NodeId(i)).packets_delivered
             );
         }
-        let names: Vec<String> = (0..32).map(|i| format!("n{i}")).collect();
+        let owned: Vec<String> = (0..32).map(|i| format!("n{i}")).collect();
+        let names: Vec<&str> = owned.iter().map(|s| s.as_str()).collect();
         let ex = serde_json::to_string(&exact.snapshot(&names, SimTime::ZERO)).unwrap();
         let ar = serde_json::to_string(&armed.snapshot(&names, SimTime::ZERO)).unwrap();
         prop_assert_eq!(ex, ar);
