@@ -14,8 +14,13 @@
 //! - `scale` — hierarchical world construction (routes installed
 //!   arithmetically, no shortest-path pass) and the mass-churn driver
 //!   (the PR-9 optimisation surface).
+//! - `policy` — the method-cache lookup engine (the PR-10 optimisation
+//!   surface): hit latency at 1k/100k/1M resident correspondents,
+//!   steady-state miss+evict churn at capacity, compiled bucketed-LPM
+//!   rule matching vs the linear reference scan at 1/64/1024 rules, and
+//!   a full flash-crowd storm with hot-set recovery.
 //!
-//! Quick CI snapshots: `CRITERION_QUICK=1 CRITERION_JSON=BENCH_pr5.json
+//! Quick CI snapshots: `CRITERION_QUICK=1 CRITERION_JSON=BENCH_pr10.json
 //! cargo bench -p bench --bench perf`.
 
 use std::hint::black_box;
@@ -443,6 +448,151 @@ fn bench_scale(c: &mut Criterion) {
     g.finish();
 }
 
+/// The policy engine's production-scale claims, measured directly:
+///
+/// * `hit_*` — a cache hit is one hash probe into the SoA slab plus an
+///   LRU touch, so latency must stay flat from 1k to 1M resident
+///   correspondents;
+/// * `miss_evict_*` — steady-state misses at capacity, where every
+///   insert pays an LRU eviction and an index backfill on top of the
+///   probe;
+/// * `rules_*` — first-match rule lookup, linear reference scan vs the
+///   compiled bucketed-LPM index (which deliberately stays linear below
+///   nine rules, so the 1-rule rows should tie);
+/// * `flash_crowd_*` — the whole E18 storm shape in miniature: a hot
+///   set with real feedback history, a 2×-capacity miss storm with the
+///   hot set conversing throughout, then a hot-set retention count.
+fn bench_policy(c: &mut Criterion) {
+    use mip_core::policy::rule_match_reference;
+    use mip_core::{AuditTrail, Policy, PolicyConfig, Strategy};
+
+    let mut g = c.benchmark_group("policy");
+
+    for (label, n) in [("1k", 1_000usize), ("100k", 100_000), ("1m", 1_000_000)] {
+        let mut p = Policy::new(PolicyConfig {
+            cache_cap: n,
+            ..PolicyConfig::optimistic()
+        });
+        // The trail is for explainability; drop it so the rows measure
+        // the lookup engine, not ring-buffer bookkeeping.
+        p.audit = AuditTrail::with_capacity(0);
+        for i in 0..n as u32 {
+            p.mode_for(Ipv4Addr(0x1000_0000u32.wrapping_add(i)));
+        }
+        let step = (n as u32 / 16).max(1);
+        let dsts: Vec<Ipv4Addr> = (0..16u32)
+            .map(|k| Ipv4Addr(0x1000_0000u32.wrapping_add(k * step)))
+            .collect();
+        g.bench_function(format!("hit_{label}_entries"), |b| {
+            b.iter(|| {
+                for &d in &dsts {
+                    black_box(p.mode_for(d));
+                }
+            })
+        });
+    }
+
+    {
+        let cap = 65_536usize;
+        let mut p = Policy::new(PolicyConfig {
+            cache_cap: cap,
+            ..PolicyConfig::optimistic()
+        });
+        p.audit = AuditTrail::with_capacity(0);
+        for i in 0..cap as u32 {
+            p.mode_for(Ipv4Addr(0x2000_0000u32 + i));
+        }
+        // Every lookup is a never-seen correspondent, so the cache stays
+        // pinned at capacity and each iteration is a miss + evict.
+        let mut next = cap as u32;
+        g.bench_function("miss_evict_64k_entries", |b| {
+            b.iter(|| {
+                for _ in 0..16 {
+                    next = next.wrapping_add(1);
+                    black_box(p.mode_for(Ipv4Addr(0x2000_0000u32.wrapping_add(next))));
+                }
+            })
+        });
+    }
+
+    for nrules in [1usize, 64, 1024] {
+        let rules: Vec<(Ipv4Cidr, Strategy)> = (0..nrules as u32)
+            .map(|i| {
+                let strat = if i % 2 == 0 {
+                    Strategy::Pessimistic
+                } else {
+                    Strategy::Optimistic
+                };
+                (Ipv4Cidr::new(Ipv4Addr((10 << 24) | (i << 12)), 20), strat)
+            })
+            .collect();
+        // Half the destinations hit rules spread across the list, half
+        // miss entirely — the linear scan's worst case.
+        let dsts: Vec<Ipv4Addr> = (0..16u32)
+            .map(|k| {
+                if k % 2 == 0 {
+                    Ipv4Addr((10 << 24) | ((k * nrules as u32 / 16) << 12) | 7)
+                } else {
+                    Ipv4Addr((11 << 24) | k)
+                }
+            })
+            .collect();
+        let p = Policy::new(PolicyConfig {
+            rules: rules.clone(),
+            ..PolicyConfig::optimistic()
+        });
+        g.bench_function(format!("rules_linear_{nrules}"), |b| {
+            b.iter(|| {
+                for &d in &dsts {
+                    black_box(rule_match_reference(&rules, d));
+                }
+            })
+        });
+        g.bench_function(format!("rules_compiled_{nrules}"), |b| {
+            b.iter(|| {
+                for &d in &dsts {
+                    black_box(p.rule_match_compiled(d));
+                }
+            })
+        });
+    }
+
+    g.sample_size(10);
+    g.bench_function("flash_crowd_2x_cap_4k", |b| {
+        b.iter(|| {
+            let mut p = Policy::new(PolicyConfig {
+                cache_cap: 4_096,
+                ..PolicyConfig::optimistic()
+            });
+            p.audit = AuditTrail::with_capacity(0);
+            for i in 0..64u32 {
+                let hot = Ipv4Addr(0x0900_0000 + i);
+                p.mode_for(hot);
+                p.record_feedback(hot, true);
+                p.record_feedback(hot, true);
+            }
+            for i in 0..8_192u32 {
+                p.mode_for(Ipv4Addr(0x0A00_0000 + i));
+                // The hot set keeps conversing through the storm, so the
+                // LRU keeps it off the tail.
+                if i % 512 == 511 {
+                    for k in 0..64u32 {
+                        p.record_feedback(Ipv4Addr(0x0900_0000 + k), false);
+                    }
+                }
+            }
+            let mut retained = 0u32;
+            for i in 0..64u32 {
+                if p.entry(Ipv4Addr(0x0900_0000 + i)).is_some() {
+                    retained += 1;
+                }
+            }
+            black_box(retained)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_forward_fastpath,
@@ -454,5 +604,6 @@ criterion_group!(
     bench_telemetry,
     bench_shards,
     bench_scale,
+    bench_policy,
 );
 criterion_main!(benches);

@@ -2,11 +2,19 @@
 //!
 //! ```text
 //! exp_scale [--hosts N] [--seed S] [--handoffs N] [--flash N] [--rereg N]
-//!           [--shards N] [--sample-flows N] [--topk K] [--profile]
+//!           [--correspondents N] [--shards N] [--sample-flows N] [--topk K]
+//!           [--profile]
 //! ```
 //!
 //! Environment fallbacks: `NETSIM_SCALE_HOSTS`, `NETSIM_SCALE_SEED`,
-//! `NETSIM_SCALE_HANDOFFS`, `NETSIM_SCALE_FLASH`, `NETSIM_SCALE_REREG`.
+//! `NETSIM_SCALE_HANDOFFS`, `NETSIM_SCALE_FLASH`, `NETSIM_SCALE_REREG`,
+//! `NETSIM_SCALE_CORRESPONDENTS`.
+//!
+//! `--correspondents N` adds the policy miss storm: one mobile's method
+//! cache, capped at `N/2` entries, faces `N` distinct correspondents while
+//! a hot set keeps conversing — the table then reports mode-decision
+//! quality under cache pressure (hits, misses, evictions, and how much
+//! hot history the LRU eviction discipline preserved).
 //!
 //! The printed table and the emitted run report contain only deterministic
 //! quantities; wall-clock build time, per-host steady-state memory (from
@@ -30,6 +38,8 @@ fn main() {
             .map_or(defaults.flash_crowd, |n| n as usize),
         rereg: u64_knob("--rereg", "NETSIM_SCALE_REREG").map_or(defaults.rereg, |n| n as usize),
         lifetime: defaults.lifetime,
+        correspondents: u64_knob("--correspondents", "NETSIM_SCALE_CORRESPONDENTS")
+            .map_or(defaults.correspondents, |n| n as usize),
     };
 
     runbin::run("exp_scale", || {

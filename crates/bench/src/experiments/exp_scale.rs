@@ -62,6 +62,20 @@ pub fn table(hosts_built: usize, stats: &ChurnStats) -> Table {
     ]);
     t.row(&["churn events", &stats.events.to_string()]);
     t.row(&["sim elapsed (us)", &stats.sim_elapsed_us.to_string()]);
+    // Policy miss-storm rows appear only when the storm ran
+    // (`--correspondents > 0`), so default tables keep their bytes.
+    if let Some(p) = &stats.policy {
+        t.row(&["policy correspondents", &p.correspondents.to_string()]);
+        t.row(&["policy cache cap", &p.cache_cap.to_string()]);
+        t.row(&["policy decisions", &p.decisions.to_string()]);
+        t.row(&["policy cache hits", &p.hits.to_string()]);
+        t.row(&["policy cache misses", &p.misses.to_string()]);
+        t.row(&["policy evictions", &p.evictions.to_string()]);
+        t.row(&[
+            "policy hot history retained",
+            &format!("{}/{}", p.hot_retained, p.hot_set),
+        ]);
+    }
     t.note("routes installed arithmetically from the domain hierarchy; no per-node shortest-path computation at any size");
     t
 }

@@ -35,13 +35,16 @@
 
 use bytes::Bytes;
 
-use mip_core::{HomeAgent, HomeAgentConfig, RegistrationRequest, REGISTRATION_PORT};
+use mip_core::{
+    HomeAgent, HomeAgentConfig, Policy, PolicyConfig, RegistrationRequest, Strategy,
+    REGISTRATION_PORT,
+};
 use netsim::device::TxMeta;
 use netsim::wire::icmp::IcmpMessage;
 use netsim::wire::udp::UdpDatagram;
 use netsim::{
     HostConfig, IfaceAddr, IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet, LinkConfig, NodeId,
-    RouterConfig, World,
+    RouterConfig, SimTime, World,
 };
 
 /// Where visiting movers are addressed inside a stub: `.200 + slot`.
@@ -385,6 +388,11 @@ pub struct ChurnParams {
     pub rereg: usize,
     /// Registration lifetime requested, seconds.
     pub lifetime: u16,
+    /// Policy miss storm: distinct correspondents driven through one
+    /// mobile's method cache, sized at half this count so the storm is 2×
+    /// capacity. Zero (the default) skips the phase entirely, keeping
+    /// pre-existing reports byte-identical.
+    pub correspondents: usize,
 }
 
 impl Default for ChurnParams {
@@ -394,6 +402,7 @@ impl Default for ChurnParams {
             flash_crowd: 64,
             rereg: 64,
             lifetime: 300,
+            correspondents: 0,
         }
     }
 }
@@ -414,22 +423,88 @@ pub struct ChurnStats {
     pub registrations_accepted: u64,
     /// Bindings the home-agent restart dropped.
     pub bindings_dropped: u64,
-    /// Total churn events (handoffs + pings + registrations).
+    /// Total churn events (handoffs + pings + registrations + policy
+    /// decisions).
     pub events: u64,
     /// Simulated microseconds the whole churn run covered.
     pub sim_elapsed_us: u64,
+    /// Outcome of the policy miss storm; `None` when
+    /// [`ChurnParams::correspondents`] was zero.
+    pub policy: Option<PolicyStormStats>,
 }
 
-serde::impl_serialize!(ChurnStats {
-    handoffs,
-    flash_pings,
-    flash_replies,
-    registrations_sent,
-    registrations_accepted,
-    bindings_dropped,
-    events,
-    sim_elapsed_us,
+/// What the policy miss storm observed: mode-decision quality under
+/// method-cache pressure, all deterministic counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStormStats {
+    /// Distinct storm correspondents decided for.
+    pub correspondents: u64,
+    /// The method-cache capacity the storm ran against (half the storm).
+    pub cache_cap: u64,
+    /// Total `mode_for` decisions made.
+    pub decisions: u64,
+    /// Decisions answered from a live cache entry.
+    pub hits: u64,
+    /// Decisions made afresh from rules/strategy.
+    pub misses: u64,
+    /// Entries the LRU discipline displaced during the storm.
+    pub evictions: u64,
+    /// Actively conversing correspondents with learned demotion history.
+    pub hot_set: u64,
+    /// Hot correspondents whose history survived the storm (the eviction
+    /// discipline's whole point: this must equal `hot_set`).
+    pub hot_retained: u64,
+}
+
+serde::impl_serialize!(PolicyStormStats {
+    correspondents,
+    cache_cap,
+    decisions,
+    hits,
+    misses,
+    evictions,
+    hot_set,
+    hot_retained,
 });
+
+impl serde::Serialize for ChurnStats {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("handoffs".to_string(), serde::Value::U64(self.handoffs)),
+            (
+                "flash_pings".to_string(),
+                serde::Value::U64(self.flash_pings),
+            ),
+            (
+                "flash_replies".to_string(),
+                serde::Value::U64(self.flash_replies),
+            ),
+            (
+                "registrations_sent".to_string(),
+                serde::Value::U64(self.registrations_sent),
+            ),
+            (
+                "registrations_accepted".to_string(),
+                serde::Value::U64(self.registrations_accepted),
+            ),
+            (
+                "bindings_dropped".to_string(),
+                serde::Value::U64(self.bindings_dropped),
+            ),
+            ("events".to_string(), serde::Value::U64(self.events)),
+            (
+                "sim_elapsed_us".to_string(),
+                serde::Value::U64(self.sim_elapsed_us),
+            ),
+        ];
+        // Appended only when the storm ran, so default-config runs keep
+        // their pre-existing report bytes.
+        if let Some(p) = &self.policy {
+            fields.push(("policy".to_string(), p.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
 
 /// Event-budget guard for [`World::run_until_idle`]: generous per churn
 /// event, since one churn action can trigger several ARP broadcasts and
@@ -636,9 +711,90 @@ pub fn run_churn(w: &mut World, index: &ScaleIndex, churn: &ChurnParams) -> Chur
             .registrations_accepted;
     }
 
-    stats.events = stats.handoffs + stats.flash_pings + stats.registrations_sent;
+    // --- Policy miss storm -------------------------------------------------
+    // A flash crowd seen from the *policy* layer: one mobile's method
+    // cache, sized at half the storm, faces `correspondents` distinct
+    // first contacts while a small hot set keeps conversing. Measures
+    // what the LRU eviction discipline preserves under pressure.
+    if churn.correspondents > 0 {
+        let storm = run_policy_storm(w.now(), churn.correspondents);
+        stats.events += storm.decisions;
+        stats.policy = Some(storm);
+    }
+
+    stats.events += stats.handoffs + stats.flash_pings + stats.registrations_sent;
     stats.sim_elapsed_us = w.now().since(t0).as_micros();
     stats
+}
+
+/// Drive one mobile's policy engine through a miss storm: cache capacity
+/// is `correspondents / 2`, so the storm is twice the cap. A hot set with
+/// learned demotion history keeps conversing throughout; the assertion the
+/// scale tests make — and the count this reports — is that the LRU
+/// discipline evicts only cold storm entries and every hot correspondent
+/// keeps its history. Entirely deterministic: addresses, feedback and the
+/// synthetic sim-clock all advance by arithmetic.
+fn run_policy_storm(now0: SimTime, correspondents: usize) -> PolicyStormStats {
+    let cap = (correspondents / 2).max(8);
+    let hot = (cap / 8).clamp(1, 64);
+    // Rules past the linear threshold so the storm exercises the compiled
+    // bucketed-LPM path: the 198.19/16 storm range starts pessimistic,
+    // sibling ranges get assorted strategies, everything else optimistic.
+    let mut config = PolicyConfig::optimistic().with_cache_cap(cap);
+    for i in 0..12u32 {
+        config = config.with_rule(
+            Ipv4Cidr::new(Ipv4Addr(0xC613_0000 + (i << 16)), 16),
+            if i % 2 == 0 {
+                Strategy::Pessimistic
+            } else {
+                Strategy::Optimistic
+            },
+        );
+    }
+    let mut policy = Policy::new(config);
+    let mut t = now0;
+    let tick = |policy: &mut Policy, t: &mut SimTime| {
+        t.0 += 1;
+        policy.audit.set_now(*t);
+    };
+    // Hot set at 198.18.0.x: first contact plus two failure signals each,
+    // learning one demotion (DH → DE) of history worth preserving.
+    let hot_addr = |i: usize| Ipv4Addr(0xC612_0000 + i as u32);
+    for i in 0..hot {
+        tick(&mut policy, &mut t);
+        policy.mode_for(hot_addr(i));
+        policy.record_feedback(hot_addr(i), true);
+        policy.record_feedback(hot_addr(i), true);
+    }
+    // The storm at 198.19.0.0+: distinct cold first contacts, twice the
+    // cache capacity, with the hot set conversing between bursts. The
+    // refresh interval stays well under the cap so an actively conversing
+    // correspondent can never sink to the LRU tail (hot + interval < cap).
+    let interval = (cap / 4).clamp(1, 64);
+    for i in 0..correspondents {
+        tick(&mut policy, &mut t);
+        policy.mode_for(Ipv4Addr(0xC613_0000 + i as u32));
+        if i % interval == interval - 1 {
+            for k in 0..hot {
+                tick(&mut policy, &mut t);
+                policy.record_feedback(hot_addr(k), false);
+            }
+        }
+    }
+    let hot_retained = (0..hot)
+        .filter(|&i| policy.entry(hot_addr(i)).is_some_and(|e| e.demotions >= 1))
+        .count() as u64;
+    let cs = policy.cache_stats();
+    PolicyStormStats {
+        correspondents: correspondents as u64,
+        cache_cap: cap as u64,
+        decisions: cs.hits + cs.misses,
+        hits: cs.hits,
+        misses: cs.misses,
+        evictions: cs.evictions,
+        hot_set: hot as u64,
+        hot_retained,
+    }
 }
 
 #[cfg(test)]
@@ -695,6 +851,7 @@ mod tests {
                 flash_crowd: 0,
                 rereg: 5,
                 lifetime: 120,
+                correspondents: 0,
             },
         );
         assert_eq!(stats.registrations_sent, 10); // two waves
@@ -711,5 +868,33 @@ mod tests {
         assert!(stats.flash_replies > 0, "flash target answered no pings");
         assert!(stats.events > 0);
         assert!(stats.sim_elapsed_us > 0);
+        assert!(stats.policy.is_none(), "storm off by default");
+    }
+
+    #[test]
+    fn policy_storm_evicts_only_cold_entries() {
+        for correspondents in [64usize, 1024, 20_000] {
+            let storm = run_policy_storm(SimTime(1_000), correspondents);
+            assert_eq!(storm.correspondents, correspondents as u64);
+            assert_eq!(
+                storm.hot_retained, storm.hot_set,
+                "{correspondents}: every hot correspondent keeps its history"
+            );
+            assert!(
+                storm.evictions >= (correspondents / 2) as u64,
+                "{correspondents}: a 2x-cap storm must evict about a capful"
+            );
+            assert_eq!(storm.decisions, storm.hits + storm.misses);
+        }
+    }
+
+    #[test]
+    fn policy_storm_stats_serialize_only_when_present() {
+        let mut stats = ChurnStats::default();
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(!json.contains("policy"), "{json}");
+        stats.policy = Some(PolicyStormStats::default());
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"policy\":{"), "{json}");
     }
 }

@@ -90,6 +90,28 @@ pub enum AuditEvent {
         /// How many entries were discarded.
         entries: usize,
     },
+    /// The method cache was at capacity and the LRU discipline displaced
+    /// its coldest correspondent to admit a new one. Learned history for
+    /// `correspondent` is gone; its next contact decides afresh.
+    Evicted {
+        /// The correspondent whose entry was displaced.
+        correspondent: Ipv4Addr,
+        /// The method that was in effect when the entry was displaced.
+        mode: OutMode,
+    },
+    /// A TTL'd method-cache entry sat untouched past its lifetime and was
+    /// discarded on its next lookup.
+    Expired {
+        /// The correspondent whose stale entry was discarded.
+        correspondent: Ipv4Addr,
+    },
+    /// Transmission feedback arrived for a correspondent absent from the
+    /// method cache after evictions have occurred: the signal may concern
+    /// history the LRU displaced, and is dropped.
+    FeedbackIgnored {
+        /// The correspondent the feedback concerned.
+        correspondent: Ipv4Addr,
+    },
     /// A registration request left the mobile host.
     RegistrationSent {
         /// The care-of address being registered.
@@ -122,6 +144,9 @@ impl AuditEvent {
             AuditEvent::Demoted { .. } => "demoted",
             AuditEvent::Promoted { .. } => "promoted",
             AuditEvent::CacheCleared { .. } => "cache-cleared",
+            AuditEvent::Evicted { .. } => "evicted",
+            AuditEvent::Expired { .. } => "expired",
+            AuditEvent::FeedbackIgnored { .. } => "feedback-ignored",
             AuditEvent::RegistrationSent { .. } => "registration-sent",
             AuditEvent::RegistrationAccepted { .. } => "registration-accepted",
             AuditEvent::RegistrationDenied => "registration-denied",
@@ -136,7 +161,10 @@ impl AuditEvent {
             AuditEvent::Decision { correspondent, .. }
             | AuditEvent::DtPortShortCircuit { correspondent, .. }
             | AuditEvent::Demoted { correspondent, .. }
-            | AuditEvent::Promoted { correspondent, .. } => Some(correspondent),
+            | AuditEvent::Promoted { correspondent, .. }
+            | AuditEvent::Evicted { correspondent, .. }
+            | AuditEvent::Expired { correspondent }
+            | AuditEvent::FeedbackIgnored { correspondent } => Some(correspondent),
             _ => None,
         }
     }
@@ -180,6 +208,17 @@ impl Serialize for AuditEvent {
             }
             AuditEvent::CacheCleared { entries } => {
                 put("entries", Value::U64(entries as u64));
+            }
+            AuditEvent::Evicted {
+                correspondent,
+                mode,
+            } => {
+                put("correspondent", Value::Str(correspondent.to_string()));
+                put("mode", Value::Str(mode.to_string()));
+            }
+            AuditEvent::Expired { correspondent }
+            | AuditEvent::FeedbackIgnored { correspondent } => {
+                put("correspondent", Value::Str(correspondent.to_string()));
             }
             AuditEvent::RegistrationSent { care_of, lifetime } => {
                 put("care_of", Value::Str(care_of.to_string()));
@@ -262,6 +301,13 @@ impl AuditTrail {
     /// this whenever the simulator hands it the current time.
     pub fn set_now(&mut self, now: SimTime) {
         self.now = now;
+    }
+
+    /// The clock last set by [`AuditTrail::set_now`]. The policy layer
+    /// reads this as its notion of "now" for LRU stamps and TTL expiry,
+    /// so cache aging runs on the same sim-time the trail records.
+    pub fn now(&self) -> SimTime {
+        self.now
     }
 
     /// Append one event at the current clock.

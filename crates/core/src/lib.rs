@@ -60,5 +60,5 @@ pub use mobile_host::{
     RegState,
 };
 pub use modes::{best_combination, classify, CellClass, Combination, Environment, InMode, OutMode};
-pub use policy::{Policy, PolicyConfig, Strategy, Transition};
+pub use policy::{CacheStats, MethodEntry, Policy, PolicyConfig, Strategy, Transition};
 pub use registration::{RegistrationReply, RegistrationRequest, ReplyCode, REGISTRATION_PORT};

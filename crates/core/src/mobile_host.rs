@@ -311,6 +311,13 @@ impl MobileHost {
         &mut self.policy
     }
 
+    /// Method-cache hit/miss/eviction/expiry counts since construction —
+    /// the decision-quality numbers scale experiments report under cache
+    /// pressure.
+    pub fn policy_cache_stats(&self) -> crate::policy::CacheStats {
+        self.policy.cache_stats()
+    }
+
     /// The mode-decision audit trail: why each method was chosen, every
     /// cache transition, registration step and handoff, timestamped.
     pub fn audit(&self) -> &AuditTrail {

@@ -79,6 +79,35 @@ impl OutMode {
     pub fn location_transparent(self) -> bool {
         self != OutMode::DT
     }
+
+    /// Position in [`OutMode::ALL`]: a dense 0..4 code for bit-packed
+    /// storage (the method cache keeps modes in 2-bit fields and failure
+    /// history as a 4-bit mask).
+    pub const fn index(self) -> usize {
+        match self {
+            OutMode::IE => 0,
+            OutMode::DE => 1,
+            OutMode::DH => 2,
+            OutMode::DT => 3,
+        }
+    }
+
+    /// Inverse of [`OutMode::index`]. Only the low two bits are read, so
+    /// any `u8`-ranged value maps onto a valid mode.
+    pub const fn from_index(i: usize) -> OutMode {
+        match i & 3 {
+            0 => OutMode::IE,
+            1 => OutMode::DE,
+            2 => OutMode::DH,
+            _ => OutMode::DT,
+        }
+    }
+
+    /// The single-bit mask for this mode (`1 << index`), for 4-bit
+    /// mode-set fields.
+    pub const fn bit(self) -> u8 {
+        1 << self.index()
+    }
 }
 
 impl InMode {
@@ -359,6 +388,18 @@ mod tests {
         assert_eq!(OutMode::DH.promote(), OutMode::DH);
         // Demote then promote round-trips in the middle of the ladder.
         assert_eq!(OutMode::DH.demote().promote(), OutMode::DH);
+    }
+
+    #[test]
+    fn index_round_trips_and_bits_are_distinct() {
+        let mut seen = 0u8;
+        for (i, m) in OutMode::ALL.into_iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(OutMode::from_index(m.index()), m);
+            assert_eq!(m.bit(), 1 << i);
+            seen |= m.bit();
+        }
+        assert_eq!(seen, 0b1111);
     }
 
     #[test]

@@ -23,11 +23,47 @@
 //! * **failure detection via transmission feedback** — the §7.1.2 proposal
 //!   ("we have not yet implemented this"), implemented here: repeated
 //!   retransmission signals demote the method one step toward Out-IE.
+//!
+//! # Production-scale storage
+//!
+//! A deployed mobile host talks to an open-ended correspondent population,
+//! so the method cache is built like the other hot lookup structures in
+//! this repository (`netsim::route`, the NIC ARP cache) rather than as a
+//! map of boxed entries:
+//!
+//! * **Compact SoA slab** — each correspondent costs a handful of packed
+//!   words (mode, strategy, and the failed-mode history are bit-fields in
+//!   one `u32`; the "history of which communication methods have proven …
+//!   not" successful is a 4-bit mask, since there are only four out-modes).
+//!   Steady state is ~44 bytes per correspondent including the hash index,
+//!   measured by `netsim::profile::live_bytes()`.
+//! * **Single-probe hash index** — an open-addressing table at ≤ 50 % load
+//!   maps correspondent → slab slot in one expected probe; deletions use
+//!   backward-shift so no tombstones accumulate.
+//! * **Real eviction** — at [`PolicyConfig::cache_cap`] the *least
+//!   recently used* entry is evicted (intrusive doubly-linked list, exact
+//!   recency order, no timestamps and therefore no ties), so a flash crowd
+//!   of new correspondents displaces only the coldest history instead of
+//!   resetting the whole cache. An optional [`PolicyConfig::cache_ttl`]
+//!   additionally expires entries by sim-time age, lazily, on next touch.
+//!   Both leave [`crate::audit::AuditEvent::Evicted`] /
+//!   [`crate::audit::AuditEvent::Expired`] marks in the audit trail and
+//!   bump the `policy_cache_*` counters in `netsim::profile`.
+//! * **Compiled rules** — the §7.1.2 first-match rule list is compiled
+//!   into per-prefix-length buckets (the `netsim::route` layout) keyed by
+//!   `(len, network)` holding the *lowest* matching rule index, so lookup
+//!   is O(#populated prefix lengths) while preserving first-match-wins
+//!   exactly. A capped per-destination strategy cache short-circuits
+//!   repeat decisions and is invalidated whenever the config changes
+//!   (detected by fingerprint, so even direct `policy.config = …`
+//!   replacement recompiles). [`Policy::use_dt_for_port`] answers from a
+//!   64 Ki-bit port bitset instead of scanning the port list.
 
-use std::collections::hash_map::Entry;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
-use netsim::{Ipv4Addr, Ipv4Cidr};
+use netsim::profile::{self, Counter};
+use netsim::{Ipv4Addr, Ipv4Cidr, SimDuration, SimTime};
 
 use crate::audit::{AuditEvent, AuditTrail, DecisionReason};
 use crate::modes::OutMode;
@@ -55,6 +91,23 @@ impl Strategy {
     fn probes(self) -> bool {
         !matches!(self, Strategy::Fixed(_))
     }
+
+    /// 3-bit code used by the packed slab word.
+    fn code(self) -> u32 {
+        match self {
+            Strategy::Optimistic => 0,
+            Strategy::Pessimistic => 1,
+            Strategy::Fixed(m) => 2 + m.index() as u32,
+        }
+    }
+
+    fn from_code(code: u32) -> Strategy {
+        match code {
+            0 => Strategy::Optimistic,
+            1 => Strategy::Pessimistic,
+            n => Strategy::Fixed(OutMode::from_index((n - 2) as usize)),
+        }
+    }
 }
 
 /// Static policy configuration.
@@ -76,13 +129,19 @@ pub struct PolicyConfig {
     pub demote_threshold: u32,
     /// Success signals before a pessimistic upgrade probe.
     pub promote_after: u32,
-    /// Method-cache entries kept before the cache resets. A mobile that
-    /// talks to more correspondents than this (a flash crowd) forgets its
-    /// history rather than growing without bound — mirroring the paper's
-    /// framing of the cache as an LRU-ish scarce resource. Reset (not
-    /// per-entry eviction) keeps behaviour deterministic regardless of
-    /// hash-map iteration order.
+    /// Method-cache entries kept before eviction begins. A mobile that
+    /// talks to more correspondents than this (a flash crowd) evicts its
+    /// *least recently used* history rather than growing without bound —
+    /// the paper's framing of the cache as an LRU-ish scarce resource,
+    /// taken literally. Eviction order is exact recency, so behaviour is
+    /// deterministic at any scale. `0` disables the cap entirely.
     pub cache_cap: usize,
+    /// Optional sim-time lifetime for cache entries. An entry untouched
+    /// for longer than this is discarded (lazily, on its next lookup or
+    /// feedback) and the next contact decides afresh from rules — stale
+    /// conclusions about a path age out the way ARP entries do. `None`
+    /// (the default) keeps history until eviction or movement.
+    pub cache_ttl: Option<SimDuration>,
 }
 
 impl Default for PolicyConfig {
@@ -96,6 +155,7 @@ impl Default for PolicyConfig {
             demote_threshold: 2,
             promote_after: 8,
             cache_cap: 4096,
+            cache_ttl: None,
         }
     }
 }
@@ -142,39 +202,471 @@ impl PolicyConfig {
         self
     }
 
-    fn strategy_with_source(&self, correspondent: Ipv4Addr) -> (Strategy, DecisionReason) {
-        if self.privacy {
-            return (Strategy::Fixed(OutMode::IE), DecisionReason::Privacy);
+    /// Cap the method cache at `cap` correspondents (LRU beyond that).
+    pub fn with_cache_cap(mut self, cap: usize) -> Self {
+        self.cache_cap = cap;
+        self
+    }
+
+    /// Expire method-cache entries untouched for `ttl` of simulated time.
+    pub fn with_cache_ttl(mut self, ttl: SimDuration) -> Self {
+        self.cache_ttl = Some(ttl);
+        self
+    }
+}
+
+/// Reference first-match rule scan: the §7.1.2 semantics the compiled
+/// index must reproduce exactly. Exposed (hidden) for the parity property
+/// tests and the `policy` bench group.
+#[doc(hidden)]
+pub fn rule_match_reference(rules: &[(Ipv4Cidr, Strategy)], dst: Ipv4Addr) -> Option<usize> {
+    rules.iter().position(|(p, _)| p.contains(dst))
+}
+
+// ---------------------------------------------------------------------------
+// Compiled configuration: rule LPM buckets, port bitset, strategy cache
+// ---------------------------------------------------------------------------
+
+/// Rule lists at or below this stay uncompiled: a linear first-match over
+/// a handful of rules beats hashing and costs no auxiliary heap — the same
+/// size discipline as `netsim::route::RouteTable`.
+const RULES_LINEAR_MAX: usize = 8;
+
+/// Per-destination strategy memos kept before the memo table resets; the
+/// cap bounds memory during address sweeps, exactly like the route cache.
+const STRATEGY_CACHE_CAP: usize = 4096;
+
+/// The bucketed-LPM index over the rule list: one map over every rule
+/// prefix plus the populated-lengths bitmap lookups scan. Buckets hold the
+/// *lowest* rule index installed for their exact prefix, so taking the
+/// minimum over all matching lengths reproduces first-match-wins.
+#[derive(Debug, Default)]
+struct RuleIndex {
+    /// `(prefix_len << 32 | network)` → lowest rule index with that prefix.
+    buckets: HashMap<u64, u32>,
+    /// Bit `p` set ⇔ some `/p` rule exists.
+    populated: u64,
+}
+
+impl RuleIndex {
+    fn key(len: u8, network: u32) -> u64 {
+        (u64::from(len) << 32) | u64::from(network)
+    }
+
+    fn build(rules: &[(Ipv4Cidr, Strategy)]) -> RuleIndex {
+        let mut ix = RuleIndex::default();
+        for (i, (prefix, _)) in rules.iter().enumerate() {
+            let p = prefix.prefix_len();
+            ix.buckets
+                .entry(RuleIndex::key(p, prefix.network().0))
+                .or_insert(i as u32);
+            ix.populated |= 1u64 << p;
         }
-        match self.rules.iter().find(|(p, _)| p.contains(correspondent)) {
-            Some(&(_, s)) => (s, DecisionReason::Rule),
-            None => (self.default_strategy, DecisionReason::Default),
+        ix
+    }
+
+    /// Index of the first (lowest-numbered) rule containing `dst`.
+    fn first_match(&self, dst: Ipv4Addr) -> Option<usize> {
+        let mut best = u32::MAX;
+        let mut lens = self.populated;
+        while lens != 0 {
+            let p = 63 - lens.leading_zeros();
+            let network = Ipv4Cidr::new(dst, p as u8).network().0;
+            if let Some(&r) = self.buckets.get(&RuleIndex::key(p as u8, network)) {
+                best = best.min(r);
+            }
+            lens &= !(1u64 << p);
+        }
+        (best != u32::MAX).then_some(best as usize)
+    }
+}
+
+/// Everything derived from a `PolicyConfig`, rebuilt lazily whenever the
+/// fingerprint below stops matching the live config — so experiments that
+/// replace `policy.config` wholesale (or push rules through it) are picked
+/// up without an explicit invalidation call.
+#[derive(Debug)]
+struct Compiled {
+    /// Fingerprint of the config this was compiled from: the rule and
+    /// port storage identity plus the scalar decision inputs. Replacing
+    /// or growing either `Vec` changes pointer or length; the scalars are
+    /// compared directly.
+    rules_ptr: usize,
+    rules_len: usize,
+    ports_ptr: usize,
+    ports_len: usize,
+    privacy: bool,
+    default_strategy: Strategy,
+    /// Bucketed rule LPM; `None` while the rule list is small enough that
+    /// the linear reference scan wins.
+    rule_index: Option<Box<RuleIndex>>,
+    /// 64 Ki-bit destination-port set for the §7.1.1 DT heuristic; `None`
+    /// when no ports are configured (the common fixed-mode experiments).
+    dt_bits: Option<Box<[u64]>>,
+    /// dst → (strategy, why) memo, capped at [`STRATEGY_CACHE_CAP`].
+    strategy_cache: HashMap<u32, (Strategy, DecisionReason)>,
+}
+
+impl Compiled {
+    fn fingerprint_matches(&self, config: &PolicyConfig) -> bool {
+        self.rules_ptr == config.rules.as_ptr() as usize
+            && self.rules_len == config.rules.len()
+            && self.ports_ptr == config.dt_ports.as_ptr() as usize
+            && self.ports_len == config.dt_ports.len()
+            && self.privacy == config.privacy
+            && self.default_strategy == config.default_strategy
+    }
+
+    fn build(config: &PolicyConfig) -> Compiled {
+        let rule_index = (config.rules.len() > RULES_LINEAR_MAX)
+            .then(|| Box::new(RuleIndex::build(&config.rules)));
+        let dt_bits = (!config.dt_ports.is_empty()).then(|| {
+            let mut bits = vec![0u64; 1024].into_boxed_slice();
+            for &port in &config.dt_ports {
+                bits[usize::from(port) >> 6] |= 1u64 << (port & 63);
+            }
+            bits
+        });
+        Compiled {
+            rules_ptr: config.rules.as_ptr() as usize,
+            rules_len: config.rules.len(),
+            ports_ptr: config.dt_ports.as_ptr() as usize,
+            ports_len: config.dt_ports.len(),
+            privacy: config.privacy,
+            default_strategy: config.default_strategy,
+            rule_index,
+            dt_bits,
+            strategy_cache: HashMap::new(),
         }
     }
 }
 
-/// One correspondent's state in the method cache.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// ---------------------------------------------------------------------------
+// The method cache: SoA slab + single-probe index + intrusive LRU
+// ---------------------------------------------------------------------------
+
+/// Niche marker for slab and list links.
+const NIL: u32 = u32::MAX;
+
+// Bit layout of one packed slab word.
+const MODE_SHIFT: u32 = 0; // bits 0-1: current OutMode index
+const STRAT_SHIFT: u32 = 2; // bits 2-4: Strategy code
+const FAILED_SHIFT: u32 = 8; // bits 8-11: failed-modes mask
+
+/// The per-correspondent store. Struct-of-arrays: every field of every
+/// entry lives in a dense `Vec`, slots are stable until an entry is
+/// removed (the last entry backfills the hole), and an open-addressing
+/// index at ≤ 50 % load maps correspondent address → slot in one expected
+/// probe. Recency is an intrusive doubly-linked list over `prev`/`next`,
+/// giving exact, deterministic LRU order with O(1) touch and evict.
+#[derive(Debug)]
+struct MethodCache {
+    /// Open-addressing slots holding slab indices (or [`NIL`]).
+    index: Vec<u32>,
+    /// Correspondent addresses, one per slab slot.
+    ips: Vec<u32>,
+    /// Packed mode/strategy/failed-mask words (see the `*_SHIFT` layout).
+    packed: Vec<u32>,
+    /// Consecutive failure signals since the last transition.
+    fails: Vec<u32>,
+    /// Consecutive success signals since the last transition.
+    succs: Vec<u32>,
+    /// Demotions (low 16 bits) and promotions (high 16), saturating.
+    trans: Vec<u32>,
+    /// Sim-time (µs) of the last touch, for TTL expiry.
+    stamp: Vec<u64>,
+    /// LRU list: previous (more recent) neighbour, or [`NIL`] at head.
+    prev: Vec<u32>,
+    /// LRU list: next (less recent) neighbour, or [`NIL`] at tail.
+    next: Vec<u32>,
+    /// Most recently used slot, [`NIL`] when empty.
+    head: u32,
+    /// Least recently used slot — the eviction victim.
+    tail: u32,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    expiries: u64,
+}
+
+impl MethodCache {
+    fn new() -> MethodCache {
+        MethodCache {
+            index: Vec::new(),
+            ips: Vec::new(),
+            packed: Vec::new(),
+            fails: Vec::new(),
+            succs: Vec::new(),
+            trans: Vec::new(),
+            stamp: Vec::new(),
+            prev: Vec::new(),
+            next: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            expiries: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// The probe start for `ip`: a multiplicative hash with a mixing shift
+    /// so sequential addresses (the common storm pattern) spread.
+    fn ideal_slot(&self, ip: u32) -> usize {
+        let mut h = ip.wrapping_mul(0x9E37_79B9);
+        h ^= h >> 16;
+        h as usize & (self.index.len() - 1)
+    }
+
+    /// Slab slot of `ip`, if cached. One expected probe at ≤ 50 % load.
+    fn find(&self, ip: u32) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut slot = self.ideal_slot(ip);
+        loop {
+            let e = self.index[slot];
+            if e == NIL {
+                return None;
+            }
+            if self.ips[e as usize] == ip {
+                return Some(e as usize);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Double (or create) the index and rehash every live entry.
+    fn grow_index(&mut self) {
+        let new_len = (self.index.len() * 2).max(16);
+        self.index.clear();
+        self.index.resize(new_len, NIL);
+        let mask = new_len - 1;
+        for e in 0..self.ips.len() {
+            let mut slot = self.ideal_slot(self.ips[e]);
+            while self.index[slot] != NIL {
+                slot = (slot + 1) & mask;
+            }
+            self.index[slot] = e as u32;
+        }
+    }
+
+    /// Insert a brand-new entry (caller guarantees `ip` is absent) and
+    /// link it most-recent. Returns its slab slot.
+    fn insert(&mut self, ip: u32, packed: u32, now: SimTime) -> usize {
+        if (self.len() + 1) * 2 > self.index.len() {
+            self.grow_index();
+        }
+        let e = self.ips.len() as u32;
+        self.ips.push(ip);
+        self.packed.push(packed);
+        self.fails.push(0);
+        self.succs.push(0);
+        self.trans.push(0);
+        self.stamp.push(now.0);
+        self.prev.push(NIL);
+        self.next.push(NIL);
+        let mask = self.index.len() - 1;
+        let mut slot = self.ideal_slot(ip);
+        while self.index[slot] != NIL {
+            slot = (slot + 1) & mask;
+        }
+        self.index[slot] = e;
+        self.push_front(e);
+        e as usize
+    }
+
+    /// Unlink slab slot `e` from the recency list.
+    fn unlink(&mut self, e: u32) {
+        let (p, n) = (self.prev[e as usize], self.next[e as usize]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Link slab slot `e` at the most-recent end.
+    fn push_front(&mut self, e: u32) {
+        self.prev[e as usize] = NIL;
+        self.next[e as usize] = self.head;
+        if self.head == NIL {
+            self.tail = e;
+        } else {
+            self.prev[self.head as usize] = e;
+        }
+        self.head = e;
+    }
+
+    /// Mark slab slot `e` as just used: move to the recency head and
+    /// refresh its TTL stamp.
+    fn touch(&mut self, e: usize, now: SimTime) {
+        self.stamp[e] = now.0;
+        if self.head == e as u32 {
+            return;
+        }
+        self.unlink(e as u32);
+        self.push_front(e as u32);
+    }
+
+    /// Backward-shift deletion of the index slot currently holding `e`:
+    /// no tombstones, so probe chains never degrade.
+    fn index_delete(&mut self, e: u32) {
+        let mask = self.index.len() - 1;
+        let mut slot = self.ideal_slot(self.ips[e as usize]);
+        while self.index[slot] != e {
+            slot = (slot + 1) & mask;
+        }
+        self.index[slot] = NIL;
+        let mut hole = slot;
+        let mut j = slot;
+        loop {
+            j = (j + 1) & mask;
+            let occupant = self.index[j];
+            if occupant == NIL {
+                break;
+            }
+            let ideal = self.ideal_slot(self.ips[occupant as usize]);
+            // Move the occupant into the hole iff its probe chain passes
+            // through the hole (cyclic distance test).
+            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.index[hole] = occupant;
+                self.index[j] = NIL;
+                hole = j;
+            }
+        }
+    }
+
+    /// Remove slab slot `e` entirely: unlink, delete from the index, and
+    /// backfill the hole with the last entry (fixing its index slot and
+    /// list links). Returns the removed `(ip, packed)`.
+    fn remove(&mut self, e: usize) -> (u32, u32) {
+        let removed = (self.ips[e], self.packed[e]);
+        self.unlink(e as u32);
+        self.index_delete(e as u32);
+        let last = self.ips.len() - 1;
+        if e != last {
+            // Repoint the index slot of the entry being moved.
+            let mask = self.index.len() - 1;
+            let mut slot = self.ideal_slot(self.ips[last]);
+            while self.index[slot] != last as u32 {
+                slot = (slot + 1) & mask;
+            }
+            self.index[slot] = e as u32;
+            self.ips[e] = self.ips[last];
+            self.packed[e] = self.packed[last];
+            self.fails[e] = self.fails[last];
+            self.succs[e] = self.succs[last];
+            self.trans[e] = self.trans[last];
+            self.stamp[e] = self.stamp[last];
+            self.prev[e] = self.prev[last];
+            self.next[e] = self.next[last];
+            // Repoint the moved entry's list neighbours (and ends).
+            let (p, n) = (self.prev[e], self.next[e]);
+            if p == NIL {
+                self.head = e as u32;
+            } else {
+                self.next[p as usize] = e as u32;
+            }
+            if n == NIL {
+                self.tail = e as u32;
+            } else {
+                self.prev[n as usize] = e as u32;
+            }
+        }
+        self.ips.pop();
+        self.packed.pop();
+        self.fails.pop();
+        self.succs.pop();
+        self.trans.pop();
+        self.stamp.pop();
+        self.prev.pop();
+        self.next.pop();
+        removed
+    }
+
+    /// Drop every entry, retaining allocations (movement clears the cache
+    /// constantly; re-growing the index each time would dominate).
+    fn clear(&mut self) {
+        self.index.iter_mut().for_each(|s| *s = NIL);
+        self.ips.clear();
+        self.packed.clear();
+        self.fails.clear();
+        self.succs.clear();
+        self.trans.clear();
+        self.stamp.clear();
+        self.prev.clear();
+        self.next.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry view and cache statistics
+// ---------------------------------------------------------------------------
+
+/// One correspondent's state in the method cache, materialised from the
+/// packed slab on request (the slab itself stores bit-fields, not structs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MethodEntry {
     /// The method currently selected for this correspondent.
     pub mode: OutMode,
     strategy: Strategy,
     fail_signals: u32,
     success_signals: u32,
-    /// Modes that were demoted away from; never re-probed for this
-    /// correspondent (the "history of which communication methods have
-    /// proven … not" successful).
-    failed_modes: Vec<OutMode>,
+    /// Bitmask over [`OutMode::index`] of modes demoted away from.
+    failed_mask: u8,
     /// Times the method was demoted for this correspondent.
     pub demotions: u32,
     /// Times the method was promoted for this correspondent.
     pub promotions: u32,
 }
 
+impl MethodEntry {
+    /// Has `mode` already failed for this correspondent ("never re-probed")?
+    pub fn has_failed(&self, mode: OutMode) -> bool {
+        self.failed_mask & mode.bit() != 0
+    }
+}
+
+/// Aggregate method-cache statistics, for experiments that measure
+/// decision quality under cache pressure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a live cache entry.
+    pub hits: u64,
+    /// Lookups that had to decide afresh (first contact or after loss).
+    pub misses: u64,
+    /// Entries displaced by the LRU discipline at capacity.
+    pub evictions: u64,
+    /// Entries discarded by TTL expiry.
+    pub expiries: u64,
+    /// Correspondents currently cached.
+    pub len: u64,
+}
+
+serde::impl_serialize!(CacheStats {
+    hits,
+    misses,
+    evictions,
+    expiries,
+    len,
+});
+
 /// A method change, reported for stats/experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Transition {
-    /// Failure signals pushed the method toward the conservative end.
     /// Failure signals pushed the method toward the conservative end.
     Demoted {
         /// The method that was failing.
@@ -182,7 +674,6 @@ pub enum Transition {
         /// The more conservative replacement.
         to: OutMode,
     },
-    /// Sustained success probed a more aggressive method.
     /// Sustained success probed a more aggressive method.
     Promoted {
         /// The method that kept succeeding.
@@ -195,9 +686,12 @@ pub enum Transition {
 /// The per-correspondent method cache plus the decision logic.
 #[derive(Debug)]
 pub struct Policy {
-    /// The static policy configuration (rules, ports, thresholds).
+    /// The static policy configuration (rules, ports, thresholds). May be
+    /// replaced or mutated freely; the compiled artifacts notice and
+    /// rebuild on the next decision.
     pub config: PolicyConfig,
-    cache: HashMap<Ipv4Addr, MethodEntry>,
+    cache: MethodCache,
+    compiled: RefCell<Option<Box<Compiled>>>,
     /// The why-was-this-mode-chosen event trail.
     pub audit: AuditTrail,
 }
@@ -207,57 +701,173 @@ impl Policy {
     pub fn new(config: PolicyConfig) -> Policy {
         Policy {
             config,
-            cache: HashMap::new(),
+            cache: MethodCache::new(),
+            compiled: RefCell::new(None),
             audit: AuditTrail::new(),
         }
+    }
+
+    /// Replace the configuration. Equivalent to assigning `self.config`
+    /// directly (compiled state is fingerprint-invalidated either way);
+    /// provided so call sites read as what they are.
+    pub fn set_config(&mut self, config: PolicyConfig) {
+        self.config = config;
+        *self.compiled.borrow_mut() = None;
+    }
+
+    /// Run `f` with the compiled view of the current config, rebuilding it
+    /// first if the config changed since the last call.
+    fn with_compiled<R>(&self, f: impl FnOnce(&mut Compiled) -> R) -> R {
+        let mut slot = self.compiled.borrow_mut();
+        let stale = match slot.as_ref() {
+            Some(c) => !c.fingerprint_matches(&self.config),
+            None => true,
+        };
+        if stale {
+            *slot = Some(Box::new(Compiled::build(&self.config)));
+        }
+        f(slot.as_mut().expect("compiled just ensured"))
     }
 
     /// Should a conversation to this destination port skip Mobile IP
     /// entirely (Out-DT/In-DT)?
     pub fn use_dt_for_port(&self, port: u16) -> bool {
-        !self.config.privacy && self.config.dt_ports.contains(&port)
+        if self.config.privacy || self.config.dt_ports.is_empty() {
+            return false;
+        }
+        self.with_compiled(|c| match &c.dt_bits {
+            Some(bits) => bits[usize::from(port) >> 6] & (1u64 << (port & 63)) != 0,
+            None => false,
+        })
+    }
+
+    /// The (strategy, provenance) the rules assign `correspondent`,
+    /// memoised per destination.
+    fn strategy_with_source(&self, correspondent: Ipv4Addr) -> (Strategy, DecisionReason) {
+        if self.config.privacy {
+            return (Strategy::Fixed(OutMode::IE), DecisionReason::Privacy);
+        }
+        if self.config.rules.is_empty() {
+            return (self.config.default_strategy, DecisionReason::Default);
+        }
+        self.with_compiled(|c| {
+            if let Some(&hit) = c.strategy_cache.get(&correspondent.0) {
+                return hit;
+            }
+            let matched = match &c.rule_index {
+                Some(ix) => ix.first_match(correspondent),
+                None => rule_match_reference(&self.config.rules, correspondent),
+            };
+            let decided = match matched {
+                Some(i) => (self.config.rules[i].1, DecisionReason::Rule),
+                None => (self.config.default_strategy, DecisionReason::Default),
+            };
+            if c.strategy_cache.len() >= STRATEGY_CACHE_CAP {
+                c.strategy_cache.clear();
+            }
+            c.strategy_cache.insert(correspondent.0, decided);
+            decided
+        })
+    }
+
+    /// The first matching rule's index for `correspondent`, via the
+    /// compiled path but bypassing the strategy memo. Exposed (hidden) for
+    /// the `policy` bench group and the compiled-vs-linear parity tests.
+    #[doc(hidden)]
+    pub fn rule_match_compiled(&self, correspondent: Ipv4Addr) -> Option<usize> {
+        self.with_compiled(|c| match &c.rule_index {
+            Some(ix) => ix.first_match(correspondent),
+            None => rule_match_reference(&self.config.rules, correspondent),
+        })
+    }
+
+    /// Is the live TTL exceeded for the entry in slab slot `e`?
+    fn entry_expired(&self, e: usize, now: SimTime) -> bool {
+        self.config
+            .cache_ttl
+            .is_some_and(|ttl| now.since(SimTime(self.cache.stamp[e])) > ttl)
     }
 
     /// The mode to use right now for `correspondent`, creating a cache
-    /// entry on first contact.
+    /// entry on first contact (evicting the least recently used
+    /// correspondent if the cache is at capacity).
     pub fn mode_for(&mut self, correspondent: Ipv4Addr) -> OutMode {
-        let (strategy, source) = self.config.strategy_with_source(correspondent);
-        if self.cache.len() >= self.config.cache_cap && !self.cache.contains_key(&correspondent) {
-            self.clear_cache();
+        let now = self.audit.now();
+        if let Some(e) = self.cache.find(correspondent.0) {
+            if !self.entry_expired(e, now) {
+                self.cache.hits += 1;
+                profile::add(Counter::PolicyCacheHit, 1);
+                self.cache.touch(e, now);
+                let mode = OutMode::from_index((self.cache.packed[e] >> MODE_SHIFT) as usize & 3);
+                self.audit.record(AuditEvent::Decision {
+                    correspondent,
+                    mode,
+                    reason: DecisionReason::CacheHit,
+                });
+                return mode;
+            }
+            // Stale: the conclusion aged out; discard and decide afresh.
+            self.cache.expiries += 1;
+            profile::add(Counter::PolicyCacheExpiry, 1);
+            self.audit.record(AuditEvent::Expired { correspondent });
+            self.cache.remove(e);
         }
-        let (mode, reason) = match self.cache.entry(correspondent) {
-            Entry::Occupied(e) => (e.get().mode, DecisionReason::CacheHit),
-            Entry::Vacant(v) => (
-                v.insert(MethodEntry {
-                    mode: strategy.initial(),
-                    strategy,
-                    fail_signals: 0,
-                    success_signals: 0,
-                    failed_modes: Vec::new(),
-                    demotions: 0,
-                    promotions: 0,
-                })
-                .mode,
-                source,
-            ),
-        };
+        self.cache.misses += 1;
+        profile::add(Counter::PolicyCacheMiss, 1);
+        let (strategy, source) = self.strategy_with_source(correspondent);
+        if self.config.cache_cap > 0 && self.cache.len() >= self.config.cache_cap {
+            // Capacity: evict the coldest correspondent, not the world.
+            let victim = self.cache.tail as usize;
+            let (ip, packed) = self.cache.remove(victim);
+            self.cache.evictions += 1;
+            profile::add(Counter::PolicyCacheEviction, 1);
+            self.audit.record(AuditEvent::Evicted {
+                correspondent: Ipv4Addr(ip),
+                mode: OutMode::from_index((packed >> MODE_SHIFT) as usize & 3),
+            });
+        }
+        let mode = strategy.initial();
+        let packed = ((mode.index() as u32) << MODE_SHIFT) | (strategy.code() << STRAT_SHIFT);
+        self.cache.insert(correspondent.0, packed, now);
         self.audit.record(AuditEvent::Decision {
             correspondent,
             mode,
-            reason,
+            reason: source,
         });
         mode
     }
 
-    /// Peek at a cache entry.
-    pub fn entry(&self, correspondent: Ipv4Addr) -> Option<&MethodEntry> {
-        self.cache.get(&correspondent)
+    /// Peek at a cache entry (materialised by value; the store is a packed
+    /// slab). Read-only: does not refresh recency or the TTL stamp.
+    pub fn entry(&self, correspondent: Ipv4Addr) -> Option<MethodEntry> {
+        let e = self.cache.find(correspondent.0)?;
+        let packed = self.cache.packed[e];
+        Some(MethodEntry {
+            mode: OutMode::from_index((packed >> MODE_SHIFT) as usize & 3),
+            strategy: Strategy::from_code((packed >> STRAT_SHIFT) & 7),
+            fail_signals: self.cache.fails[e],
+            success_signals: self.cache.succs[e],
+            failed_mask: ((packed >> FAILED_SHIFT) & 0xF) as u8,
+            demotions: self.cache.trans[e] & 0xFFFF,
+            promotions: self.cache.trans[e] >> 16,
+        })
+    }
+
+    /// Aggregate hit/miss/eviction/expiry counts since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache.hits,
+            misses: self.cache.misses,
+            evictions: self.cache.evictions,
+            expiries: self.cache.expiries,
+            len: self.cache.len() as u64,
+        }
     }
 
     /// Forget everything (e.g. after moving to a different network, where
     /// the filtering situation may be different).
     pub fn clear_cache(&mut self) {
-        if !self.cache.is_empty() {
+        if self.cache.len() > 0 {
             self.audit.record(AuditEvent::CacheCleared {
                 entries: self.cache.len(),
             });
@@ -268,6 +878,12 @@ impl Policy {
     /// Feed in one §7.1.2 transmission-feedback event for `correspondent`.
     /// `retransmission` covers both directions: our retransmissions suggest
     /// our packets are lost; the peer's suggest our acknowledgements are.
+    ///
+    /// Feedback for a correspondent absent from the cache is dropped; when
+    /// evictions have occurred the drop is recorded as
+    /// [`AuditEvent::FeedbackIgnored`], since the absent entry may be
+    /// history the LRU displaced (silently losing the signal would make
+    /// eviction-induced quality loss invisible).
     pub fn record_feedback(
         &mut self,
         correspondent: Ipv4Addr,
@@ -276,20 +892,43 @@ impl Policy {
         if !self.config.feedback_demotion {
             return None;
         }
-        let demote_threshold = self.config.demote_threshold;
-        let promote_after = self.config.promote_after;
-        let e = self.cache.get_mut(&correspondent)?;
+        let now = self.audit.now();
+        // Find the entry before touching any thresholds: the common
+        // at-scale outcome is a miss (evicted or never seen), which must
+        // not depend on configuration reads.
+        let Some(e) = self.cache.find(correspondent.0) else {
+            if self.cache.evictions > 0 {
+                self.audit
+                    .record(AuditEvent::FeedbackIgnored { correspondent });
+            }
+            return None;
+        };
+        if self.entry_expired(e, now) {
+            self.cache.expiries += 1;
+            profile::add(Counter::PolicyCacheExpiry, 1);
+            self.audit.record(AuditEvent::Expired { correspondent });
+            self.cache.remove(e);
+            return None;
+        }
+        // Feedback is evidence of an active conversation: refresh recency
+        // so a correspondent we are talking to outlives a flash crowd.
+        self.cache.touch(e, now);
+        let packed = self.cache.packed[e];
+        let strategy = Strategy::from_code((packed >> STRAT_SHIFT) & 7);
+        let mode = OutMode::from_index((packed >> MODE_SHIFT) as usize & 3);
         if retransmission {
-            e.fail_signals += 1;
-            e.success_signals = 0;
-            if e.fail_signals >= demote_threshold && e.strategy.probes() {
-                let from = e.mode;
+            self.cache.fails[e] += 1;
+            self.cache.succs[e] = 0;
+            if self.cache.fails[e] >= self.config.demote_threshold && strategy.probes() {
+                let from = mode;
                 let to = from.demote();
                 if to != from {
-                    e.failed_modes.push(from);
-                    e.mode = to;
-                    e.fail_signals = 0;
-                    e.demotions += 1;
+                    self.cache.packed[e] = (packed & !(3 << MODE_SHIFT))
+                        | ((to.index() as u32) << MODE_SHIFT)
+                        | (u32::from(from.bit()) << FAILED_SHIFT);
+                    self.cache.fails[e] = 0;
+                    let demotions = (self.cache.trans[e] & 0xFFFF).saturating_add(1).min(0xFFFF);
+                    self.cache.trans[e] = (self.cache.trans[e] & !0xFFFF) | demotions;
                     self.audit.record(AuditEvent::Demoted {
                         correspondent,
                         from,
@@ -299,18 +938,22 @@ impl Policy {
                 }
             }
         } else {
-            e.success_signals += 1;
-            e.fail_signals = 0;
+            self.cache.succs[e] += 1;
+            self.cache.fails[e] = 0;
             // Pessimistic upgrade probing: after sustained success,
             // tentatively try the next more aggressive mode, unless it
             // already failed for this correspondent.
-            if e.strategy == Strategy::Pessimistic && e.success_signals >= promote_after {
-                let from = e.mode;
+            if strategy == Strategy::Pessimistic && self.cache.succs[e] >= self.config.promote_after
+            {
+                let from = mode;
                 let to = from.promote();
-                if to != from && !e.failed_modes.contains(&to) {
-                    e.mode = to;
-                    e.success_signals = 0;
-                    e.promotions += 1;
+                let failed = ((packed >> FAILED_SHIFT) & 0xF) as u8;
+                if to != from && failed & to.bit() == 0 {
+                    self.cache.packed[e] =
+                        (packed & !(3 << MODE_SHIFT)) | ((to.index() as u32) << MODE_SHIFT);
+                    self.cache.succs[e] = 0;
+                    let promotions = (self.cache.trans[e] >> 16).saturating_add(1).min(0xFFFF);
+                    self.cache.trans[e] = (self.cache.trans[e] & 0xFFFF) | (promotions << 16);
                     self.audit.record(AuditEvent::Promoted {
                         correspondent,
                         from,
@@ -318,7 +961,7 @@ impl Policy {
                     });
                     return Some(Transition::Promoted { from, to });
                 }
-                e.success_signals = 0; // ceiling reached; keep counting fresh
+                self.cache.succs[e] = 0; // ceiling reached; keep counting fresh
             }
         }
         None
@@ -360,6 +1003,64 @@ mod tests {
     }
 
     #[test]
+    fn compiled_rules_preserve_first_match_wins() {
+        // Past RULES_LINEAR_MAX the bucketed index takes over; shadowed
+        // and overlapping prefixes must still resolve to the *first*
+        // matching rule, not the longest.
+        let mut cfg = PolicyConfig::optimistic();
+        cfg = cfg.with_rule(cidr("10.0.0.0/8"), Strategy::Fixed(OutMode::IE)); // rule 0
+        cfg = cfg.with_rule(cidr("10.1.0.0/16"), Strategy::Fixed(OutMode::DE)); // shadowed by 0
+        for i in 0..16u32 {
+            cfg = cfg.with_rule(
+                cidr(&format!("172.{}.0.0/16", 16 + i)),
+                Strategy::Pessimistic,
+            );
+        }
+        cfg = cfg.with_rule(cidr("172.16.0.0/12"), Strategy::Fixed(OutMode::DE)); // shadowed
+        let mut p = Policy::new(cfg.clone());
+        assert!(p.rule_match_compiled(ip("9.9.9.9")).is_none());
+        // Every destination agrees with the linear reference scan.
+        for dst in [
+            "10.1.2.3",
+            "10.200.0.1",
+            "172.16.5.5",
+            "172.31.0.1",
+            "172.15.0.1",
+            "8.8.8.8",
+        ] {
+            assert_eq!(
+                p.rule_match_compiled(ip(dst)),
+                rule_match_reference(&cfg.rules, ip(dst)),
+                "compiled diverged from first-match at {dst}"
+            );
+        }
+        // The shadowed /16 never wins over the /8 that precedes it.
+        assert_eq!(p.mode_for(ip("10.1.2.3")), OutMode::IE);
+    }
+
+    #[test]
+    fn config_replacement_invalidates_compiled_state() {
+        let mut p = Policy::new(
+            PolicyConfig::optimistic().with_rule(cidr("18.0.0.0/8"), Strategy::Pessimistic),
+        );
+        assert_eq!(p.mode_for(ip("18.26.0.5")), OutMode::IE);
+        // Replace the whole config through the public field, as the
+        // experiments do — the fingerprint must notice.
+        p.config = PolicyConfig::fixed(OutMode::DE).without_dt_ports();
+        p.clear_cache();
+        assert_eq!(p.mode_for(ip("18.26.0.5")), OutMode::DE);
+        assert!(!p.use_dt_for_port(80));
+        // And growing the rule list in place is noticed too.
+        let mut p = Policy::new(PolicyConfig::optimistic());
+        assert_eq!(p.mode_for(ip("171.64.7.7")), OutMode::DH);
+        p.config
+            .rules
+            .push((cidr("171.64.0.0/16"), Strategy::Pessimistic));
+        p.clear_cache();
+        assert_eq!(p.mode_for(ip("171.64.7.7")), OutMode::IE);
+    }
+
+    #[test]
     fn privacy_forces_indirect_everywhere() {
         let mut p = Policy::new(PolicyConfig::optimistic().with_privacy());
         assert_eq!(p.mode_for(ip("18.26.0.5")), OutMode::IE);
@@ -377,6 +1078,7 @@ mod tests {
         assert!(p.use_dt_for_port(80));
         assert!(p.use_dt_for_port(53));
         assert!(!p.use_dt_for_port(23));
+        assert!(!p.use_dt_for_port(65535));
         let p = Policy::new(PolicyConfig::default().without_dt_ports());
         assert!(!p.use_dt_for_port(80));
     }
@@ -409,6 +1111,8 @@ mod tests {
         assert_eq!(p.record_feedback(ch, true), None);
         assert_eq!(p.mode_for(ch), OutMode::IE);
         assert_eq!(p.entry(ch).unwrap().demotions, 2);
+        assert!(p.entry(ch).unwrap().has_failed(OutMode::DH));
+        assert!(p.entry(ch).unwrap().has_failed(OutMode::DE));
     }
 
     #[test]
@@ -561,26 +1265,93 @@ mod tests {
     }
 
     #[test]
-    fn cache_resets_at_cap_instead_of_growing() {
+    fn cache_evicts_lru_at_cap_instead_of_resetting() {
         let mut p = Policy::new(PolicyConfig {
             cache_cap: 4,
             ..PolicyConfig::optimistic()
         });
         for i in 0..4u32 {
-            p.mode_for(Ipv4Addr(0x0a00_0000 | i));
+            p.mode_for(Ipv4Addr(0x0A00_0000 | i));
         }
-        assert!(p.entry(Ipv4Addr(0x0a00_0000)).is_some());
-        // A fifth distinct correspondent trips the reset; history is gone
-        // but the table never exceeds the cap.
-        p.mode_for(Ipv4Addr(0x0a00_0004));
-        assert!(p.entry(Ipv4Addr(0x0a00_0000)).is_none());
-        assert!(p.entry(Ipv4Addr(0x0a00_0004)).is_some());
-        // Re-touching a cached correspondent at the cap does not reset.
-        for i in 0..3u32 {
-            p.mode_for(Ipv4Addr(0x0a00_0000 | i));
+        // Re-touch .0 so .1 becomes the coldest.
+        p.mode_for(Ipv4Addr(0x0A00_0000));
+        // A fifth distinct correspondent evicts exactly the LRU entry.
+        p.mode_for(Ipv4Addr(0x0A00_0004));
+        assert!(p.entry(Ipv4Addr(0x0A00_0001)).is_none(), "LRU evicted");
+        for keep in [0u32, 2, 3, 4] {
+            assert!(
+                p.entry(Ipv4Addr(0x0A00_0000 | keep)).is_some(),
+                "hot entry .{keep} must survive"
+            );
         }
-        p.mode_for(Ipv4Addr(0x0a00_0004));
-        assert!(p.entry(Ipv4Addr(0x0a00_0000)).is_some());
+        assert_eq!(p.cache_stats().evictions, 1);
+        assert!(p.audit.entries().any(|e| matches!(
+            e.event,
+            AuditEvent::Evicted {
+                correspondent: Ipv4Addr(0x0A00_0001),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn flash_crowd_preserves_hot_history() {
+        // Hot correspondents with learned demotion history keep it through
+        // a flash crowd twice the cache capacity, because every storm
+        // entry is colder than the continually re-touched hot set.
+        let cap = 64usize;
+        let mut p = Policy::new(PolicyConfig {
+            cache_cap: cap,
+            ..PolicyConfig::optimistic()
+        });
+        let hot: Vec<Ipv4Addr> = (0..8u32).map(|i| Ipv4Addr(0xC000_0200 | i)).collect();
+        for &h in &hot {
+            p.mode_for(h);
+            p.record_feedback(h, true);
+            p.record_feedback(h, true); // DH → DE, one demotion of history
+        }
+        // The storm: 2× cap distinct cold correspondents, with the hot set
+        // touched between bursts (it is actively conversing).
+        for burst in 0..(2 * cap as u32) {
+            p.mode_for(Ipv4Addr(0x0B00_0000 | burst));
+            if burst % 16 == 0 {
+                for &h in &hot {
+                    p.record_feedback(h, false);
+                }
+            }
+        }
+        for &h in &hot {
+            let e = p.entry(h).expect("hot correspondent survived the storm");
+            assert_eq!(e.demotions, 1, "demotion history preserved");
+            assert_eq!(e.mode, OutMode::DE);
+        }
+        let stats = p.cache_stats();
+        assert_eq!(stats.len as usize, cap);
+        assert!(stats.evictions >= cap as u64, "storm evicted cold entries");
+    }
+
+    #[test]
+    fn ttl_expires_stale_entries() {
+        let mut p =
+            Policy::new(PolicyConfig::optimistic().with_cache_ttl(SimDuration::from_secs(60)));
+        let ch = ip("18.26.0.5");
+        p.audit.set_now(SimTime(0));
+        assert_eq!(p.mode_for(ch), OutMode::DH);
+        p.record_feedback(ch, true);
+        p.record_feedback(ch, true); // demoted to DE
+        assert_eq!(p.mode_for(ch), OutMode::DE);
+        // Within the TTL the conclusion holds…
+        p.audit.set_now(SimTime(59_000_000));
+        assert_eq!(p.mode_for(ch), OutMode::DE);
+        // …but after a minute of silence it ages out and the next contact
+        // decides afresh from the (optimistic) default.
+        p.audit.set_now(SimTime(59_000_000 + 61_000_000));
+        assert_eq!(p.mode_for(ch), OutMode::DH, "stale history discarded");
+        assert_eq!(p.cache_stats().expiries, 1);
+        assert!(p
+            .audit
+            .entries()
+            .any(|e| matches!(e.event, AuditEvent::Expired { .. })));
     }
 
     #[test]
@@ -588,5 +1359,61 @@ mod tests {
         let mut p = Policy::new(PolicyConfig::optimistic());
         assert_eq!(p.record_feedback(ip("9.9.9.9"), true), None);
         assert!(p.entry(ip("9.9.9.9")).is_none());
+        // Before any eviction the drop is silent (nothing was lost).
+        assert!(!p
+            .audit
+            .entries()
+            .any(|e| matches!(e.event, AuditEvent::FeedbackIgnored { .. })));
+    }
+
+    #[test]
+    fn feedback_after_eviction_leaves_a_mark() {
+        let mut p = Policy::new(PolicyConfig {
+            cache_cap: 2,
+            ..PolicyConfig::optimistic()
+        });
+        let evicted = Ipv4Addr(0x0A00_0001);
+        for i in 1..=3u32 {
+            p.mode_for(Ipv4Addr(0x0A00_0000 | i)); // third insert evicts .1
+        }
+        assert!(p.entry(evicted).is_none());
+        assert_eq!(p.record_feedback(evicted, true), None);
+        assert!(
+            p.audit.entries().any(|e| matches!(
+                e.event,
+                AuditEvent::FeedbackIgnored {
+                    correspondent: Ipv4Addr(0x0A00_0001)
+                }
+            )),
+            "post-eviction feedback loss must be visible in the trail"
+        );
+    }
+
+    #[test]
+    fn slab_backfill_keeps_index_and_lru_coherent() {
+        // Exercise remove()'s backfill path hard: interleaved inserts,
+        // touches and evictions over a tiny cap, checking every survivor
+        // stays findable and the reported LRU victim is always the true
+        // least-recently-used.
+        let cap = 8usize;
+        let mut p = Policy::new(PolicyConfig {
+            cache_cap: cap,
+            ..PolicyConfig::optimistic()
+        });
+        let addr = |i: u32| Ipv4Addr(0x0D00_0000 | i);
+        let mut model: Vec<u32> = Vec::new(); // most-recent-first
+        for step in 0..512u32 {
+            let i = (step * 7) % 24;
+            p.mode_for(addr(i));
+            model.retain(|&m| m != i);
+            model.insert(0, i);
+            if model.len() > cap {
+                model.pop();
+            }
+            for &m in &model {
+                assert!(p.entry(addr(m)).is_some(), "step {step}: {m} lost");
+            }
+            assert_eq!(p.cache_stats().len as usize, model.len());
+        }
     }
 }

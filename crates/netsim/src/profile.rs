@@ -180,12 +180,27 @@ pub enum Counter {
     RouteCacheHit = 0,
     /// Route lookups that fell through to the longest-prefix-match walk.
     RouteCacheMiss = 1,
+    /// Policy method-cache lookups answered from a live entry.
+    PolicyCacheHit = 2,
+    /// Policy method-cache lookups that decided afresh (first contact).
+    PolicyCacheMiss = 3,
+    /// Policy method-cache entries displaced by LRU eviction at capacity.
+    PolicyCacheEviction = 4,
+    /// Policy method-cache entries discarded by TTL expiry.
+    PolicyCacheExpiry = 5,
 }
 
-const NCOUNTERS: usize = 2;
-static COUNTERS: [AtomicU64; NCOUNTERS] = [AtomicU64::new(0), AtomicU64::new(0)];
+const NCOUNTERS: usize = 6;
+static COUNTERS: [AtomicU64; NCOUNTERS] = [const { AtomicU64::new(0) }; NCOUNTERS];
 
-const COUNTER_NAMES: [&str; NCOUNTERS] = ["route_cache_hit", "route_cache_miss"];
+const COUNTER_NAMES: [&str; NCOUNTERS] = [
+    "route_cache_hit",
+    "route_cache_miss",
+    "policy_cache_hit",
+    "policy_cache_miss",
+    "policy_cache_eviction",
+    "policy_cache_expiry",
+];
 
 /// Adds `n` to a global counter; no-op while profiling is disabled.
 #[inline]

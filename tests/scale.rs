@@ -88,6 +88,7 @@ fn big_world_stays_under_a_kib_per_host() {
         flash_crowd: 0,
         rereg: 0,
         lifetime: 300,
+        correspondents: 0,
     };
     let stats = run_churn(&mut w, &ix, &storm);
     assert_eq!(stats.handoffs, 64, "storm must actually run");
